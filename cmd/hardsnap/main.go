@@ -1,0 +1,189 @@
+// Command hardsnap runs a hardware/software co-testing analysis:
+// symbolic execution of HS32 firmware with Verilog peripherals in the
+// loop and per-path hardware snapshots.
+//
+// Usage:
+//
+//	hardsnap -periph uart0=uart -periph timer0=timer firmware.s
+//
+// Flags select the consistency mode (hardsnap / naive-reboot /
+// naive-shared), the state-selection heuristic, the hardware target
+// (simulator or FPGA) and the concretization policy. The exit status
+// is 2 when bugs are found.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"hardsnap/internal/core"
+	"hardsnap/internal/symexec"
+	"hardsnap/internal/target"
+)
+
+func main() {
+	var periphs periphFlag
+	flag.Var(&periphs, "periph", "peripheral NAME=KIND (repeatable; kinds: gpio timer uart spi crc32 aes128 regfile)")
+	var asserts assertFlag
+	flag.Var(&asserts, "assert", "hardware property PERIPH:NAME:EXPR (repeatable, simulator target only)")
+	mode := flag.String("mode", "hardsnap", "consistency mode: hardsnap | naive-reboot | naive-shared | record-replay")
+	search := flag.String("searcher", "dfs", "state selection: dfs | bfs | round-robin | random | coverage")
+	fpga := flag.Bool("fpga", false, "host peripherals on the FPGA target")
+	readback := flag.Bool("readback", false, "use FPGA readback snapshots instead of the scan chain")
+	policy := flag.String("concretize", "one", "boundary concretization policy: one | all")
+	maxInstr := flag.Uint64("max-instructions", 2_000_000, "total instruction budget")
+	verbose := flag.Bool("v", false, "print per-path detail")
+	reportDir := flag.String("report", "", "write per-bug crash reports (test vector, model, hardware snapshot) to this directory")
+	flag.Parse()
+
+	code, err := run(periphs, asserts, *mode, *search, *fpga, *readback, *policy, *maxInstr, *verbose, *reportDir, flag.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hardsnap:", err)
+		os.Exit(1)
+	}
+	os.Exit(code)
+}
+
+type periphFlag []target.PeriphConfig
+
+func (p *periphFlag) String() string { return fmt.Sprintf("%v", []target.PeriphConfig(*p)) }
+
+func (p *periphFlag) Set(s string) error {
+	name, kind, ok := strings.Cut(s, "=")
+	if !ok {
+		return fmt.Errorf("want NAME=KIND, got %q", s)
+	}
+	*p = append(*p, target.PeriphConfig{Name: name, Periph: kind})
+	return nil
+}
+
+func pickSearcher(name string) (symexec.Searcher, error) {
+	switch name {
+	case "dfs":
+		return symexec.DFS{}, nil
+	case "bfs":
+		return symexec.BFS{}, nil
+	case "round-robin":
+		return &symexec.RoundRobin{}, nil
+	case "random":
+		return symexec.NewRandom(1), nil
+	case "coverage":
+		return symexec.NewCoverage(), nil
+	}
+	return nil, fmt.Errorf("unknown searcher %q", name)
+}
+
+func pickMode(name string) (core.Mode, error) {
+	switch name {
+	case "hardsnap":
+		return core.ModeHardSnap, nil
+	case "naive-reboot":
+		return core.ModeNaiveReboot, nil
+	case "naive-shared":
+		return core.ModeNaiveShared, nil
+	case "record-replay":
+		return core.ModeRecordReplay, nil
+	}
+	return 0, fmt.Errorf("unknown mode %q", name)
+}
+
+type assertFlag []target.HWAssertion
+
+func (a *assertFlag) String() string { return fmt.Sprintf("%v", []target.HWAssertion(*a)) }
+
+func (a *assertFlag) Set(s string) error {
+	parts := strings.SplitN(s, ":", 3)
+	if len(parts) != 3 {
+		return fmt.Errorf("want PERIPH:NAME:EXPR, got %q", s)
+	}
+	*a = append(*a, target.HWAssertion{Periph: parts[0], Name: parts[1], Expr: parts[2]})
+	return nil
+}
+
+func run(periphs []target.PeriphConfig, asserts []target.HWAssertion, modeName, searchName string, fpga, readback bool,
+	policyName string, maxInstr uint64, verbose bool, reportDir string, args []string) (int, error) {
+	if len(args) != 1 {
+		return 0, fmt.Errorf("usage: hardsnap [flags] firmware.s")
+	}
+	src, err := os.ReadFile(args[0])
+	if err != nil {
+		return 0, err
+	}
+	mode, err := pickMode(modeName)
+	if err != nil {
+		return 0, err
+	}
+	searcher, err := pickSearcher(searchName)
+	if err != nil {
+		return 0, err
+	}
+	pol := symexec.ConcretizeOne
+	if policyName == "all" {
+		pol = symexec.ConcretizeAll
+	} else if policyName != "one" {
+		return 0, fmt.Errorf("unknown policy %q", policyName)
+	}
+
+	analysis, err := core.Setup(core.SetupConfig{
+		Firmware:     string(src),
+		Peripherals:  periphs,
+		FPGA:         fpga,
+		Readback:     readback,
+		HWAssertions: asserts,
+		Exec:         symexec.Config{Policy: pol},
+		Engine: core.Config{
+			Mode:             mode,
+			Searcher:         searcher,
+			MaxInstructions:  maxInstr,
+			KeepBugSnapshots: reportDir != "",
+		},
+	})
+	if err != nil {
+		return 0, err
+	}
+	if len(periphs) > 0 {
+		fmt.Printf("SoC: %d peripheral(s) on %s target\n", len(periphs), analysis.Target.Kind())
+		for i, r := range analysis.Router.Regions() {
+			fmt.Printf("  %-10s @ %#x (irq %d)\n", r.Name, analysis.PeriphBase(i), r.IRQ)
+		}
+	}
+
+	rep, err := analysis.Engine.Run()
+	if err != nil {
+		return 0, err
+	}
+
+	fmt.Printf("\npaths: %d  instructions: %d  context switches: %d  virtual time: %v\n",
+		len(rep.Finished), rep.Stats.Instructions, rep.Stats.ContextSwitches,
+		rep.VirtualTime.Round(time.Microsecond))
+	if verbose {
+		for _, st := range rep.Finished {
+			fmt.Printf("  path %-4d %-14v pc=%#x steps=%d", st.ID, st.Status, st.PC, st.Steps)
+			if len(st.Console) > 0 {
+				fmt.Printf(" console=%q", st.Console)
+			}
+			fmt.Println()
+		}
+	}
+	bugs := rep.Bugs()
+	for _, bug := range bugs {
+		fmt.Printf("BUG: %v at pc=%#x\n", bug.Status, bug.PC)
+		if bug.Model != nil {
+			fmt.Printf("     model: %v\n", bug.Model)
+		}
+	}
+	if reportDir != "" && len(bugs) > 0 {
+		n, err := analysis.WriteCrashReports(reportDir, rep)
+		if err != nil {
+			return 0, err
+		}
+		fmt.Printf("wrote %d crash report(s) to %s\n", n, reportDir)
+	}
+	if len(bugs) > 0 {
+		return 2, nil
+	}
+	return 0, nil
+}

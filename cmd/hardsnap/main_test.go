@@ -1,0 +1,79 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"hardsnap/internal/target"
+)
+
+func TestRunFindsBug(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "fw.s")
+	fw := `
+_start:
+	li r1, 0x100
+	addi r2, r0, 1
+	addi r3, r0, 1
+	ecall 1
+	lbu r4, 0(r1)
+	addi r5, r0, 7
+	bne r4, r5, ok
+	abort
+ok:
+	halt
+`
+	if err := os.WriteFile(src, []byte(fw), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, err := run(nil, nil, "hardsnap", "dfs", false, false, "one", 100000, true, t.TempDir(), []string{src})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 2 {
+		t.Fatalf("exit code %d, want 2 (bug found)", code)
+	}
+	// With hardware attached and every mode.
+	for _, mode := range []string{"hardsnap", "naive-reboot", "naive-shared", "record-replay"} {
+		code, err = run([]target.PeriphConfig{{Name: "g", Periph: "gpio"}}, nil,
+			mode, "bfs", true, false, "all", 100000, false, "", []string{src})
+		if err != nil {
+			t.Fatalf("mode %s: %v", mode, err)
+		}
+		if code != 2 {
+			t.Fatalf("mode %s: exit %d", mode, code)
+		}
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := run(nil, nil, "hardsnap", "dfs", false, false, "one", 0, false, "", nil); err == nil {
+		t.Fatal("missing firmware must fail")
+	}
+	dir := t.TempDir()
+	src := filepath.Join(dir, "f.s")
+	os.WriteFile(src, []byte("halt"), 0o644)
+	if _, err := run(nil, nil, "bogus", "dfs", false, false, "one", 0, false, "", []string{src}); err == nil {
+		t.Fatal("bad mode must fail")
+	}
+	if _, err := run(nil, nil, "hardsnap", "bogus", false, false, "one", 0, false, "", []string{src}); err == nil {
+		t.Fatal("bad searcher must fail")
+	}
+	if _, err := run(nil, nil, "hardsnap", "dfs", false, false, "bogus", 0, false, "", []string{src}); err == nil {
+		t.Fatal("bad policy must fail")
+	}
+}
+
+func TestPeriphFlag(t *testing.T) {
+	var p periphFlag
+	if err := p.Set("u0=uart"); err != nil {
+		t.Fatal(err)
+	}
+	if len(p) != 1 || p[0].Name != "u0" || p[0].Periph != "uart" {
+		t.Fatalf("%+v", p)
+	}
+	if err := p.Set("nope"); err == nil {
+		t.Fatal("bad format must fail")
+	}
+}

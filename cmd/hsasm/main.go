@@ -1,0 +1,94 @@
+// Command hsasm assembles HS32 assembly into a raw firmware image,
+// and disassembles images back to mnemonics.
+//
+// Usage:
+//
+//	hsasm -o firmware.bin [-base 0x0] [-symbols] input.s
+//	hsasm -d firmware.bin
+package main
+
+import (
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"hardsnap/internal/asm"
+	"hardsnap/internal/isa"
+)
+
+func main() {
+	out := flag.String("o", "a.bin", "output image path")
+	base := flag.Uint64("base", 0, "load address")
+	symbols := flag.Bool("symbols", false, "print the symbol table")
+	disasm := flag.Bool("d", false, "disassemble a binary image instead of assembling")
+	flag.Parse()
+	if *disasm {
+		if err := runDisasm(uint32(*base), flag.Args()); err != nil {
+			fmt.Fprintln(os.Stderr, "hsasm:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := run(*out, uint32(*base), *symbols, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "hsasm:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out string, base uint32, symbols bool, args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: hsasm [-o out.bin] [-base addr] [-symbols] input.s")
+	}
+	src, err := os.ReadFile(args[0])
+	if err != nil {
+		return err
+	}
+	prog, err := asm.Assemble(string(src), base)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, prog.Code, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("%s: %d bytes at %#x, entry %#x\n", out, len(prog.Code), prog.Base, prog.Entry)
+	if symbols {
+		names := make([]string, 0, len(prog.Symbols))
+		for n := range prog.Symbols {
+			names = append(names, n)
+		}
+		sort.Slice(names, func(i, j int) bool {
+			return prog.Symbols[names[i]] < prog.Symbols[names[j]]
+		})
+		for _, n := range names {
+			fmt.Printf("%08x %s\n", prog.Symbols[n], n)
+		}
+	}
+	return nil
+}
+
+// runDisasm prints one line per instruction word; undecodable words
+// render as .word directives.
+func runDisasm(base uint32, args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: hsasm -d image.bin")
+	}
+	data, err := os.ReadFile(args[0])
+	if err != nil {
+		return err
+	}
+	for off := 0; off+4 <= len(data); off += 4 {
+		w := binary.LittleEndian.Uint32(data[off:])
+		in, err := isa.Decode(w)
+		if err != nil {
+			fmt.Printf("%08x:  %08x  .word 0x%08x\n", base+uint32(off), w, w)
+			continue
+		}
+		fmt.Printf("%08x:  %08x  %s\n", base+uint32(off), w, in)
+	}
+	if tail := len(data) % 4; tail != 0 {
+		fmt.Printf("%08x:  (%d trailing byte(s))\n", base+uint32(len(data)-tail), tail)
+	}
+	return nil
+}

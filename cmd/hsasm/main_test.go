@@ -1,0 +1,60 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunAssemblesFile(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "fw.s")
+	out := filepath.Join(dir, "fw.bin")
+	if err := os.WriteFile(src, []byte("_start:\n\tnop\n\thalt\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(out, 0, true, []string{src}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != 8 {
+		t.Fatalf("image size %d", len(data))
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("x.bin", 0, false, nil); err == nil {
+		t.Fatal("missing input must fail")
+	}
+	if err := run("x.bin", 0, false, []string{"/nonexistent.s"}); err == nil {
+		t.Fatal("unreadable input must fail")
+	}
+	dir := t.TempDir()
+	src := filepath.Join(dir, "bad.s")
+	os.WriteFile(src, []byte("bogus r1"), 0o644)
+	if err := run(filepath.Join(dir, "o.bin"), 0, false, []string{src}); err == nil {
+		t.Fatal("assembly error must propagate")
+	}
+}
+
+func TestRunDisasm(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "fw.s")
+	out := filepath.Join(dir, "fw.bin")
+	os.WriteFile(src, []byte("_start:\n\taddi r1, r0, 7\n\thalt\n"), 0o644)
+	if err := run(out, 0, false, []string{src}); err != nil {
+		t.Fatal(err)
+	}
+	if err := runDisasm(0, []string{out}); err != nil {
+		t.Fatal(err)
+	}
+	if err := runDisasm(0, nil); err == nil {
+		t.Fatal("missing args must fail")
+	}
+	if err := runDisasm(0, []string{"/nonexistent"}); err == nil {
+		t.Fatal("unreadable file must fail")
+	}
+}

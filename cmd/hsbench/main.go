@@ -1,0 +1,58 @@
+// Command hsbench regenerates the paper's evaluation tables and
+// figures (experiments E1-E8; see DESIGN.md for the experiment index).
+//
+// Usage:
+//
+//	hsbench            # run every experiment
+//	hsbench e1 e4      # run selected experiments
+//	hsbench -list      # list experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hardsnap/internal/bench"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+	if err := run(*list, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "hsbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(list bool, args []string) error {
+	if list {
+		for _, e := range bench.All() {
+			fmt.Printf("%-4s %s\n", e.ID, e.Title)
+		}
+		return nil
+	}
+	var selected []bench.Experiment
+	if len(args) == 0 {
+		selected = bench.All()
+	} else {
+		for _, id := range args {
+			e, ok := bench.Lookup(id)
+			if !ok {
+				return fmt.Errorf("unknown experiment %q (try -list)", id)
+			}
+			selected = append(selected, e)
+		}
+	}
+	for i, e := range selected {
+		if i > 0 {
+			fmt.Println()
+		}
+		table, err := e.Run()
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		fmt.Print(table)
+	}
+	return nil
+}

@@ -1,0 +1,22 @@
+package main
+
+import "testing"
+
+func TestRunList(t *testing.T) {
+	if err := run(true, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSelected(t *testing.T) {
+	// E5 is the fastest experiment.
+	if err := run(false, []string{"e5"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknown(t *testing.T) {
+	if err := run(false, []string{"e99"}); err == nil {
+		t.Fatal("unknown experiment must fail")
+	}
+}

@@ -1,0 +1,57 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunInstruments(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "d.v")
+	out := filepath.Join(dir, "d_scan.v")
+	verilog := `
+module d (input wire clk, input wire [3:0] x, output reg [3:0] y);
+  always @(posedge clk) y <= x;
+endmodule
+`
+	if err := os.WriteFile(src, []byte(verilog), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("d", out, "", nil, []string{src}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "scan_enable") {
+		t.Fatalf("output not instrumented:\n%s", data)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if err := run("", "", "", nil, []string{"x.v"}); err == nil {
+		t.Fatal("missing -top must fail")
+	}
+	if err := run("top", "", "", nil, nil); err == nil {
+		t.Fatal("missing input must fail")
+	}
+}
+
+func TestParamFlag(t *testing.T) {
+	var p paramFlag
+	if err := p.Set("DEPTH=32"); err != nil {
+		t.Fatal(err)
+	}
+	if p["DEPTH"] != 32 {
+		t.Fatalf("%v", p)
+	}
+	if err := p.Set("garbage"); err == nil {
+		t.Fatal("bad format must fail")
+	}
+	if err := p.Set("X=notanum"); err == nil {
+		t.Fatal("bad value must fail")
+	}
+}

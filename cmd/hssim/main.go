@@ -1,0 +1,97 @@
+// Command hssim runs a peripheral as a standalone simulator process
+// behind the HardSnap remote protocol — the paper's "self-contained
+// simulator with a remote interface" (Fig. 3, A.2). A virtual machine
+// (or any client of internal/remote) connects over TCP and performs
+// register reads/writes, IRQ sampling and clock advancement.
+//
+// Usage:
+//
+//	hssim -periph uart -listen 127.0.0.1:7700
+//	hssim -source design.v -top mydev -listen 127.0.0.1:7700
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+
+	"hardsnap/internal/bus"
+	"hardsnap/internal/remote"
+	"hardsnap/internal/target"
+	"hardsnap/internal/vtime"
+)
+
+func main() {
+	periphName := flag.String("periph", "", "corpus peripheral to host (gpio timer uart spi crc32 aes128 regfile)")
+	source := flag.String("source", "", "custom Verilog file to host instead of -periph")
+	top := flag.String("top", "", "top module of -source")
+	listen := flag.String("listen", "127.0.0.1:0", "TCP listen address")
+	fpga := flag.Bool("fpga", false, "model the FPGA target instead of the simulator")
+	flag.Parse()
+	if err := run(*periphName, *source, *top, *listen, *fpga); err != nil {
+		fmt.Fprintln(os.Stderr, "hssim:", err)
+		os.Exit(1)
+	}
+}
+
+// advPort couples a register port with whole-target clock advancement
+// for the protocol's advance opcode.
+type advPort struct {
+	bus.Port
+	tgt *target.Target
+}
+
+func (p *advPort) Advance(n uint64) error { return p.tgt.Advance(n) }
+
+func run(periphName, source, top, listen string, fpga bool) error {
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		return err
+	}
+	return serveOn(ln, periphName, source, top, fpga)
+}
+
+// serveOn hosts the peripheral behind the protocol on an existing
+// listener (separated from run for testability).
+func serveOn(ln net.Listener, periphName, source, top string, fpga bool) error {
+	cfg := target.PeriphConfig{Name: "dev0", Periph: periphName}
+	switch {
+	case source != "":
+		data, err := os.ReadFile(source)
+		if err != nil {
+			return err
+		}
+		cfg.Source = string(data)
+		cfg.Top = top
+		cfg.Periph = ""
+	case periphName == "":
+		return fmt.Errorf("one of -periph or -source is required")
+	}
+
+	clock := &vtime.Clock{}
+	var tgt *target.Target
+	var err error
+	if fpga {
+		tgt, err = target.NewFPGA("hssim", clock, []target.PeriphConfig{cfg}, false)
+	} else {
+		tgt, err = target.NewSimulator("hssim", clock, []target.PeriphConfig{cfg})
+	}
+	if err != nil {
+		return err
+	}
+	port, err := tgt.Port("dev0")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("hssim: hosting %s on %s (%s target, %d state bits)\n",
+		describe(cfg), ln.Addr(), tgt.Kind(), tgt.StateBits())
+	return remote.ListenAndServe(ln, &advPort{Port: port, tgt: tgt})
+}
+
+func describe(cfg target.PeriphConfig) string {
+	if cfg.Source != "" {
+		return "module " + cfg.Top
+	}
+	return cfg.Periph
+}

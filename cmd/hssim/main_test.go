@@ -1,0 +1,98 @@
+package main
+
+import (
+	"net"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"hardsnap/internal/remote"
+)
+
+func TestServeCorpusPeripheralOverTCP(t *testing.T) {
+	// Run the server in a goroutine on an ephemeral port; we cannot
+	// easily learn the port from run(), so build the pieces like run()
+	// does but with a pre-made listener via the remote package.
+	done := make(chan error, 1)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { done <- serveOn(ln, "gpio", "", "", false) }()
+
+	conn, err := net.DialTimeout("tcp", ln.Addr().String(), 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := remote.NewClient(conn)
+	if err := client.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.WriteReg(0, 0x77); err != nil {
+		t.Fatal(err)
+	}
+	v, err := client.ReadReg(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0x77 {
+		t.Fatalf("readback %#x", v)
+	}
+	if err := client.Advance(10); err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+	ln.Close()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestServeCustomSource(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "d.v")
+	verilog := `
+module dev (
+  input wire clk, input wire rst, input wire sel, input wire wen,
+  input wire [7:0] addr, input wire [31:0] wdata,
+  output reg [31:0] rdata, output wire irq
+);
+  reg [31:0] r;
+  assign irq = 1'b0;
+  always @(*) rdata = r;
+  always @(posedge clk)
+    if (rst) r <= 0;
+    else if (sel && wen) r <= wdata;
+endmodule
+`
+	if err := os.WriteFile(src, []byte(verilog), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- serveOn(ln, "", src, "dev", true) }()
+	conn, err := net.DialTimeout("tcp", ln.Addr().String(), 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := remote.NewClient(conn)
+	if err := client.WriteReg(0, 42); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := client.ReadReg(0); v != 42 {
+		t.Fatalf("readback %d", v)
+	}
+	conn.Close()
+	ln.Close()
+	<-done
+}
+
+func TestRunValidation(t *testing.T) {
+	if err := run("", "", "", "127.0.0.1:0", false); err == nil {
+		t.Fatal("missing -periph/-source must fail")
+	}
+}

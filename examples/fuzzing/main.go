@@ -1,0 +1,107 @@
+// Command fuzzing compares fuzzing throughput with HardSnap's
+// snapshot-based state reset against the full-reboot baseline
+// (the paper's motivation, quantified in experiment E8).
+//
+// The firmware is a small packet parser in front of the CRC-32
+// peripheral: it initializes the device (expensive bring-up), then for
+// each test case feeds the input through the engine and crashes on a
+// rare header. Between test cases the machine must return to the
+// post-init state — by rebooting, or by restoring a HardSnap snapshot.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"hardsnap"
+)
+
+const firmware = `
+_start:
+		; --- expensive bring-up: calibrate, self-test, zero memory ---
+		addi r10, r0, 500
+init:
+		addi r10, r10, -1
+		bne r10, r0, init
+		li r8, 0x40000000  ; crc32 engine
+		addi r4, r0, 1
+		sw r4, 8(r8)       ; init CRC
+		ecall 6            ; HardSnap snapshot point: clean device state
+
+		; --- per-test-case work ---
+		li r1, 0x800
+		addi r2, r0, 6
+		addi r3, r0, 1
+		ecall 1            ; fetch test case (6 bytes)
+
+		; checksum the payload through the hardware engine
+		addi r11, r0, 0
+feed:
+		add r5, r1, r11
+		lbu r6, 0(r5)
+		sw r6, 0(r8)
+poll:
+		lw r7, 12(r8)
+		bne r7, r0, poll
+		addi r11, r11, 1
+		slti r5, r11, 6
+		bne r5, r0, feed
+
+		; crash on the magic header "BUG"
+		lbu r4, 0(r1)
+		addi r5, r0, 66    ; 'B'
+		bne r4, r5, ok
+		lbu r4, 1(r1)
+		addi r5, r0, 85    ; 'U'
+		bne r4, r5, ok
+		lbu r4, 2(r1)
+		addi r5, r0, 71    ; 'G'
+		bne r4, r5, ok
+		abort
+ok:
+		halt
+`
+
+func main() {
+	prog, err := hardsnap.Assemble(firmware, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	run := func(reset hardsnap.FuzzConfig, label string) *hardsnap.FuzzResult {
+		res, err := hardsnap.Fuzz(reset)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s execs=%4d  edges=%3d  crashes=%d  virt-time=%9v  execs/s(virt)=%8.1f\n",
+			label, res.Execs, res.Edges, len(res.Crashes),
+			res.VirtTime.Round(time.Millisecond), res.ExecsPerVirtSecond)
+		return res
+	}
+
+	base := hardsnap.FuzzConfig{
+		Program:     prog,
+		Peripherals: []hardsnap.PeriphConfig{{Name: "crc0", Periph: "crc32"}},
+		MaxExecs:    3000,
+		InputLen:    6,
+		Seeds:       [][]byte{[]byte("BUx___"), []byte("B_G___")},
+		Seed:        2024,
+	}
+
+	fmt.Println("fuzzing the CRC packet parser (3000 execs each):")
+	snapCfg := base
+	snapCfg.Reset = hardsnap.ResetSnapshot
+	snap := run(snapCfg, "snapshot")
+
+	rebootCfg := base
+	rebootCfg.Reset = hardsnap.ResetReboot
+	reboot := run(rebootCfg, "reboot")
+
+	fmt.Printf("\nsnapshot reset is %.1fx faster than reboot (virtual time)\n",
+		float64(reboot.VirtTime)/float64(snap.VirtTime))
+	if len(snap.Crashes) > 0 {
+		fmt.Printf("first crashing input: %q (exec #%d)\n",
+			snap.Crashes[0].Input, snap.Crashes[0].Exec)
+	}
+}

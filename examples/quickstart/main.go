@@ -1,0 +1,78 @@
+// Command quickstart is the smallest end-to-end HardSnap run: firmware
+// with one symbolic input drives a timer peripheral; symbolic
+// execution explores both program paths — each with its own private
+// hardware state — and finds the input that triggers the buggy one.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hardsnap"
+)
+
+// The firmware reads one symbolic byte. If it is 13 it programs the
+// timer with a zero reload value — making it fire immediately — and
+// then runs into an assertion that the timer has not expired yet:
+// a hardware-interaction bug only one input value reaches.
+const firmware = `
+_start:
+		li r1, 0x100       ; input buffer
+		addi r2, r0, 1     ; one byte
+		addi r3, r0, 1     ; tag 1
+		ecall 1            ; make_symbolic(buf, 1, 1)
+		lbu r4, 0(r1)
+
+		li r8, 0x40000000  ; timer MMIO base
+		addi r5, r0, 13
+		beq r4, r5, unlucky
+		addi r6, r0, 100   ; safe reload value
+		j program
+unlucky:
+		addi r6, r0, 0     ; bug: zero reload fires immediately
+program:
+		sw r6, 0(r8)       ; LOAD
+		addi r6, r0, 1
+		sw r6, 8(r8)       ; CTRL = enable
+		nop
+		nop
+		nop
+		lw r7, 12(r8)      ; STATUS
+		xori r1, r7, 1     ; assert STATUS.expired == 0
+		andi r1, r1, 1
+		ecall 2
+		halt
+`
+
+func main() {
+	analysis, err := hardsnap.Setup(hardsnap.SetupConfig{
+		Firmware: firmware,
+		Peripherals: []hardsnap.PeriphConfig{
+			{Name: "timer0", Periph: "timer"},
+		},
+		Engine: hardsnap.EngineConfig{
+			Mode:     hardsnap.ModeHardSnap,
+			Searcher: &hardsnap.RoundRobin{},
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	report, err := analysis.Engine.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("explored %d paths in %v virtual time (%d instructions, %d hardware context switches)\n",
+		len(report.Finished), report.VirtualTime,
+		report.Stats.Instructions, report.Stats.ContextSwitches)
+
+	for _, bug := range report.Bugs() {
+		fmt.Printf("BUG: %v at pc=%#x\n", bug.Status, bug.PC)
+		fmt.Printf("     triggering input: sym1_0 = %d\n", bug.Model["sym1_0"])
+	}
+	if len(report.Bugs()) == 0 {
+		fmt.Println("no bugs found (unexpected — the seeded bug should be found)")
+	}
+}

@@ -1,0 +1,3 @@
+module hardsnap
+
+go 1.22

@@ -1,0 +1,256 @@
+package asm
+
+import (
+	"encoding/binary"
+	"strings"
+	"testing"
+
+	"hardsnap/internal/isa"
+)
+
+func mustAssemble(t *testing.T, src string) *Program {
+	t.Helper()
+	p, err := Assemble(src, 0)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	return p
+}
+
+func decodeAt(t *testing.T, p *Program, off int) isa.Inst {
+	t.Helper()
+	w := binary.LittleEndian.Uint32(p.Code[off:])
+	in, err := isa.Decode(w)
+	if err != nil {
+		t.Fatalf("decode at %d: %v", off, err)
+	}
+	return in
+}
+
+func TestBasicInstructions(t *testing.T) {
+	p := mustAssemble(t, `
+		add r1, r2, r3
+		addi r4, r5, -7
+		lw r6, 8(r7)
+		sw r6, -4(sp)
+		lui r1, 0x1000
+	`)
+	if len(p.Code) != 20 {
+		t.Fatalf("code size %d, want 20", len(p.Code))
+	}
+	if in := decodeAt(t, p, 0); in.Op != isa.OpADD || in.Rd != 1 || in.Rs1 != 2 || in.Rs2 != 3 {
+		t.Errorf("add: %v", in)
+	}
+	if in := decodeAt(t, p, 4); in.Op != isa.OpADDI || in.Imm != -7 {
+		t.Errorf("addi: %v", in)
+	}
+	if in := decodeAt(t, p, 8); in.Op != isa.OpLW || in.Rd != 6 || in.Rs1 != 7 || in.Imm != 8 {
+		t.Errorf("lw: %v", in)
+	}
+	if in := decodeAt(t, p, 12); in.Op != isa.OpSW || in.Rs1 != isa.RegSP || in.Rs2 != 6 || in.Imm != -4 {
+		t.Errorf("sw: %v", in)
+	}
+	if in := decodeAt(t, p, 16); in.Op != isa.OpLUI || isa.LUIValue(in.Imm) != 0x40000000 {
+		t.Errorf("lui: %v -> %#x", in, isa.LUIValue(in.Imm))
+	}
+}
+
+func TestLabelsAndBranches(t *testing.T) {
+	p := mustAssemble(t, `
+_start:
+		addi r1, r0, 3
+loop:
+		addi r1, r1, -1
+		bne r1, r0, loop
+		beq r0, r0, done
+		abort
+done:
+		halt
+	`)
+	if p.Entry != 0 {
+		t.Fatalf("entry %#x, want 0", p.Entry)
+	}
+	// bne at offset 8 targets loop at 4: offset -4.
+	if in := decodeAt(t, p, 8); in.Op != isa.OpBNE || in.Imm != -4 {
+		t.Errorf("bne: %v", in)
+	}
+	// beq at 12 targets done at 20: offset +8.
+	if in := decodeAt(t, p, 12); in.Op != isa.OpBEQ || in.Imm != 8 {
+		t.Errorf("beq: %v", in)
+	}
+	if p.Symbols["done"] != 20 {
+		t.Errorf("done at %#x, want 20", p.Symbols["done"])
+	}
+}
+
+func TestForwardLabel(t *testing.T) {
+	p := mustAssemble(t, `
+		j end
+		nop
+end:
+		halt
+	`)
+	if in := decodeAt(t, p, 0); in.Op != isa.OpJAL || in.Rd != 0 || in.Imm != 8 {
+		t.Errorf("j: %v", in)
+	}
+}
+
+func TestDirectives(t *testing.T) {
+	p := mustAssemble(t, `
+		.word 0x11223344, 5
+		.half 0xBEEF
+		.byte 1, 2
+		.align 4
+		.asciz "hi"
+		.space 3
+	`)
+	if got := binary.LittleEndian.Uint32(p.Code[0:]); got != 0x11223344 {
+		t.Errorf("word 0: %#x", got)
+	}
+	if got := binary.LittleEndian.Uint32(p.Code[4:]); got != 5 {
+		t.Errorf("word 1: %#x", got)
+	}
+	if got := binary.LittleEndian.Uint16(p.Code[8:]); got != 0xBEEF {
+		t.Errorf("half: %#x", got)
+	}
+	if p.Code[10] != 1 || p.Code[11] != 2 {
+		t.Errorf("bytes: %v", p.Code[10:12])
+	}
+	// .align 4 pads 0 bytes here (already aligned at 12).
+	if string(p.Code[12:14]) != "hi" || p.Code[14] != 0 {
+		t.Errorf("asciz: %q", p.Code[12:15])
+	}
+	if len(p.Code) != 18 {
+		t.Errorf("total size %d, want 18", len(p.Code))
+	}
+}
+
+func TestOrgPadding(t *testing.T) {
+	p := mustAssemble(t, `
+		nop
+		.org 0x20
+data:
+		.word 42
+	`)
+	if p.Symbols["data"] != 0x20 {
+		t.Fatalf("data at %#x", p.Symbols["data"])
+	}
+	if len(p.Code) != 0x24 {
+		t.Fatalf("size %d", len(p.Code))
+	}
+	if got := binary.LittleEndian.Uint32(p.Code[0x20:]); got != 42 {
+		t.Fatalf("data value %d", got)
+	}
+}
+
+func TestOrgBackwardsFails(t *testing.T) {
+	_, err := Assemble(".org 0x10\nnop\n.org 0x4\n", 0)
+	if err == nil {
+		t.Fatal("backwards .org must fail")
+	}
+}
+
+func TestLiExpansion(t *testing.T) {
+	p := mustAssemble(t, `
+		li r1, 5
+		li r2, 0x40000000
+		li r3, 0xDEADBEEF
+	`)
+	// 1 + 1 + 5 instructions.
+	if len(p.Code) != 28 {
+		t.Fatalf("size %d, want 28", len(p.Code))
+	}
+}
+
+func TestLaUsesFixedSize(t *testing.T) {
+	p := mustAssemble(t, `
+		la r1, target
+		nop
+target:
+		halt
+	`)
+	if p.Symbols["target"] != 24 {
+		t.Fatalf("target at %#x, want 24 (la is 5 words)", p.Symbols["target"])
+	}
+}
+
+func TestCallRet(t *testing.T) {
+	p := mustAssemble(t, `
+_start:
+		call fn
+		halt
+fn:
+		ret
+	`)
+	if in := decodeAt(t, p, 0); in.Op != isa.OpJAL || in.Rd != isa.RegRA || in.Imm != 8 {
+		t.Errorf("call: %v", in)
+	}
+	if in := decodeAt(t, p, 8); in.Op != isa.OpJALR || in.Rd != 0 || in.Rs1 != isa.RegRA {
+		t.Errorf("ret: %v", in)
+	}
+}
+
+func TestComments(t *testing.T) {
+	p := mustAssemble(t, `
+		nop ; semicolon comment
+		nop # hash comment
+		nop // slash comment
+	`)
+	if len(p.Code) != 12 {
+		t.Fatalf("size %d, want 12", len(p.Code))
+	}
+}
+
+func TestStringWithCommentChars(t *testing.T) {
+	p := mustAssemble(t, `.asciz "a;b#c"`)
+	if string(p.Code[:5]) != "a;b#c" {
+		t.Fatalf("got %q", p.Code)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := []string{
+		"frobnicate r1, r2",
+		"add r1, r2",
+		"add r99, r1, r2",
+		"addi r1, r0, 99999",
+		"lw r1, r2",
+		"beq r1, r2, nowhere",
+		"label:\nlabel:\nnop",
+		"li r1",
+	}
+	for _, src := range cases {
+		if _, err := Assemble(src, 0); err == nil {
+			t.Errorf("expected error for %q", src)
+		} else {
+			var ae *Error
+			if !strings.Contains(err.Error(), "line") {
+				t.Errorf("error should carry a line number: %v", err)
+			}
+			_ = ae
+		}
+	}
+}
+
+func TestSymbolAsImmediate(t *testing.T) {
+	p := mustAssemble(t, `
+		.org 0x0
+val:
+		.word 0
+		addi r1, r0, val
+	`)
+	if in := decodeAt(t, p, 4); in.Imm != 0 {
+		t.Errorf("symbol immediate: %v", in)
+	}
+}
+
+func TestEntrySymbol(t *testing.T) {
+	p := mustAssemble(t, `
+		nop
+_start:
+		halt
+	`)
+	if p.Entry != 4 {
+		t.Fatalf("entry %#x, want 4", p.Entry)
+	}
+}

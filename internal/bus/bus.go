@@ -1,0 +1,178 @@
+// Package bus implements the memory bus layer between the symbolic
+// virtual machine and hardware peripherals: an address map, a router
+// that adapts the VM's MMIO window onto per-peripheral register ports,
+// and interrupt line aggregation.
+//
+// Peripherals follow the HardSnap register-port convention, a
+// single-cycle synchronous subset of AXI4-Lite (word transactions,
+// no bursts, separate ready/valid handshakes collapsed into `sel`):
+//
+//	input  wire        clk
+//	input  wire        rst
+//	input  wire        sel    // transaction this cycle
+//	input  wire        wen    // 1 = write, 0 = read
+//	input  wire [7:0]  addr   // byte offset, word aligned
+//	input  wire [31:0] wdata
+//	output wire [31:0] rdata
+//	output wire        irq
+//
+// The interconnect itself (address decode, routing, IRQ aggregation)
+// is modeled in Go rather than RTL; see DESIGN.md.
+package bus
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Standard port signal names of the register-port convention.
+const (
+	SigClk   = "clk"
+	SigRst   = "rst"
+	SigSel   = "sel"
+	SigWen   = "wen"
+	SigAddr  = "addr"
+	SigWData = "wdata"
+	SigRData = "rdata"
+	SigIRQ   = "irq"
+)
+
+// ErrUnmapped is returned for accesses outside every region.
+var ErrUnmapped = errors.New("bus: address not mapped")
+
+// ErrAlignment is returned for non-word-sized or unaligned accesses.
+var ErrAlignment = errors.New("bus: MMIO requires aligned 32-bit access")
+
+// Port is one peripheral's register interface as exposed by a hardware
+// target (simulator or FPGA).
+type Port interface {
+	// ReadReg performs one read transaction at a byte offset.
+	ReadReg(offset uint32) (uint32, error)
+	// WriteReg performs one write transaction.
+	WriteReg(offset uint32, v uint32) error
+	// IRQLevel samples the peripheral's interrupt output.
+	IRQLevel() (bool, error)
+}
+
+// Region maps an address range onto a peripheral port.
+type Region struct {
+	Name string
+	Base uint32
+	Size uint32
+	IRQ  int // CPU interrupt line; -1 if none
+	Port Port
+}
+
+// Router routes MMIO accesses by address and tracks interrupt edges.
+// It implements the vm.MMIO contract.
+type Router struct {
+	regions []Region
+	// lastIRQ remembers the previous level per region for edge
+	// detection.
+	lastIRQ []bool
+}
+
+// NewRouter builds a router; regions must not overlap.
+func NewRouter(regions []Region) (*Router, error) {
+	sorted := make([]Region, len(regions))
+	copy(sorted, regions)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Base < sorted[j].Base })
+	for i := 1; i < len(sorted); i++ {
+		prev, cur := sorted[i-1], sorted[i]
+		if prev.Base+prev.Size > cur.Base {
+			return nil, fmt.Errorf("bus: regions %s and %s overlap", prev.Name, cur.Name)
+		}
+	}
+	for _, r := range sorted {
+		if r.Port == nil {
+			return nil, fmt.Errorf("bus: region %s has no port", r.Name)
+		}
+		if r.Size == 0 {
+			return nil, fmt.Errorf("bus: region %s has zero size", r.Name)
+		}
+	}
+	return &Router{regions: sorted, lastIRQ: make([]bool, len(sorted))}, nil
+}
+
+// Regions returns the address map in base order.
+func (r *Router) Regions() []Region {
+	out := make([]Region, len(r.regions))
+	copy(out, r.regions)
+	return out
+}
+
+func (r *Router) find(addr uint32) (int, *Region) {
+	for i := range r.regions {
+		reg := &r.regions[i]
+		if addr >= reg.Base && addr < reg.Base+reg.Size {
+			return i, reg
+		}
+	}
+	return -1, nil
+}
+
+// ReadMMIO implements the CPU-side MMIO read.
+func (r *Router) ReadMMIO(addr uint32, size int) (uint32, error) {
+	if size != 4 || addr%4 != 0 {
+		return 0, fmt.Errorf("%w (addr %#x size %d)", ErrAlignment, addr, size)
+	}
+	_, reg := r.find(addr)
+	if reg == nil {
+		return 0, fmt.Errorf("%w (%#x)", ErrUnmapped, addr)
+	}
+	return reg.Port.ReadReg(addr - reg.Base)
+}
+
+// WriteMMIO implements the CPU-side MMIO write.
+func (r *Router) WriteMMIO(addr uint32, size int, val uint32) error {
+	if size != 4 || addr%4 != 0 {
+		return fmt.Errorf("%w (addr %#x size %d)", ErrAlignment, addr, size)
+	}
+	_, reg := r.find(addr)
+	if reg == nil {
+		return fmt.Errorf("%w (%#x)", ErrUnmapped, addr)
+	}
+	return reg.Port.WriteReg(addr-reg.Base, val)
+}
+
+// RisingIRQs samples every region's interrupt line and returns the CPU
+// IRQ numbers that transitioned low -> high since the previous call.
+func (r *Router) RisingIRQs() ([]int, error) {
+	var fired []int
+	for i := range r.regions {
+		reg := &r.regions[i]
+		if reg.IRQ < 0 {
+			continue
+		}
+		level, err := reg.Port.IRQLevel()
+		if err != nil {
+			return nil, fmt.Errorf("bus: IRQ sample of %s: %w", reg.Name, err)
+		}
+		if level && !r.lastIRQ[i] {
+			fired = append(fired, reg.IRQ)
+		}
+		r.lastIRQ[i] = level
+	}
+	return fired, nil
+}
+
+// ResetIRQEdges clears edge-detection state (used after restoring a
+// snapshot, where the previous levels belong to another execution).
+func (r *Router) ResetIRQEdges(levels []bool) {
+	for i := range r.lastIRQ {
+		if i < len(levels) {
+			r.lastIRQ[i] = levels[i]
+		} else {
+			r.lastIRQ[i] = false
+		}
+	}
+}
+
+// IRQEdgeState exposes the current edge-detection levels for
+// snapshotting.
+func (r *Router) IRQEdgeState() []bool {
+	out := make([]bool, len(r.lastIRQ))
+	copy(out, r.lastIRQ)
+	return out
+}

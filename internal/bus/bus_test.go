@@ -1,0 +1,165 @@
+package bus
+
+import (
+	"errors"
+	"testing"
+)
+
+// stubPort records accesses and plays back scripted IRQ levels.
+type stubPort struct {
+	regs   map[uint32]uint32
+	irq    []bool
+	irqIdx int
+	fail   bool
+}
+
+func (s *stubPort) ReadReg(offset uint32) (uint32, error) {
+	if s.fail {
+		return 0, errors.New("boom")
+	}
+	return s.regs[offset], nil
+}
+
+func (s *stubPort) WriteReg(offset uint32, v uint32) error {
+	if s.fail {
+		return errors.New("boom")
+	}
+	if s.regs == nil {
+		s.regs = map[uint32]uint32{}
+	}
+	s.regs[offset] = v
+	return nil
+}
+
+func (s *stubPort) IRQLevel() (bool, error) {
+	if s.fail {
+		return false, errors.New("boom")
+	}
+	if s.irqIdx < len(s.irq) {
+		v := s.irq[s.irqIdx]
+		s.irqIdx++
+		return v, nil
+	}
+	return false, nil
+}
+
+func mkRouter(t *testing.T, regions []Region) *Router {
+	t.Helper()
+	r, err := NewRouter(regions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestRouting(t *testing.T) {
+	a, b := &stubPort{}, &stubPort{}
+	r := mkRouter(t, []Region{
+		{Name: "a", Base: 0x40000000, Size: 0x100, IRQ: 0, Port: a},
+		{Name: "b", Base: 0x40000100, Size: 0x100, IRQ: 1, Port: b},
+	})
+	if err := r.WriteMMIO(0x40000004, 4, 11); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteMMIO(0x40000104, 4, 22); err != nil {
+		t.Fatal(err)
+	}
+	if a.regs[4] != 11 || b.regs[4] != 22 {
+		t.Fatalf("routing wrong: %v %v", a.regs, b.regs)
+	}
+	v, err := r.ReadMMIO(0x40000104, 4)
+	if err != nil || v != 22 {
+		t.Fatalf("read: %v %v", v, err)
+	}
+}
+
+func TestUnmappedAndAlignment(t *testing.T) {
+	r := mkRouter(t, []Region{{Name: "a", Base: 0x40000000, Size: 0x100, IRQ: -1, Port: &stubPort{}}})
+	if _, err := r.ReadMMIO(0x40001000, 4); !errors.Is(err, ErrUnmapped) {
+		t.Fatalf("want ErrUnmapped, got %v", err)
+	}
+	if _, err := r.ReadMMIO(0x40000002, 4); !errors.Is(err, ErrAlignment) {
+		t.Fatalf("want ErrAlignment, got %v", err)
+	}
+	if _, err := r.ReadMMIO(0x40000000, 2); !errors.Is(err, ErrAlignment) {
+		t.Fatalf("want ErrAlignment for size 2, got %v", err)
+	}
+	if err := r.WriteMMIO(0x40000001, 4, 0); !errors.Is(err, ErrAlignment) {
+		t.Fatalf("write alignment: %v", err)
+	}
+}
+
+func TestOverlapRejected(t *testing.T) {
+	_, err := NewRouter([]Region{
+		{Name: "a", Base: 0x1000, Size: 0x200, Port: &stubPort{}},
+		{Name: "b", Base: 0x1100, Size: 0x100, Port: &stubPort{}},
+	})
+	if err == nil {
+		t.Fatal("overlap must be rejected")
+	}
+}
+
+func TestInvalidRegions(t *testing.T) {
+	if _, err := NewRouter([]Region{{Name: "a", Base: 0, Size: 0x100}}); err == nil {
+		t.Fatal("nil port must be rejected")
+	}
+	if _, err := NewRouter([]Region{{Name: "a", Base: 0, Size: 0, Port: &stubPort{}}}); err == nil {
+		t.Fatal("zero size must be rejected")
+	}
+}
+
+func TestIRQEdgeDetection(t *testing.T) {
+	p := &stubPort{irq: []bool{false, true, true, false, true}}
+	r := mkRouter(t, []Region{{Name: "a", Base: 0, Size: 0x100, IRQ: 3, Port: p}})
+
+	seq := [][]int{nil, {3}, nil, nil, {3}}
+	for i, want := range seq {
+		got, err := r.RisingIRQs()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("sample %d: got %v want %v", i, got, want)
+		}
+	}
+}
+
+func TestIRQEdgeStateRoundTrip(t *testing.T) {
+	p := &stubPort{irq: []bool{true, true}}
+	r := mkRouter(t, []Region{{Name: "a", Base: 0, Size: 0x100, IRQ: 0, Port: p}})
+	if got, _ := r.RisingIRQs(); len(got) != 1 {
+		t.Fatal("first rising edge missed")
+	}
+	saved := r.IRQEdgeState()
+	// Reset to empty: same level reads as a new edge.
+	r.ResetIRQEdges(nil)
+	if got, _ := r.RisingIRQs(); len(got) != 1 {
+		t.Fatal("edge state reset not effective")
+	}
+	// Restore remembered level: no spurious edge.
+	p.irq = []bool{true}
+	p.irqIdx = 0
+	r.ResetIRQEdges(saved)
+	if got, _ := r.RisingIRQs(); len(got) != 0 {
+		t.Fatal("restored edge state should suppress the edge")
+	}
+}
+
+func TestIRQSampleErrorPropagates(t *testing.T) {
+	p := &stubPort{fail: true}
+	r := mkRouter(t, []Region{{Name: "a", Base: 0, Size: 0x100, IRQ: 0, Port: p}})
+	if _, err := r.RisingIRQs(); err == nil {
+		t.Fatal("port error must propagate")
+	}
+}
+
+func TestRegionsAccessor(t *testing.T) {
+	r := mkRouter(t, []Region{
+		{Name: "b", Base: 0x200, Size: 0x100, IRQ: -1, Port: &stubPort{}},
+		{Name: "a", Base: 0x100, Size: 0x100, IRQ: -1, Port: &stubPort{}},
+	})
+	regs := r.Regions()
+	if len(regs) != 2 || regs[0].Name != "a" || regs[1].Name != "b" {
+		t.Fatalf("regions not sorted: %+v", regs)
+	}
+}

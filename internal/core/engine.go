@@ -1,0 +1,571 @@
+// Package core is HardSnap's co-testing engine: it couples the
+// selective symbolic virtual machine (internal/symexec) with hardware
+// execution targets (internal/target) through the snapshotting
+// controller, implementing the paper's Algorithm 1. Every software
+// state owns a private hardware snapshot; whenever the state selection
+// heuristic switches states, the engine saves the live hardware state
+// into the previous state's snapshot and restores the next state's —
+// the hardware context switch that makes concurrent multi-path
+// analysis consistent.
+//
+// Three baseline modes reproduce the approaches of Fig. 1 and the
+// related work:
+//
+//   - ModeNaiveReboot  (naive-and-consistent): every switch to a
+//     different path is charged a full platform reboot plus
+//     re-execution of the path prefix;
+//   - ModeNaiveShared  (naive-and-inconsistent): all paths share the
+//     live hardware with no context switching, reproducing the
+//     corruption hardware-in-the-loop DSE suffers from;
+//   - ModeRecordReplay: hardware state is rebuilt by resetting the
+//     platform and re-issuing the path's recorded I/O interactions —
+//     the alternative the paper rejects as slow (cost scales with the
+//     interaction count) and error-prone (replay divergence).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"hardsnap/internal/bus"
+	"hardsnap/internal/snapshot"
+	"hardsnap/internal/symexec"
+	"hardsnap/internal/target"
+	"hardsnap/internal/vtime"
+)
+
+// Mode selects the hardware consistency strategy.
+type Mode int
+
+// Engine modes.
+const (
+	// ModeHardSnap context-switches hardware snapshots (the paper's
+	// contribution).
+	ModeHardSnap Mode = iota + 1
+	// ModeNaiveReboot reboots and re-executes on every path switch.
+	ModeNaiveReboot
+	// ModeNaiveShared shares live hardware across paths without any
+	// switching (inconsistent).
+	ModeNaiveShared
+	// ModeRecordReplay resets the hardware on every switch and
+	// replays the path's recorded I/O interactions to rebuild its
+	// hardware state (the related-work alternative the paper rejects
+	// as slow and error-prone).
+	ModeRecordReplay
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case ModeHardSnap:
+		return "hardsnap"
+	case ModeNaiveReboot:
+		return "naive-reboot"
+	case ModeNaiveShared:
+		return "naive-shared"
+	case ModeRecordReplay:
+		return "record-replay"
+	}
+	return "?"
+}
+
+// Config parameterizes an analysis run.
+type Config struct {
+	Mode Mode
+	// Searcher picks the next state (default DFS).
+	Searcher symexec.Searcher
+	// MaxInstructions bounds the total retired instructions (0 =
+	// 10M).
+	MaxInstructions uint64
+	// MaxStates bounds the active state set; further forks are killed
+	// with StatusBudget (0 = 4096).
+	MaxStates int
+	// CyclesPerInstruction advances the hardware clock per retired
+	// firmware instruction (default 1), keeping peripherals running
+	// concurrently with software.
+	CyclesPerInstruction uint64
+	// KeepBugSnapshots retains the hardware snapshot of every state
+	// that terminated in a bug (abort / assertion failure), for crash
+	// reports and offline root-cause analysis.
+	KeepBugSnapshots bool
+}
+
+func (c *Config) setDefaults() {
+	if c.Mode == 0 {
+		c.Mode = ModeHardSnap
+	}
+	if c.Searcher == nil {
+		c.Searcher = symexec.DFS{}
+	}
+	if c.MaxInstructions == 0 {
+		c.MaxInstructions = 10_000_000
+	}
+	if c.MaxStates == 0 {
+		c.MaxStates = 4096
+	}
+	if c.CyclesPerInstruction == 0 {
+		c.CyclesPerInstruction = 1
+	}
+}
+
+// Stats aggregates engine activity.
+type Stats struct {
+	Instructions    uint64
+	ContextSwitches uint64
+	Reboots         uint64
+	PathsCompleted  int
+	// ReplayedInstructions counts re-executed prefix instructions in
+	// ModeNaiveReboot.
+	ReplayedInstructions uint64
+	// ReplayedIO counts re-issued I/O interactions in
+	// ModeRecordReplay.
+	ReplayedIO uint64
+	// ReplayDivergences counts replayed reads whose value differed
+	// from the recording (the "error-prone" failure mode).
+	ReplayDivergences uint64
+	// HWViolations counts hardware property violations detected.
+	HWViolations int
+}
+
+// Report is the outcome of a Run.
+type Report struct {
+	Finished []*symexec.State
+	Stats    Stats
+	// VirtualTime is the total virtual time consumed.
+	VirtualTime time.Duration
+}
+
+// Bugs returns the states that ended in an assertion failure or
+// abort, each carrying a satisfying input model.
+func (r *Report) Bugs() []*symexec.State {
+	var out []*symexec.State
+	for _, st := range r.Finished {
+		if st.Status == symexec.StatusAssertFail || st.Status == symexec.StatusAborted {
+			out = append(out, st)
+		}
+	}
+	return out
+}
+
+// CountStatus tallies finished states with the given status.
+func (r *Report) CountStatus(s symexec.Status) int {
+	n := 0
+	for _, st := range r.Finished {
+		if st.Status == s {
+			n++
+		}
+	}
+	return n
+}
+
+// Engine drives one analysis.
+type Engine struct {
+	cfg    Config
+	exec   *symexec.Executor
+	tgt    *target.Target
+	router *bus.Router
+	snaps  *snapshot.Store
+	clock  *vtime.Clock
+
+	active   []*symexec.State
+	finished []*symexec.State
+	previous *symexec.State
+
+	// Record-and-replay mode bookkeeping: per-state I/O interaction
+	// logs and the cycle counter used to preserve inter-I/O timing.
+	ioLogs       map[uint64][]ioRecord
+	lastIOCycles uint64
+	replayActive bool
+
+	// bugSnaps retains hardware snapshots of buggy states (when
+	// KeepBugSnapshots is set), keyed by state ID.
+	bugSnaps map[uint64]*snapshot.Record
+
+	// initial overrides the executor's entry state (fast-forwarding).
+	initial *symexec.State
+
+	stats Stats
+}
+
+// ioRecord is one recorded hardware interaction.
+type ioRecord struct {
+	write bool
+	addr  uint32
+	val   uint32
+	// cyclesBefore is the number of hardware cycles that elapsed
+	// since the previous interaction (to reproduce timing-sensitive
+	// behaviour during replay).
+	cyclesBefore uint64
+}
+
+// New builds an engine. tgt and router may both be nil for
+// software-only firmware; otherwise both must be set and the router's
+// ports must come from tgt.
+func New(cfg Config, exec *symexec.Executor, tgt *target.Target, router *bus.Router) (*Engine, error) {
+	cfg.setDefaults()
+	if (tgt == nil) != (router == nil) {
+		return nil, errors.New("core: target and router must be provided together")
+	}
+	e := &Engine{
+		cfg:    cfg,
+		exec:   exec,
+		tgt:    tgt,
+		router: router,
+		snaps:  snapshot.NewStore(),
+	}
+	if tgt != nil {
+		e.clock = tgt.Clock()
+	} else {
+		e.clock = &vtime.Clock{}
+	}
+	exec.SetMMIO(e)
+	return e, nil
+}
+
+// Clock exposes the engine's virtual clock.
+func (e *Engine) Clock() *vtime.Clock { return e.clock }
+
+// Snapshots exposes the snapshot store (diagnostics).
+func (e *Engine) Snapshots() *snapshot.Store { return e.snaps }
+
+// BugSnapshot returns the retained hardware snapshot of a buggy state
+// (requires Config.KeepBugSnapshots).
+func (e *Engine) BugSnapshot(stateID uint64) (*snapshot.Record, bool) {
+	rec, ok := e.bugSnaps[stateID]
+	return rec, ok
+}
+
+// SetInitialState overrides the entry state for the next Run (used by
+// fast-forwarding to start symbolic exploration mid-firmware).
+func (e *Engine) SetInitialState(st *symexec.State) { e.initial = st }
+
+var _ symexec.MMIOHandler = (*Engine)(nil)
+
+// Read implements the hardware boundary for the executor. The engine
+// guarantees the live hardware belongs to st (the context switch
+// happened at selection time).
+func (e *Engine) Read(st *symexec.State, addr uint32) (uint32, error) {
+	if e.router == nil {
+		return 0, errors.New("core: no hardware attached")
+	}
+	v, err := e.router.ReadMMIO(addr, 4)
+	if err == nil {
+		e.record(st, ioRecord{addr: addr, val: v})
+	}
+	return v, err
+}
+
+// Write implements the hardware boundary for the executor.
+func (e *Engine) Write(st *symexec.State, addr uint32, val uint32) error {
+	if e.router == nil {
+		return errors.New("core: no hardware attached")
+	}
+	err := e.router.WriteMMIO(addr, 4, val)
+	if err == nil {
+		e.record(st, ioRecord{write: true, addr: addr, val: val})
+	}
+	return err
+}
+
+// record appends an interaction to the state's I/O log (record-replay
+// mode only; no-op during replay itself).
+func (e *Engine) record(st *symexec.State, rec ioRecord) {
+	if e.cfg.Mode != ModeRecordReplay || e.replayActive {
+		return
+	}
+	cycles := e.tgt.Stats().Cycles
+	rec.cyclesBefore = cycles - e.lastIOCycles
+	e.lastIOCycles = cycles
+	if e.ioLogs == nil {
+		e.ioLogs = make(map[uint64][]ioRecord)
+	}
+	e.ioLogs[st.ID] = append(e.ioLogs[st.ID], rec)
+}
+
+// replayLog rebuilds a state's hardware by resetting the platform and
+// re-issuing every recorded interaction with its original timing.
+// Replayed reads are compared against the recording; divergence is
+// counted (the approach's inherent fragility).
+func (e *Engine) replayLog(st *symexec.State) error {
+	if err := e.tgt.Reset(); err != nil {
+		return err
+	}
+	e.router.ResetIRQEdges(nil)
+	e.replayActive = true
+	defer func() { e.replayActive = false }()
+	for _, rec := range e.ioLogs[st.ID] {
+		if rec.cyclesBefore > 0 {
+			if err := e.tgt.Advance(rec.cyclesBefore); err != nil {
+				return err
+			}
+		}
+		if rec.write {
+			if err := e.router.WriteMMIO(rec.addr, 4, rec.val); err != nil {
+				return err
+			}
+		} else {
+			v, err := e.router.ReadMMIO(rec.addr, 4)
+			if err != nil {
+				return err
+			}
+			if v != rec.val {
+				e.stats.ReplayDivergences++
+			}
+		}
+		e.stats.ReplayedIO++
+		if _, err := e.router.RisingIRQs(); err != nil {
+			return err
+		}
+	}
+	e.lastIOCycles = e.tgt.Stats().Cycles
+	return nil
+}
+
+// saveCurrent captures the live hardware into the state's snapshot
+// slot (UpdateState of Algorithm 1).
+func (e *Engine) saveCurrent(st *symexec.State) error {
+	hw, err := e.tgt.Save()
+	if err != nil {
+		return err
+	}
+	rec := snapshot.Record{HW: hw, IRQEdges: e.router.IRQEdgeState()}
+	if st.HWSnapshot == 0 {
+		st.HWSnapshot = symexec.SnapshotID(e.snaps.Put(rec))
+		return nil
+	}
+	return e.snaps.Update(snapshot.ID(st.HWSnapshot), rec)
+}
+
+// restoreFor loads the state's hardware snapshot into the live
+// hardware (RestoreState of Algorithm 1). States without a snapshot
+// (never scheduled since forking) inherited one at fork time, so this
+// only happens for the initial state, which keeps the power-on
+// hardware.
+func (e *Engine) restoreFor(st *symexec.State) error {
+	if st.HWSnapshot == 0 {
+		return nil
+	}
+	rec, ok := e.snaps.Get(snapshot.ID(st.HWSnapshot))
+	if !ok {
+		return fmt.Errorf("core: state %d references missing snapshot %d", st.ID, st.HWSnapshot)
+	}
+	if err := e.tgt.Restore(rec.HW); err != nil {
+		return err
+	}
+	e.router.ResetIRQEdges(rec.IRQEdges)
+	return nil
+}
+
+// contextSwitch implements lines 5-9 of Algorithm 1 for the selected
+// state.
+func (e *Engine) contextSwitch(next *symexec.State) error {
+	if e.tgt == nil || e.previous == next {
+		return nil
+	}
+	switch e.cfg.Mode {
+	case ModeHardSnap:
+		if e.previous != nil {
+			if err := e.saveCurrent(e.previous); err != nil {
+				return fmt.Errorf("core: UpdateState: %w", err)
+			}
+		}
+		if err := e.restoreFor(next); err != nil {
+			return fmt.Errorf("core: RestoreState: %w", err)
+		}
+		e.stats.ContextSwitches++
+
+	case ModeNaiveReboot:
+		// The baseline reboots the platform and re-executes the path
+		// prefix to reach the same point; deterministic firmware
+		// reproduces the same hardware state, so we restore it
+		// directly but charge reboot plus replay time.
+		if e.previous != nil {
+			if err := e.saveCurrent(e.previous); err != nil {
+				return err
+			}
+		}
+		if err := e.restoreFor(next); err != nil {
+			return err
+		}
+		e.clock.Advance(vtime.RebootTime)
+		replay := time.Duration(next.Steps) * vtime.VMInstruction
+		e.clock.Advance(replay)
+		e.stats.Reboots++
+		e.stats.ReplayedInstructions += next.Steps
+
+	case ModeNaiveShared:
+		// No switching: states stomp on each other's hardware.
+
+	case ModeRecordReplay:
+		if err := e.replayLog(next); err != nil {
+			return fmt.Errorf("core: record-replay: %w", err)
+		}
+		e.stats.ContextSwitches++
+	}
+	return nil
+}
+
+// selectNext applies the searcher plus INCEPTION's interrupt
+// atomicity: while the previous state is inside an interrupt handler
+// it keeps running.
+func (e *Engine) selectNext() *symexec.State {
+	if e.previous != nil && e.previous.InHandler && e.previous.Status == symexec.StatusRunning {
+		for _, st := range e.active {
+			if st == e.previous {
+				return st
+			}
+		}
+	}
+	idx := e.cfg.Searcher.Select(e.active, e.previous)
+	if idx < 0 || idx >= len(e.active) {
+		idx = len(e.active) - 1
+	}
+	return e.active[idx]
+}
+
+func (e *Engine) removeActive(st *symexec.State) {
+	for i, s := range e.active {
+		if s == st {
+			e.active = append(e.active[:i], e.active[i+1:]...)
+			return
+		}
+	}
+}
+
+func (e *Engine) finish(st *symexec.State) {
+	e.removeActive(st)
+	e.finished = append(e.finished, st)
+	e.stats.PathsCompleted++
+	if e.cfg.KeepBugSnapshots && e.tgt != nil && e.previous == st &&
+		(st.Status == symexec.StatusAborted || st.Status == symexec.StatusAssertFail) {
+		// The live hardware still belongs to this state: capture it
+		// for the crash report.
+		if hw, err := e.tgt.Save(); err == nil {
+			if e.bugSnaps == nil {
+				e.bugSnaps = make(map[uint64]*snapshot.Record)
+			}
+			e.bugSnaps[st.ID] = &snapshot.Record{HW: hw, IRQEdges: e.router.IRQEdgeState()}
+		}
+	}
+	if st.HWSnapshot != 0 {
+		e.snaps.Release(snapshot.ID(st.HWSnapshot))
+		st.HWSnapshot = 0
+	}
+	delete(e.ioLogs, st.ID)
+	if e.previous == st {
+		e.previous = nil
+	}
+}
+
+// Run executes the main loop of Algorithm 1 until the active set
+// drains or the instruction budget is exhausted.
+func (e *Engine) Run() (*Report, error) {
+	start := e.clock.Now()
+	init := e.initial
+	if init == nil {
+		init = e.exec.InitialState()
+	}
+	e.active = []*symexec.State{init}
+
+	for len(e.active) > 0 && e.stats.Instructions < e.cfg.MaxInstructions {
+		st := e.selectNext()
+		if err := e.contextSwitch(st); err != nil {
+			return nil, err
+		}
+		e.previous = st
+
+		if err := e.exec.ServePendingInterrupt(st); err != nil {
+			st.Status = symexec.StatusFault
+			st.Err = err
+			e.finish(st)
+			continue
+		}
+
+		forks, err := e.exec.Step(st)
+		if err != nil {
+			return nil, fmt.Errorf("core: step state %d: %w", st.ID, err)
+		}
+		e.stats.Instructions++
+		e.clock.Advance(vtime.VMInstruction)
+
+		// Fork bookkeeping: each new state receives its own private
+		// hardware snapshot taken now (the fork point), per Section
+		// IV-B.
+		for _, f := range forks {
+			switch {
+			case e.tgt != nil && (e.cfg.Mode == ModeHardSnap || e.cfg.Mode == ModeNaiveReboot):
+				hw, err := e.tgt.Save()
+				if err != nil {
+					return nil, fmt.Errorf("core: snapshot at fork: %w", err)
+				}
+				f.HWSnapshot = symexec.SnapshotID(e.snaps.Put(snapshot.Record{
+					HW:       hw,
+					IRQEdges: e.router.IRQEdgeState(),
+				}))
+			case e.tgt != nil && e.cfg.Mode == ModeRecordReplay:
+				// The child inherits the parent's interaction log.
+				if e.ioLogs == nil {
+					e.ioLogs = make(map[uint64][]ioRecord)
+				}
+				e.ioLogs[f.ID] = append([]ioRecord(nil), e.ioLogs[st.ID]...)
+			}
+			if len(e.active) >= e.cfg.MaxStates {
+				f.Status = symexec.StatusBudget
+				e.finished = append(e.finished, f)
+				continue
+			}
+			e.active = append(e.active, f)
+		}
+
+		// Let the peripherals run concurrently with software, then
+		// deliver any rising interrupts to the running state.
+		if e.tgt != nil && st.Status == symexec.StatusRunning {
+			if err := e.tgt.Advance(e.cfg.CyclesPerInstruction); err != nil {
+				return nil, err
+			}
+			irqs, err := e.router.RisingIRQs()
+			if err != nil {
+				return nil, err
+			}
+			for _, n := range irqs {
+				st.IRQPending |= 1 << uint(n)
+			}
+		}
+
+		// Hardware property violations terminate the path that caused
+		// them, carrying the violation detail and an input model.
+		if e.tgt != nil {
+			if violations := e.tgt.TakeViolations(); len(violations) > 0 && st.Status == symexec.StatusRunning {
+				st.Status = symexec.StatusAssertFail
+				st.Err = fmt.Errorf("core: %s", violations[0])
+				if model, ok := e.exec.ModelFor(st); ok {
+					st.Model = model
+				}
+				e.stats.HWViolations += len(violations)
+			}
+		}
+
+		if st.Status != symexec.StatusRunning {
+			e.finish(st)
+		}
+	}
+
+	// Budget exhausted: mark the rest.
+	for _, st := range e.active {
+		if st.Status == symexec.StatusRunning {
+			st.Status = symexec.StatusBudget
+		}
+		e.finished = append(e.finished, st)
+		if st.HWSnapshot != 0 {
+			e.snaps.Release(snapshot.ID(st.HWSnapshot))
+		}
+	}
+	e.active = nil
+
+	return &Report{
+		Finished:    e.finished,
+		Stats:       e.stats,
+		VirtualTime: e.clock.Now() - start,
+	}, nil
+}

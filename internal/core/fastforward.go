@@ -1,0 +1,132 @@
+package core
+
+import (
+	"fmt"
+
+	"hardsnap/internal/isa"
+	"hardsnap/internal/vm"
+	"hardsnap/internal/vtime"
+)
+
+// FastForwardResult describes the hand-off point of a fast-forward
+// phase.
+type FastForwardResult struct {
+	// Instructions retired concretely.
+	Instructions uint64
+	// Reached reports what ended the phase: a snapshot hint, a
+	// make-symbolic request, or termination.
+	Reached FastForwardStop
+	// PC is the symbolic start address.
+	PC uint32
+}
+
+// FastForwardStop classifies how fast-forwarding ended.
+type FastForwardStop int
+
+// Fast-forward stop reasons.
+const (
+	// FFSnapshotHint: the firmware executed `ecall 6`.
+	FFSnapshotHint FastForwardStop = iota + 1
+	// FFMakeSymbolic: the firmware requested symbolic input; the
+	// ecall is left for the symbolic engine to re-execute.
+	FFMakeSymbolic
+	// FFTerminated: the firmware halted/crashed before any symbolic
+	// point (nothing to explore).
+	FFTerminated
+	// FFBudget: the step budget ran out.
+	FFBudget
+)
+
+// String names the stop reason.
+func (s FastForwardStop) String() string {
+	switch s {
+	case FFSnapshotHint:
+		return "snapshot-hint"
+	case FFMakeSymbolic:
+		return "make-symbolic"
+	case FFTerminated:
+		return "terminated"
+	case FFBudget:
+		return "budget"
+	}
+	return "?"
+}
+
+// FastForward executes the firmware concretely — at near-native cost
+// (vtime.NativeInstruction per instruction) against the live hardware
+// — until the first snapshot hint (`ecall 6`) or make-symbolic
+// request, then installs the captured machine state as the symbolic
+// engine's initial state. This is the paper's fast-forwarding: the
+// deterministic boot/init prefix never pays symbolic interpretation
+// overhead. Call before Engine.Run; maxSteps 0 means 10M.
+func (a *Analysis) FastForward(maxSteps uint64) (*FastForwardResult, error) {
+	if maxSteps == 0 {
+		maxSteps = 10_000_000
+	}
+	cpu := vm.New(a.Exec.Config().VM, a.Router)
+	if err := cpu.Load(a.Program); err != nil {
+		return nil, err
+	}
+
+	var stop FastForwardStop
+	cpu.OnEcall = func(c *vm.CPU, service int32) bool {
+		switch service {
+		case isa.EcallSnapshotHint:
+			stop = FFSnapshotHint
+			return true
+		case isa.EcallMakeSymbolic:
+			stop = FFMakeSymbolic
+			return true
+		}
+		return false
+	}
+
+	var steps uint64
+	for stop == 0 && cpu.Stop == vm.StopNone && steps < maxSteps {
+		if !cpu.Step() {
+			break
+		}
+		steps++
+		a.Clock.Advance(vtime.NativeInstruction)
+		if a.Target != nil {
+			if err := a.Target.Advance(a.Engine.cfg.CyclesPerInstruction); err != nil {
+				return nil, err
+			}
+			irqs, err := a.Router.RisingIRQs()
+			if err != nil {
+				return nil, err
+			}
+			for _, n := range irqs {
+				cpu.RaiseIRQ(n)
+			}
+		}
+	}
+
+	res := &FastForwardResult{Instructions: steps}
+	switch {
+	case stop == FFSnapshotHint:
+		res.Reached = FFSnapshotHint
+	case stop == FFMakeSymbolic:
+		// Leave the ecall for the symbolic engine to re-execute.
+		cpu.PC -= 4
+		res.Reached = FFMakeSymbolic
+	case cpu.Stop != vm.StopNone:
+		res.Reached = FFTerminated
+		res.PC = cpu.PC
+		return res, nil
+	default:
+		res.Reached = FFBudget
+		res.PC = cpu.PC
+		return res, fmt.Errorf("core: fast-forward budget (%d steps) exhausted", maxSteps)
+	}
+	res.PC = cpu.PC
+
+	st, err := a.Exec.StateFromConcrete(cpu.PC, cpu.Regs, cpu.Mem,
+		cpu.EPC, cpu.InHandler, cpu.PendingIRQs())
+	if err != nil {
+		return nil, err
+	}
+	st.Steps = steps
+	a.Engine.SetInitialState(st)
+	return res, nil
+}

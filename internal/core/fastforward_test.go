@@ -1,0 +1,196 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"hardsnap/internal/symexec"
+	"hardsnap/internal/target"
+	"hardsnap/internal/vtime"
+)
+
+// ffFirmware has a long deterministic init (driving the hardware),
+// then a snapshot hint, then a symbolic branch on one input byte.
+const ffFirmware = `
+_start:
+		li r8, 0x40000000
+		addi r10, r0, 1000
+init:
+		sw r10, 0(r8)      ; hardware traffic during init
+		addi r10, r10, -1
+		bne r10, r0, init
+		li r5, 0x1234
+		sw r5, 0(r8)       ; final device configuration
+		ecall 6            ; ---- snapshot hint ----
+		li r1, 0x100
+		addi r2, r0, 1
+		addi r3, r0, 1
+		ecall 1
+		lbu r4, 0(r1)
+		andi r4, r4, 1
+		beq r4, r0, even
+		abort              ; odd input crashes
+even:
+		lw r6, 0(r8)       ; device config must have survived hand-off
+		li r7, 0x1234
+		sub r1, r6, r7
+		sltiu r1, r1, 1
+		ecall 2
+		halt
+`
+
+func ffSetup(t *testing.T) *Analysis {
+	t.Helper()
+	a, err := Setup(SetupConfig{
+		Firmware:    ffFirmware,
+		Peripherals: []target.PeriphConfig{{Name: "g", Periph: "gpio"}},
+		Engine:      Config{MaxInstructions: 10_000_000},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestFastForwardToHint(t *testing.T) {
+	a := ffSetup(t)
+	res, err := a.FastForward(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reached != FFSnapshotHint {
+		t.Fatalf("reached %v", res.Reached)
+	}
+	if res.Instructions < 2000 {
+		t.Fatalf("instructions: %d", res.Instructions)
+	}
+
+	rep, err := a.Engine.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only the post-hint tail runs symbolically: both paths, one bug,
+	// device state intact (the even path's ecall 2 passes).
+	if got := len(rep.Finished); got != 2 {
+		t.Fatalf("paths: %d", got)
+	}
+	if got := rep.CountStatus(symexec.StatusAborted); got != 1 {
+		t.Fatalf("aborted: %d", got)
+	}
+	if got := rep.CountStatus(symexec.StatusHalted); got != 1 {
+		t.Fatalf("halted: %d (device state lost across hand-off?)", got)
+	}
+	// Only the ~14 tail instructions were interpreted symbolically.
+	if rep.Stats.Instructions > 100 {
+		t.Fatalf("symbolic instructions: %d (init not skipped)", rep.Stats.Instructions)
+	}
+}
+
+func TestFastForwardSavesVirtualTime(t *testing.T) {
+	// With fast-forwarding: init at native cost. Without: the whole
+	// init pays symbolic interpretation.
+	withFF := func() time.Duration {
+		a := ffSetup(t)
+		if _, err := a.FastForward(0); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := a.Engine.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return a.Clock.Now()
+	}()
+	withoutFF := func() time.Duration {
+		a := ffSetup(t)
+		rep, err := a.Engine.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.CountStatus(symexec.StatusAborted) != 1 {
+			t.Fatal("baseline run broken")
+		}
+		return a.Clock.Now()
+	}()
+	if withFF >= withoutFF {
+		t.Fatalf("fast-forward (%v) should beat full symbolic run (%v)", withFF, withoutFF)
+	}
+	// ~3000 init instructions at 20ns vs 1µs: expect a large gap.
+	saved := withoutFF - withFF
+	if saved < 2*time.Millisecond {
+		t.Fatalf("saved only %v", saved)
+	}
+}
+
+func TestFastForwardStopsAtMakeSymbolic(t *testing.T) {
+	// No hint: the make-symbolic request is the hand-off point and
+	// must be re-executed symbolically.
+	a, err := Setup(SetupConfig{
+		Firmware: `
+_start:
+		addi r10, r0, 50
+init:
+		addi r10, r10, -1
+		bne r10, r0, init
+		li r1, 0x100
+		addi r2, r0, 1
+		addi r3, r0, 1
+		ecall 1
+		lbu r4, 0(r1)
+		addi r5, r0, 3
+		bne r4, r5, ok
+		abort
+ok:
+		halt
+		`,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := a.FastForward(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reached != FFMakeSymbolic {
+		t.Fatalf("reached %v", res.Reached)
+	}
+	rep, err := a.Engine.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.CountStatus(symexec.StatusAborted) != 1 || rep.CountStatus(symexec.StatusHalted) != 1 {
+		t.Fatalf("exploration after hand-off broken: %+v", rep.Stats)
+	}
+	bug := rep.Bugs()[0]
+	if bug.Model["sym1_0"] != 3 {
+		t.Fatalf("model: %v", bug.Model)
+	}
+}
+
+func TestFastForwardTerminated(t *testing.T) {
+	a, err := Setup(SetupConfig{Firmware: "halt"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := a.FastForward(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reached != FFTerminated {
+		t.Fatalf("reached %v", res.Reached)
+	}
+}
+
+func TestFastForwardBudget(t *testing.T) {
+	a, err := Setup(SetupConfig{Firmware: "loop: j loop"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.FastForward(100); err == nil {
+		t.Fatal("budget exhaustion must error")
+	}
+}
+
+func TestNativeCheaperThanSymbolic(t *testing.T) {
+	if vtime.NativeInstruction*10 > vtime.VMInstruction {
+		t.Fatal("native execution should be far cheaper than symbolic")
+	}
+}

@@ -1,0 +1,153 @@
+package core
+
+import (
+	"fmt"
+
+	"hardsnap/internal/bus"
+	"hardsnap/internal/isa"
+	"hardsnap/internal/symexec"
+	"hardsnap/internal/target"
+	"hardsnap/internal/vm"
+	"hardsnap/internal/vtime"
+)
+
+// ReplayResult is the outcome of concretely re-executing a symbolic
+// path's test vector.
+type ReplayResult struct {
+	// Stop is the concrete VM's stop reason.
+	Stop vm.StopReason
+	// PC is the final program counter.
+	PC uint32
+	// Console is the concrete run's console output.
+	Console []byte
+	// Vector is the injected test vector (per make-symbolic tag).
+	Vector map[uint32][]byte
+	// Reproduced reports whether the concrete outcome matches the
+	// symbolic state's status (crash reproduction succeeded).
+	Reproduced bool
+}
+
+// statusMatches maps symbolic statuses to the concrete stop reasons
+// that reproduce them.
+func statusMatches(sym symexec.Status, concrete vm.StopReason) bool {
+	switch sym {
+	case symexec.StatusHalted:
+		return concrete == vm.StopHalt
+	case symexec.StatusAborted:
+		return concrete == vm.StopAbort
+	case symexec.StatusAssertFail:
+		return concrete == vm.StopAssertFail
+	case symexec.StatusFault:
+		return concrete == vm.StopFault
+	}
+	return false
+}
+
+// Replay extracts a test vector from a finished symbolic state and
+// re-executes it concretely against fresh hardware — the paper's
+// crash-reproduction / test-case-generation workflow. The analysis'
+// own hardware is not disturbed: a new target instance is built from
+// the same configuration.
+func (a *Analysis) Replay(st *symexec.State) (*ReplayResult, error) {
+	vector, ok := a.Exec.TestVector(st)
+	if !ok {
+		return nil, fmt.Errorf("core: state %d has an infeasible path condition", st.ID)
+	}
+	return a.ReplayVector(st, vector)
+}
+
+// ReplayVector re-executes an explicit test vector concretely and
+// compares the outcome against the symbolic state's status.
+func (a *Analysis) ReplayVector(st *symexec.State, vector map[uint32][]byte) (*ReplayResult, error) {
+	clock := &vtime.Clock{}
+	var tgt *target.Target
+	var router *bus.Router
+	var err error
+	if len(a.config.Peripherals) > 0 {
+		if a.config.FPGA {
+			tgt, err = target.NewFPGA("replay-fpga", clock, a.config.Peripherals, a.config.Readback)
+		} else {
+			tgt, err = target.NewSimulator("replay-sim", clock, a.config.Peripherals)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	cpu := vm.New(a.Exec.Config().VM, nil)
+	if tgt != nil {
+		mmioBase := a.Exec.Config().VM.MMIOBase
+		regions := make([]bus.Region, 0, len(a.config.Peripherals))
+		for i, pc := range a.config.Peripherals {
+			port, err := tgt.Port(pc.Name)
+			if err != nil {
+				return nil, err
+			}
+			regions = append(regions, bus.Region{
+				Name: pc.Name,
+				Base: mmioBase + uint32(i)*PeriphRegionSize,
+				Size: PeriphRegionSize,
+				IRQ:  i,
+				Port: port,
+			})
+		}
+		router, err = bus.NewRouter(regions)
+		if err != nil {
+			return nil, err
+		}
+		cpu = vm.New(a.Exec.Config().VM, router)
+	}
+	if err := cpu.Load(a.Program); err != nil {
+		return nil, err
+	}
+	cpu.OnEcall = func(c *vm.CPU, service int32) bool {
+		if service != isa.EcallMakeSymbolic {
+			return false
+		}
+		addr, length, tag := c.Regs[1], c.Regs[2], c.Regs[3]
+		buf := vector[tag]
+		for i := uint32(0); i < length; i++ {
+			var b byte
+			if int(i) < len(buf) {
+				b = buf[i]
+			}
+			if err := c.WriteMem(addr+i, 1, uint32(b)); err != nil {
+				c.Stop = vm.StopFault
+				c.Fault = err
+				return true
+			}
+		}
+		return true
+	}
+
+	budget := st.Steps*4 + 10_000
+	var steps uint64
+	for cpu.Stop == vm.StopNone && steps < budget {
+		if !cpu.Step() {
+			break
+		}
+		steps++
+		if tgt != nil {
+			if err := tgt.Advance(1); err != nil {
+				return nil, err
+			}
+			irqs, err := router.RisingIRQs()
+			if err != nil {
+				return nil, err
+			}
+			for _, n := range irqs {
+				cpu.RaiseIRQ(n)
+			}
+		}
+	}
+	if cpu.Stop == vm.StopNone {
+		cpu.Stop = vm.StopBudget
+	}
+	return &ReplayResult{
+		Stop:       cpu.Stop,
+		PC:         cpu.PC,
+		Console:    append([]byte(nil), cpu.Console...),
+		Vector:     vector,
+		Reproduced: statusMatches(st.Status, cpu.Stop),
+	}, nil
+}

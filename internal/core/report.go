@@ -1,0 +1,91 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"hardsnap/internal/snapshot"
+	"hardsnap/internal/symexec"
+)
+
+// WriteCrashReports materializes one directory per bug under dir:
+//
+//	bug-<id>/
+//	  report.txt    status, PC, path constraints count, console, model
+//	  vector-<tag>  raw test-case bytes per make-symbolic tag
+//	  hardware.snap serialized hardware snapshot (when retained)
+//
+// It returns the number of reports written. Replay a vector with
+// Analysis.ReplayVector, or decode hardware.snap with snapshot.Decode.
+func (a *Analysis) WriteCrashReports(dir string, rep *Report) (int, error) {
+	bugs := rep.Bugs()
+	if len(bugs) == 0 {
+		return 0, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return 0, err
+	}
+	written := 0
+	for _, bug := range bugs {
+		sub := filepath.Join(dir, fmt.Sprintf("bug-%d", bug.ID))
+		if err := os.MkdirAll(sub, 0o755); err != nil {
+			return written, err
+		}
+		if err := a.writeOneReport(sub, bug); err != nil {
+			return written, err
+		}
+		written++
+	}
+	return written, nil
+}
+
+func (a *Analysis) writeOneReport(dir string, bug *symexec.State) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "status: %v\n", bug.Status)
+	fmt.Fprintf(&b, "pc: %#x\n", bug.PC)
+	fmt.Fprintf(&b, "steps: %d\n", bug.Steps)
+	fmt.Fprintf(&b, "path constraints: %d\n", len(bug.Constraints))
+	if bug.Err != nil {
+		fmt.Fprintf(&b, "detail: %v\n", bug.Err)
+	}
+	if len(bug.Console) > 0 {
+		fmt.Fprintf(&b, "console: %q\n", bug.Console)
+	}
+	if bug.Model != nil {
+		names := make([]string, 0, len(bug.Model))
+		for n := range bug.Model {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		b.WriteString("model:\n")
+		for _, n := range names {
+			fmt.Fprintf(&b, "  %s = %#x\n", n, bug.Model[n])
+		}
+	}
+	if err := os.WriteFile(filepath.Join(dir, "report.txt"), []byte(b.String()), 0o644); err != nil {
+		return err
+	}
+
+	if vector, ok := a.Exec.TestVector(bug); ok {
+		for tag, bytes := range vector {
+			name := filepath.Join(dir, fmt.Sprintf("vector-%d", tag))
+			if err := os.WriteFile(name, bytes, 0o644); err != nil {
+				return err
+			}
+		}
+	}
+
+	if rec, ok := a.Engine.BugSnapshot(bug.ID); ok {
+		data, err := snapshot.Encode(rec)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(filepath.Join(dir, "hardware.snap"), data, 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,524 @@
+package expr
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Builder creates, deduplicates and simplifies terms. A Builder is not
+// safe for concurrent use; the symbolic executor owns one per engine.
+type Builder struct {
+	table map[uint64][]*Term
+	vars  map[string]*Term
+}
+
+// NewBuilder returns an empty Builder.
+func NewBuilder() *Builder {
+	return &Builder{
+		table: make(map[uint64][]*Term),
+		vars:  make(map[string]*Term),
+	}
+}
+
+func (b *Builder) intern(t *Term) *Term {
+	h := t.computeHash()
+	t.hash = h
+	for _, c := range b.table[h] {
+		if c.equalShallow(t) {
+			return c
+		}
+	}
+	b.table[h] = append(b.table[h], t)
+	return t
+}
+
+func (t *Term) computeHash() uint64 {
+	h := uint64(14695981039346656037)
+	mix := func(v uint64) {
+		h ^= v
+		h *= 1099511628211
+	}
+	mix(uint64(t.op))
+	mix(uint64(t.width))
+	mix(t.val)
+	mix(uint64(t.lo))
+	for _, c := range t.name {
+		mix(uint64(c))
+	}
+	for _, a := range t.args {
+		mix(a.hash)
+	}
+	return h
+}
+
+func (t *Term) equalShallow(u *Term) bool {
+	if t.op != u.op || t.width != u.width || t.val != u.val ||
+		t.name != u.name || t.lo != u.lo || len(t.args) != len(u.args) {
+		return false
+	}
+	for i := range t.args {
+		if t.args[i] != u.args[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func checkWidth(w uint) uint8 {
+	if w == 0 || w > 64 {
+		panic(fmt.Sprintf("expr: invalid width %d", w))
+	}
+	return uint8(w)
+}
+
+// Const returns the w-bit constant v (masked to width).
+func (b *Builder) Const(v uint64, w uint) *Term {
+	cw := checkWidth(w)
+	return b.intern(&Term{op: OpConst, width: cw, val: v & Mask(w)})
+}
+
+// Bool returns the width-1 constant for v.
+func (b *Builder) Bool(v bool) *Term {
+	if v {
+		return b.Const(1, 1)
+	}
+	return b.Const(0, 1)
+}
+
+// Var returns the variable with the given name and width. Requesting an
+// existing name with a different width panics: variable identity is the
+// name, so a width clash is a programming error.
+func (b *Builder) Var(name string, w uint) *Term {
+	cw := checkWidth(w)
+	if v, ok := b.vars[name]; ok {
+		if v.width != cw {
+			panic(fmt.Sprintf("expr: variable %q redeclared with width %d (was %d)", name, w, v.width))
+		}
+		return v
+	}
+	v := b.intern(&Term{op: OpVar, width: cw, name: name})
+	b.vars[name] = v
+	return v
+}
+
+func sameWidth(x, y *Term) {
+	if x.width != y.width {
+		panic(fmt.Sprintf("expr: width mismatch %d vs %d", x.width, y.width))
+	}
+}
+
+func (b *Builder) binary(op Op, x, y *Term, w uint8) *Term {
+	return b.intern(&Term{op: op, width: w, args: []*Term{x, y}})
+}
+
+// Add returns x + y (modular).
+func (b *Builder) Add(x, y *Term) *Term {
+	sameWidth(x, y)
+	if x.IsConst() && y.IsConst() {
+		return b.Const(x.val+y.val, x.Width())
+	}
+	if x.IsConst() && x.val == 0 {
+		return y
+	}
+	if y.IsConst() && y.val == 0 {
+		return x
+	}
+	// Canonicalize constant to the right for dedup.
+	if x.IsConst() {
+		x, y = y, x
+	}
+	return b.binary(OpAdd, x, y, x.width)
+}
+
+// Sub returns x - y (modular).
+func (b *Builder) Sub(x, y *Term) *Term {
+	sameWidth(x, y)
+	if x.IsConst() && y.IsConst() {
+		return b.Const(x.val-y.val, x.Width())
+	}
+	if y.IsConst() && y.val == 0 {
+		return x
+	}
+	if x == y {
+		return b.Const(0, x.Width())
+	}
+	return b.binary(OpSub, x, y, x.width)
+}
+
+// Mul returns x * y (modular).
+func (b *Builder) Mul(x, y *Term) *Term {
+	sameWidth(x, y)
+	if x.IsConst() && y.IsConst() {
+		return b.Const(x.val*y.val, x.Width())
+	}
+	if x.IsConst() {
+		x, y = y, x
+	}
+	if y.IsConst() {
+		switch y.val {
+		case 0:
+			return y
+		case 1:
+			return x
+		}
+	}
+	return b.binary(OpMul, x, y, x.width)
+}
+
+// UDiv returns x / y (unsigned). Division by zero yields all-ones,
+// following SMT-LIB semantics.
+func (b *Builder) UDiv(x, y *Term) *Term {
+	sameWidth(x, y)
+	if x.IsConst() && y.IsConst() {
+		if y.val == 0 {
+			return b.Const(Mask(x.Width()), x.Width())
+		}
+		return b.Const(x.val/y.val, x.Width())
+	}
+	if y.IsConst() && y.val == 1 {
+		return x
+	}
+	return b.binary(OpUDiv, x, y, x.width)
+}
+
+// URem returns x mod y (unsigned). x mod 0 = x, following SMT-LIB.
+func (b *Builder) URem(x, y *Term) *Term {
+	sameWidth(x, y)
+	if x.IsConst() && y.IsConst() {
+		if y.val == 0 {
+			return x
+		}
+		return b.Const(x.val%y.val, x.Width())
+	}
+	return b.binary(OpURem, x, y, x.width)
+}
+
+// And returns x & y.
+func (b *Builder) And(x, y *Term) *Term {
+	sameWidth(x, y)
+	if x.IsConst() && y.IsConst() {
+		return b.Const(x.val&y.val, x.Width())
+	}
+	if x.IsConst() {
+		x, y = y, x
+	}
+	if y.IsConst() {
+		if y.val == 0 {
+			return y
+		}
+		if y.val == Mask(x.Width()) {
+			return x
+		}
+	}
+	if x == y {
+		return x
+	}
+	return b.binary(OpAnd, x, y, x.width)
+}
+
+// Or returns x | y.
+func (b *Builder) Or(x, y *Term) *Term {
+	sameWidth(x, y)
+	if x.IsConst() && y.IsConst() {
+		return b.Const(x.val|y.val, x.Width())
+	}
+	if x.IsConst() {
+		x, y = y, x
+	}
+	if y.IsConst() {
+		if y.val == 0 {
+			return x
+		}
+		if y.val == Mask(x.Width()) {
+			return y
+		}
+	}
+	if x == y {
+		return x
+	}
+	return b.binary(OpOr, x, y, x.width)
+}
+
+// Xor returns x ^ y.
+func (b *Builder) Xor(x, y *Term) *Term {
+	sameWidth(x, y)
+	if x.IsConst() && y.IsConst() {
+		return b.Const(x.val^y.val, x.Width())
+	}
+	if x.IsConst() {
+		x, y = y, x
+	}
+	if y.IsConst() && y.val == 0 {
+		return x
+	}
+	if x == y {
+		return b.Const(0, x.Width())
+	}
+	return b.binary(OpXor, x, y, x.width)
+}
+
+// Not returns ^x (bitwise complement).
+func (b *Builder) Not(x *Term) *Term {
+	if x.IsConst() {
+		return b.Const(^x.val, x.Width())
+	}
+	if x.op == OpNot {
+		return x.args[0]
+	}
+	return b.intern(&Term{op: OpNot, width: x.width, args: []*Term{x}})
+}
+
+// Neg returns -x (two's complement).
+func (b *Builder) Neg(x *Term) *Term {
+	if x.IsConst() {
+		return b.Const(-x.val, x.Width())
+	}
+	if x.op == OpNeg {
+		return x.args[0]
+	}
+	return b.intern(&Term{op: OpNeg, width: x.width, args: []*Term{x}})
+}
+
+// Shl returns x << y. Shift amounts >= width yield zero.
+func (b *Builder) Shl(x, y *Term) *Term {
+	sameWidth(x, y)
+	if x.IsConst() && y.IsConst() {
+		if y.val >= uint64(x.Width()) {
+			return b.Const(0, x.Width())
+		}
+		return b.Const(x.val<<y.val, x.Width())
+	}
+	if y.IsConst() && y.val == 0 {
+		return x
+	}
+	return b.binary(OpShl, x, y, x.width)
+}
+
+// Lshr returns x >> y (logical). Shift amounts >= width yield zero.
+func (b *Builder) Lshr(x, y *Term) *Term {
+	sameWidth(x, y)
+	if x.IsConst() && y.IsConst() {
+		if y.val >= uint64(x.Width()) {
+			return b.Const(0, x.Width())
+		}
+		return b.Const(x.val>>y.val, x.Width())
+	}
+	if y.IsConst() && y.val == 0 {
+		return x
+	}
+	return b.binary(OpLshr, x, y, x.width)
+}
+
+// Ashr returns x >> y (arithmetic).
+func (b *Builder) Ashr(x, y *Term) *Term {
+	sameWidth(x, y)
+	if x.IsConst() && y.IsConst() {
+		s := int64(SignExtend(x.val, x.Width()))
+		sh := y.val
+		if sh >= uint64(x.Width()) {
+			sh = uint64(x.Width()) - 1
+		}
+		return b.Const(uint64(s>>sh), x.Width())
+	}
+	if y.IsConst() && y.val == 0 {
+		return x
+	}
+	return b.binary(OpAshr, x, y, x.width)
+}
+
+// Eq returns the width-1 term (x = y).
+func (b *Builder) Eq(x, y *Term) *Term {
+	sameWidth(x, y)
+	if x.IsConst() && y.IsConst() {
+		return b.Bool(x.val == y.val)
+	}
+	if x == y {
+		return b.Bool(true)
+	}
+	if x.IsConst() {
+		x, y = y, x
+	}
+	return b.binary(OpEq, x, y, 1)
+}
+
+// Ne returns the width-1 term (x != y).
+func (b *Builder) Ne(x, y *Term) *Term {
+	return b.NotBool(b.Eq(x, y))
+}
+
+// Ult returns x < y (unsigned), width 1.
+func (b *Builder) Ult(x, y *Term) *Term {
+	sameWidth(x, y)
+	if x.IsConst() && y.IsConst() {
+		return b.Bool(x.val < y.val)
+	}
+	if x == y {
+		return b.Bool(false)
+	}
+	if y.IsConst() && y.val == 0 {
+		return b.Bool(false)
+	}
+	return b.binary(OpUlt, x, y, 1)
+}
+
+// Ule returns x <= y (unsigned), width 1.
+func (b *Builder) Ule(x, y *Term) *Term {
+	sameWidth(x, y)
+	if x.IsConst() && y.IsConst() {
+		return b.Bool(x.val <= y.val)
+	}
+	if x == y {
+		return b.Bool(true)
+	}
+	return b.binary(OpUle, x, y, 1)
+}
+
+// Slt returns x < y (signed), width 1.
+func (b *Builder) Slt(x, y *Term) *Term {
+	sameWidth(x, y)
+	if x.IsConst() && y.IsConst() {
+		return b.Bool(int64(SignExtend(x.val, x.Width())) < int64(SignExtend(y.val, y.Width())))
+	}
+	if x == y {
+		return b.Bool(false)
+	}
+	return b.binary(OpSlt, x, y, 1)
+}
+
+// Sle returns x <= y (signed), width 1.
+func (b *Builder) Sle(x, y *Term) *Term {
+	sameWidth(x, y)
+	if x.IsConst() && y.IsConst() {
+		return b.Bool(int64(SignExtend(x.val, x.Width())) <= int64(SignExtend(y.val, y.Width())))
+	}
+	if x == y {
+		return b.Bool(true)
+	}
+	return b.binary(OpSle, x, y, 1)
+}
+
+// NotBool returns the boolean negation of a width-1 term.
+func (b *Builder) NotBool(x *Term) *Term {
+	if x.Width() != 1 {
+		panic("expr: NotBool on non-boolean term")
+	}
+	return b.Not(x)
+}
+
+// Concat returns hi ++ lo; hi occupies the most significant bits.
+func (b *Builder) Concat(hi, lo *Term) *Term {
+	w := hi.Width() + lo.Width()
+	cw := checkWidth(w)
+	if hi.IsConst() && lo.IsConst() {
+		return b.Const(hi.val<<lo.Width()|lo.val, w)
+	}
+	return b.intern(&Term{op: OpConcat, width: cw, args: []*Term{hi, lo}})
+}
+
+// Extract returns bits [lo+w-1 : lo] of x as a w-bit term.
+func (b *Builder) Extract(x *Term, lo, w uint) *Term {
+	cw := checkWidth(w)
+	if lo+w > x.Width() {
+		panic(fmt.Sprintf("expr: extract [%d+%d] out of range of width %d", lo, w, x.Width()))
+	}
+	if lo == 0 && w == x.Width() {
+		return x
+	}
+	if x.IsConst() {
+		return b.Const(x.val>>lo, w)
+	}
+	// extract of extract
+	if x.op == OpExtract {
+		return b.Extract(x.args[0], uint(x.lo)+lo, w)
+	}
+	// extract entirely within one side of a concat
+	if x.op == OpConcat {
+		loW := x.args[1].Width()
+		if lo+w <= loW {
+			return b.Extract(x.args[1], lo, w)
+		}
+		if lo >= loW {
+			return b.Extract(x.args[0], lo-loW, w)
+		}
+	}
+	// extract of zext that stays within the original term
+	if x.op == OpZExt && lo+w <= x.args[0].Width() {
+		return b.Extract(x.args[0], lo, w)
+	}
+	return b.intern(&Term{op: OpExtract, width: cw, lo: uint8(lo), args: []*Term{x}})
+}
+
+// ZExt zero-extends x to width w.
+func (b *Builder) ZExt(x *Term, w uint) *Term {
+	cw := checkWidth(w)
+	if w < x.Width() {
+		panic("expr: zext to smaller width")
+	}
+	if w == x.Width() {
+		return x
+	}
+	if x.IsConst() {
+		return b.Const(x.val, w)
+	}
+	if x.op == OpZExt {
+		return b.ZExt(x.args[0], w)
+	}
+	return b.intern(&Term{op: OpZExt, width: cw, args: []*Term{x}})
+}
+
+// SExt sign-extends x to width w.
+func (b *Builder) SExt(x *Term, w uint) *Term {
+	cw := checkWidth(w)
+	if w < x.Width() {
+		panic("expr: sext to smaller width")
+	}
+	if w == x.Width() {
+		return x
+	}
+	if x.IsConst() {
+		return b.Const(SignExtend(x.val, x.Width()), w)
+	}
+	return b.intern(&Term{op: OpSExt, width: cw, args: []*Term{x}})
+}
+
+// Ite returns (if cond then x else y); cond must have width 1.
+func (b *Builder) Ite(cond, x, y *Term) *Term {
+	if cond.Width() != 1 {
+		panic("expr: ite condition must have width 1")
+	}
+	sameWidth(x, y)
+	if c, ok := cond.Const(); ok {
+		if c != 0 {
+			return x
+		}
+		return y
+	}
+	if x == y {
+		return x
+	}
+	return b.intern(&Term{op: OpIte, width: x.width, args: []*Term{cond, x, y}})
+}
+
+// BoolToBV widens a width-1 term to w bits (0 or 1).
+func (b *Builder) BoolToBV(x *Term, w uint) *Term {
+	return b.ZExt(x, w)
+}
+
+// AndBool returns the conjunction of two width-1 terms.
+func (b *Builder) AndBool(x, y *Term) *Term { return b.And(x, y) }
+
+// OrBool returns the disjunction of two width-1 terms.
+func (b *Builder) OrBool(x, y *Term) *Term { return b.Or(x, y) }
+
+// NumTerms reports the number of distinct interned terms; useful for
+// tests and diagnostics.
+func (b *Builder) NumTerms() int {
+	n := 0
+	for _, bucket := range b.table {
+		n += len(bucket)
+	}
+	return n
+}
+
+// PopCount64 is re-exported for cost heuristics.
+func PopCount64(v uint64) int { return bits.OnesCount64(v) }

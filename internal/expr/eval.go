@@ -1,0 +1,195 @@
+package expr
+
+import "fmt"
+
+// Assignment maps variable names to concrete values (masked to the
+// variable's width by the evaluator).
+type Assignment map[string]uint64
+
+// Eval evaluates t under the given assignment. Unassigned variables
+// evaluate to zero, which matches the solver's completion of partial
+// models.
+func Eval(t *Term, a Assignment) uint64 {
+	switch t.op {
+	case OpConst:
+		return t.val
+	case OpVar:
+		return a[t.name] & Mask(t.Width())
+	}
+	w := t.Width()
+	switch t.op {
+	case OpAdd:
+		return (Eval(t.args[0], a) + Eval(t.args[1], a)) & Mask(w)
+	case OpSub:
+		return (Eval(t.args[0], a) - Eval(t.args[1], a)) & Mask(w)
+	case OpMul:
+		return (Eval(t.args[0], a) * Eval(t.args[1], a)) & Mask(w)
+	case OpUDiv:
+		y := Eval(t.args[1], a)
+		if y == 0 {
+			return Mask(w)
+		}
+		return Eval(t.args[0], a) / y
+	case OpURem:
+		y := Eval(t.args[1], a)
+		if y == 0 {
+			return Eval(t.args[0], a)
+		}
+		return Eval(t.args[0], a) % y
+	case OpAnd:
+		return Eval(t.args[0], a) & Eval(t.args[1], a)
+	case OpOr:
+		return Eval(t.args[0], a) | Eval(t.args[1], a)
+	case OpXor:
+		return Eval(t.args[0], a) ^ Eval(t.args[1], a)
+	case OpNot:
+		return ^Eval(t.args[0], a) & Mask(w)
+	case OpNeg:
+		return (-Eval(t.args[0], a)) & Mask(w)
+	case OpShl:
+		sh := Eval(t.args[1], a)
+		if sh >= uint64(w) {
+			return 0
+		}
+		return (Eval(t.args[0], a) << sh) & Mask(w)
+	case OpLshr:
+		sh := Eval(t.args[1], a)
+		if sh >= uint64(w) {
+			return 0
+		}
+		return Eval(t.args[0], a) >> sh
+	case OpAshr:
+		x := int64(SignExtend(Eval(t.args[0], a), t.args[0].Width()))
+		sh := Eval(t.args[1], a)
+		if sh >= uint64(t.args[0].Width()) {
+			sh = uint64(t.args[0].Width()) - 1
+		}
+		return uint64(x>>sh) & Mask(w)
+	case OpEq:
+		return b2u(Eval(t.args[0], a) == Eval(t.args[1], a))
+	case OpNe:
+		return b2u(Eval(t.args[0], a) != Eval(t.args[1], a))
+	case OpUlt:
+		return b2u(Eval(t.args[0], a) < Eval(t.args[1], a))
+	case OpUle:
+		return b2u(Eval(t.args[0], a) <= Eval(t.args[1], a))
+	case OpSlt:
+		x := int64(SignExtend(Eval(t.args[0], a), t.args[0].Width()))
+		y := int64(SignExtend(Eval(t.args[1], a), t.args[1].Width()))
+		return b2u(x < y)
+	case OpSle:
+		x := int64(SignExtend(Eval(t.args[0], a), t.args[0].Width()))
+		y := int64(SignExtend(Eval(t.args[1], a), t.args[1].Width()))
+		return b2u(x <= y)
+	case OpConcat:
+		return (Eval(t.args[0], a)<<t.args[1].Width() | Eval(t.args[1], a)) & Mask(w)
+	case OpExtract:
+		return (Eval(t.args[0], a) >> t.lo) & Mask(w)
+	case OpZExt:
+		return Eval(t.args[0], a)
+	case OpSExt:
+		return SignExtend(Eval(t.args[0], a), t.args[0].Width()) & Mask(w)
+	case OpIte:
+		if Eval(t.args[0], a) != 0 {
+			return Eval(t.args[1], a)
+		}
+		return Eval(t.args[2], a)
+	}
+	panic(fmt.Sprintf("expr: eval of unknown op %v", t.op))
+}
+
+func b2u(v bool) uint64 {
+	if v {
+		return 1
+	}
+	return 0
+}
+
+// Substitute replaces variables in t according to sub, rebuilding the
+// term in b. Variables absent from sub are kept.
+func Substitute(b *Builder, t *Term, sub map[string]*Term) *Term {
+	cache := make(map[*Term]*Term)
+	return substitute(b, t, sub, cache)
+}
+
+func substitute(b *Builder, t *Term, sub map[string]*Term, cache map[*Term]*Term) *Term {
+	if r, ok := cache[t]; ok {
+		return r
+	}
+	var r *Term
+	switch t.op {
+	case OpConst:
+		r = b.Const(t.val, t.Width())
+	case OpVar:
+		if s, ok := sub[t.name]; ok {
+			if s.Width() != t.Width() {
+				panic(fmt.Sprintf("expr: substitution width mismatch for %q", t.name))
+			}
+			r = s
+		} else {
+			r = b.Var(t.name, t.Width())
+		}
+	default:
+		args := make([]*Term, len(t.args))
+		for i, a := range t.args {
+			args[i] = substitute(b, a, sub, cache)
+		}
+		r = b.rebuild(t, args)
+	}
+	cache[t] = r
+	return r
+}
+
+func (b *Builder) rebuild(t *Term, args []*Term) *Term {
+	switch t.op {
+	case OpAdd:
+		return b.Add(args[0], args[1])
+	case OpSub:
+		return b.Sub(args[0], args[1])
+	case OpMul:
+		return b.Mul(args[0], args[1])
+	case OpUDiv:
+		return b.UDiv(args[0], args[1])
+	case OpURem:
+		return b.URem(args[0], args[1])
+	case OpAnd:
+		return b.And(args[0], args[1])
+	case OpOr:
+		return b.Or(args[0], args[1])
+	case OpXor:
+		return b.Xor(args[0], args[1])
+	case OpNot:
+		return b.Not(args[0])
+	case OpNeg:
+		return b.Neg(args[0])
+	case OpShl:
+		return b.Shl(args[0], args[1])
+	case OpLshr:
+		return b.Lshr(args[0], args[1])
+	case OpAshr:
+		return b.Ashr(args[0], args[1])
+	case OpEq:
+		return b.Eq(args[0], args[1])
+	case OpNe:
+		return b.Ne(args[0], args[1])
+	case OpUlt:
+		return b.Ult(args[0], args[1])
+	case OpUle:
+		return b.Ule(args[0], args[1])
+	case OpSlt:
+		return b.Slt(args[0], args[1])
+	case OpSle:
+		return b.Sle(args[0], args[1])
+	case OpConcat:
+		return b.Concat(args[0], args[1])
+	case OpExtract:
+		return b.Extract(args[0], uint(t.lo), t.Width())
+	case OpZExt:
+		return b.ZExt(args[0], t.Width())
+	case OpSExt:
+		return b.SExt(args[0], t.Width())
+	case OpIte:
+		return b.Ite(args[0], args[1], args[2])
+	}
+	panic(fmt.Sprintf("expr: rebuild of unknown op %v", t.op))
+}

@@ -1,0 +1,350 @@
+package expr
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestConstFolding(t *testing.T) {
+	b := NewBuilder()
+	tests := []struct {
+		name string
+		got  *Term
+		want uint64
+	}{
+		{"add", b.Add(b.Const(3, 8), b.Const(4, 8)), 7},
+		{"add-wrap", b.Add(b.Const(0xFF, 8), b.Const(1, 8)), 0},
+		{"sub", b.Sub(b.Const(3, 8), b.Const(4, 8)), 0xFF},
+		{"mul", b.Mul(b.Const(16, 8), b.Const(17, 8)), 0x10},
+		{"udiv", b.UDiv(b.Const(100, 8), b.Const(7, 8)), 14},
+		{"udiv0", b.UDiv(b.Const(100, 8), b.Const(0, 8)), 0xFF},
+		{"urem", b.URem(b.Const(100, 8), b.Const(7, 8)), 2},
+		{"urem0", b.URem(b.Const(100, 8), b.Const(0, 8)), 100},
+		{"and", b.And(b.Const(0xF0, 8), b.Const(0x3C, 8)), 0x30},
+		{"or", b.Or(b.Const(0xF0, 8), b.Const(0x0C, 8)), 0xFC},
+		{"xor", b.Xor(b.Const(0xF0, 8), b.Const(0xFF, 8)), 0x0F},
+		{"not", b.Not(b.Const(0xF0, 8)), 0x0F},
+		{"neg", b.Neg(b.Const(1, 8)), 0xFF},
+		{"shl", b.Shl(b.Const(1, 8), b.Const(3, 8)), 8},
+		{"shl-over", b.Shl(b.Const(1, 8), b.Const(9, 8)), 0},
+		{"lshr", b.Lshr(b.Const(0x80, 8), b.Const(3, 8)), 0x10},
+		{"ashr", b.Ashr(b.Const(0x80, 8), b.Const(3, 8)), 0xF0},
+		{"eq-t", b.Eq(b.Const(5, 8), b.Const(5, 8)), 1},
+		{"eq-f", b.Eq(b.Const(5, 8), b.Const(6, 8)), 0},
+		{"ult", b.Ult(b.Const(5, 8), b.Const(6, 8)), 1},
+		{"slt", b.Slt(b.Const(0xFF, 8), b.Const(0, 8)), 1},
+		{"sle", b.Sle(b.Const(0x7F, 8), b.Const(0, 8)), 0},
+		{"concat", b.Concat(b.Const(0xAB, 8), b.Const(0xCD, 8)), 0xABCD},
+		{"extract", b.Extract(b.Const(0xABCD, 16), 4, 8), 0xBC},
+		{"zext", b.ZExt(b.Const(0xFF, 8), 16), 0xFF},
+		{"sext", b.SExt(b.Const(0xFF, 8), 16), 0xFFFF},
+		{"ite-t", b.Ite(b.Bool(true), b.Const(1, 8), b.Const(2, 8)), 1},
+		{"ite-f", b.Ite(b.Bool(false), b.Const(1, 8), b.Const(2, 8)), 2},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			v, ok := tc.got.Const()
+			if !ok {
+				t.Fatalf("expected constant, got %v", tc.got)
+			}
+			if v != tc.want {
+				t.Fatalf("got %#x, want %#x", v, tc.want)
+			}
+		})
+	}
+}
+
+func TestHashConsing(t *testing.T) {
+	b := NewBuilder()
+	x := b.Var("x", 32)
+	y := b.Var("y", 32)
+	a1 := b.Add(x, y)
+	a2 := b.Add(x, y)
+	if a1 != a2 {
+		t.Fatal("identical terms not deduplicated")
+	}
+	if b.Var("x", 32) != x {
+		t.Fatal("variable not deduplicated")
+	}
+}
+
+func TestVarWidthClashPanics(t *testing.T) {
+	b := NewBuilder()
+	b.Var("x", 32)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on width clash")
+		}
+	}()
+	b.Var("x", 16)
+}
+
+func TestSimplifications(t *testing.T) {
+	b := NewBuilder()
+	x := b.Var("x", 16)
+	zero := b.Const(0, 16)
+	ones := b.Const(0xFFFF, 16)
+
+	if b.Add(x, zero) != x {
+		t.Error("x+0 != x")
+	}
+	if b.Sub(x, x) != zero {
+		t.Error("x-x != 0")
+	}
+	if b.And(x, zero) != zero {
+		t.Error("x&0 != 0")
+	}
+	if b.And(x, ones) != x {
+		t.Error("x&~0 != x")
+	}
+	if b.Or(x, zero) != x {
+		t.Error("x|0 != x")
+	}
+	if b.Xor(x, x) != zero {
+		t.Error("x^x != 0")
+	}
+	if b.Not(b.Not(x)) != x {
+		t.Error("~~x != x")
+	}
+	if v, _ := b.Eq(x, x).Const(); v != 1 {
+		t.Error("x=x not folded to true")
+	}
+	if b.Extract(x, 0, 16) != x {
+		t.Error("full-width extract not identity")
+	}
+	if b.Ite(b.Var("c", 1), x, x) != x {
+		t.Error("ite with equal branches not folded")
+	}
+}
+
+func TestExtractOfConcat(t *testing.T) {
+	b := NewBuilder()
+	hi := b.Var("hi", 8)
+	lo := b.Var("lo", 8)
+	c := b.Concat(hi, lo)
+	if b.Extract(c, 0, 8) != lo {
+		t.Error("extract low of concat should be lo")
+	}
+	if b.Extract(c, 8, 8) != hi {
+		t.Error("extract high of concat should be hi")
+	}
+}
+
+func TestNestedExtract(t *testing.T) {
+	b := NewBuilder()
+	x := b.Var("x", 32)
+	e1 := b.Extract(x, 8, 16)
+	e2 := b.Extract(e1, 4, 8)
+	want := b.Extract(x, 12, 8)
+	if e2 != want {
+		t.Fatalf("nested extract not flattened: %v vs %v", e2, want)
+	}
+}
+
+// TestEvalMatchesSimplify checks, via testing/quick, that building an
+// expression tree from random ops and evaluating it gives the same
+// result as evaluating an unsimplified reference computation.
+func TestEvalMatchesSimplify(t *testing.T) {
+	b := NewBuilder()
+	x := b.Var("x", 8)
+	y := b.Var("y", 8)
+
+	f := func(xv, yv uint8, opSel uint8) bool {
+		a := Assignment{"x": uint64(xv), "y": uint64(yv)}
+		var term *Term
+		var want uint64
+		switch opSel % 10 {
+		case 0:
+			term, want = b.Add(x, y), uint64(xv+yv)
+		case 1:
+			term, want = b.Sub(x, y), uint64(xv-yv)
+		case 2:
+			term, want = b.Mul(x, y), uint64(xv*yv)
+		case 3:
+			term, want = b.And(x, y), uint64(xv&yv)
+		case 4:
+			term, want = b.Or(x, y), uint64(xv|yv)
+		case 5:
+			term, want = b.Xor(x, y), uint64(xv^yv)
+		case 6:
+			term, want = b.Eq(x, y), b2u(xv == yv)
+		case 7:
+			term, want = b.Ult(x, y), b2u(xv < yv)
+		case 8:
+			term, want = b.Slt(x, y), b2u(int8(xv) < int8(yv))
+		default:
+			sh := yv % 8
+			term, want = b.Shl(x, b.Const(uint64(sh), 8)), uint64(xv<<sh)
+		}
+		return Eval(term, a) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSubstitute(t *testing.T) {
+	b := NewBuilder()
+	x := b.Var("x", 8)
+	y := b.Var("y", 8)
+	sum := b.Add(x, y)
+	got := Substitute(b, sum, map[string]*Term{"x": b.Const(3, 8), "y": b.Const(4, 8)})
+	if v, ok := got.Const(); !ok || v != 7 {
+		t.Fatalf("substitute+fold got %v, want 7", got)
+	}
+
+	// Partial substitution keeps the remaining variable.
+	got = Substitute(b, sum, map[string]*Term{"x": b.Const(1, 8)})
+	if Eval(got, Assignment{"y": 9}) != 10 {
+		t.Fatalf("partial substitution wrong: %v", got)
+	}
+}
+
+func TestVarsCollection(t *testing.T) {
+	b := NewBuilder()
+	x := b.Var("x", 8)
+	y := b.Var("y", 8)
+	term := b.Add(b.Mul(x, y), x)
+	vars := Vars(term, make(map[*Term]bool), nil)
+	if len(vars) != 2 {
+		t.Fatalf("got %d vars, want 2", len(vars))
+	}
+	if !ContainsVar(term) {
+		t.Error("ContainsVar should be true")
+	}
+	if ContainsVar(b.Const(1, 8)) {
+		t.Error("ContainsVar on const should be false")
+	}
+}
+
+func TestSignExtendHelper(t *testing.T) {
+	if SignExtend(0x80, 8) != 0xFFFFFFFFFFFFFF80 {
+		t.Error("sign extend negative failed")
+	}
+	if SignExtend(0x7F, 8) != 0x7F {
+		t.Error("sign extend positive failed")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	b := NewBuilder()
+	x := b.Var("x", 8)
+	s := b.Add(x, b.Const(1, 8)).String()
+	if s != "(bvadd x #x01)" {
+		t.Fatalf("unexpected rendering %q", s)
+	}
+}
+
+// TestRandomDAGEval builds deep random expressions and cross-checks
+// evaluation against a shadow interpreter over the same random choices.
+func TestRandomDAGEval(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	b := NewBuilder()
+	x := b.Var("x", 16)
+	y := b.Var("y", 16)
+
+	type pair struct {
+		t *Term
+		f func(xv, yv uint64) uint64
+	}
+	mask := Mask(16)
+	leaves := []pair{
+		{x, func(xv, _ uint64) uint64 { return xv }},
+		{y, func(_, yv uint64) uint64 { return yv }},
+		{b.Const(0x1234, 16), func(_, _ uint64) uint64 { return 0x1234 }},
+	}
+	pool := append([]pair{}, leaves...)
+	for i := 0; i < 200; i++ {
+		a := pool[rng.Intn(len(pool))]
+		c := pool[rng.Intn(len(pool))]
+		switch rng.Intn(5) {
+		case 0:
+			af, cf := a.f, c.f
+			pool = append(pool, pair{b.Add(a.t, c.t), func(xv, yv uint64) uint64 { return (af(xv, yv) + cf(xv, yv)) & mask }})
+		case 1:
+			af, cf := a.f, c.f
+			pool = append(pool, pair{b.Xor(a.t, c.t), func(xv, yv uint64) uint64 { return af(xv, yv) ^ cf(xv, yv) }})
+		case 2:
+			af, cf := a.f, c.f
+			pool = append(pool, pair{b.And(a.t, c.t), func(xv, yv uint64) uint64 { return af(xv, yv) & cf(xv, yv) }})
+		case 3:
+			af, cf := a.f, c.f
+			pool = append(pool, pair{b.Mul(a.t, c.t), func(xv, yv uint64) uint64 { return (af(xv, yv) * cf(xv, yv)) & mask }})
+		default:
+			af := a.f
+			pool = append(pool, pair{b.Not(a.t), func(xv, yv uint64) uint64 { return ^af(xv, yv) & mask }})
+		}
+	}
+	for trial := 0; trial < 50; trial++ {
+		xv := uint64(rng.Intn(1 << 16))
+		yv := uint64(rng.Intn(1 << 16))
+		a := Assignment{"x": xv, "y": yv}
+		for _, p := range pool {
+			if got, want := Eval(p.t, a), p.f(xv, yv); got != want {
+				t.Fatalf("eval mismatch on %v: got %#x want %#x (x=%#x y=%#x)", p.t, got, want, xv, yv)
+			}
+		}
+	}
+}
+
+// TestSimplifierSoundness builds random composite expressions through
+// the simplifying Builder and cross-checks Eval against a direct
+// semantic computation (simplification must never change meaning).
+func TestSimplifierSoundness(t *testing.T) {
+	b := NewBuilder()
+	x := b.Var("x", 16)
+	y := b.Var("y", 16)
+	c := b.Var("c", 1)
+
+	f := func(xv, yv uint16, cv, sel uint8) bool {
+		a := Assignment{"x": uint64(xv), "y": uint64(yv), "c": uint64(cv & 1)}
+		mask16 := uint64(0xFFFF)
+		var term *Term
+		var want uint64
+		switch sel % 8 {
+		case 0:
+			// extract of concat spanning the boundary
+			term = b.Extract(b.Concat(x, y), 8, 16)
+			want = (uint64(yv)>>8 | uint64(xv)<<8) & mask16
+		case 1:
+			// ite with computed branches
+			term = b.Ite(c, b.Add(x, y), b.Sub(x, y))
+			if cv&1 != 0 {
+				want = (uint64(xv) + uint64(yv)) & mask16
+			} else {
+				want = (uint64(xv) - uint64(yv)) & mask16
+			}
+		case 2:
+			// zext/extract round trip
+			term = b.Extract(b.ZExt(x, 32), 0, 16)
+			want = uint64(xv)
+		case 3:
+			// sext then extract of high bits
+			term = b.Extract(b.SExt(x, 32), 16, 16)
+			want = SignExtend(uint64(xv), 16) >> 16 & mask16
+		case 4:
+			// double negation and demorgan-ish mix
+			term = b.Not(b.And(b.Not(x), b.Not(y)))
+			want = (uint64(xv) | uint64(yv)) & mask16
+		case 5:
+			// shift by constant then back
+			term = b.Lshr(b.Shl(x, b.Const(4, 16)), b.Const(4, 16))
+			want = (uint64(xv) << 4 & mask16) >> 4
+		case 6:
+			// compare chain folded to bool then widened
+			term = b.ZExt(b.Ult(x, y), 16)
+			if xv < yv {
+				want = 1
+			}
+		default:
+			// x - (x ^ 0) must equal 0 via simplifications
+			term = b.Sub(x, b.Xor(x, b.Const(0, 16)))
+			want = 0
+		}
+		return Eval(term, a) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,397 @@
+// Package fuzz implements a coverage-guided mutational fuzzer for HS32
+// firmware with hardware peripherals in the loop. Its purpose in the
+// reproduction is experiment E8: quantifying how much snapshot-based
+// state reset (HardSnap) accelerates fuzzing compared to the full
+// reboot that embedded fuzzing otherwise requires between test cases
+// (Muench et al., cited in the paper's motivation).
+//
+// The firmware under test requests input via `ecall 1`
+// (make-symbolic): the fuzzer intercepts the call and copies the
+// current test case into the requested buffer. Coverage is AFL-style
+// edge coverage over (prevPC, PC) pairs.
+package fuzz
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"hardsnap/internal/asm"
+	"hardsnap/internal/bus"
+	"hardsnap/internal/isa"
+	"hardsnap/internal/target"
+	"hardsnap/internal/vm"
+	"hardsnap/internal/vtime"
+)
+
+// ResetStrategy selects how state is reset between executions.
+type ResetStrategy int
+
+// Reset strategies.
+const (
+	// ResetReboot fully reboots CPU and hardware (the naive baseline;
+	// charged vtime.RebootTime plus firmware re-initialization).
+	ResetReboot ResetStrategy = iota + 1
+	// ResetSnapshot restores a HardSnap HW/SW snapshot taken at the
+	// first `ecall 6` (snapshot hint) or at the entry point.
+	ResetSnapshot
+	// ResetNone never resets (fast and wrong: state pollution).
+	ResetNone
+)
+
+// String names the strategy.
+func (r ResetStrategy) String() string {
+	switch r {
+	case ResetReboot:
+		return "reboot"
+	case ResetSnapshot:
+		return "snapshot"
+	case ResetNone:
+		return "none"
+	}
+	return "?"
+}
+
+// Config parameterizes a fuzzing campaign.
+type Config struct {
+	// Program is the assembled firmware.
+	Program *asm.Program
+	// Peripherals populate the hardware target.
+	Peripherals []target.PeriphConfig
+	// FPGA hosts the peripherals on the FPGA target.
+	FPGA bool
+	// Reset selects the inter-execution reset strategy.
+	Reset ResetStrategy
+	// MaxExecs bounds the number of test cases (default 256).
+	MaxExecs int
+	// MaxStepsPerExec bounds each execution (default 50k).
+	MaxStepsPerExec uint64
+	// InputLen is the test case size (default 8).
+	InputLen int
+	// Seeds optionally prime the corpus.
+	Seeds [][]byte
+	// Seed makes the campaign deterministic.
+	Seed int64
+	// StopAtFirstCrash ends the campaign at the first crash.
+	StopAtFirstCrash bool
+}
+
+// Crash describes one crashing input.
+type Crash struct {
+	Input []byte
+	Stop  vm.StopReason
+	PC    uint32
+	Exec  int
+}
+
+// Result summarizes a campaign.
+type Result struct {
+	Execs     int
+	Crashes   []Crash
+	Edges     int
+	Corpus    int
+	VirtTime  time.Duration
+	ResetTime time.Duration
+	// ExecsPerVirtSecond is the headline fuzzing throughput.
+	ExecsPerVirtSecond float64
+}
+
+// Run executes a fuzzing campaign.
+func Run(cfg Config) (*Result, error) {
+	if cfg.Program == nil {
+		return nil, errors.New("fuzz: no program")
+	}
+	if cfg.MaxExecs <= 0 {
+		cfg.MaxExecs = 256
+	}
+	if cfg.MaxStepsPerExec == 0 {
+		cfg.MaxStepsPerExec = 50_000
+	}
+	if cfg.InputLen <= 0 {
+		cfg.InputLen = 8
+	}
+	if cfg.Reset == 0 {
+		cfg.Reset = ResetSnapshot
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	clock := &vtime.Clock{}
+	var tgt *target.Target
+	var router *bus.Router
+	var err error
+	if len(cfg.Peripherals) > 0 {
+		if cfg.FPGA {
+			tgt, err = target.NewFPGA("fpga0", clock, cfg.Peripherals, false)
+		} else {
+			tgt, err = target.NewSimulator("sim0", clock, cfg.Peripherals)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	cpu := vm.New(vm.Config{}, nil)
+	if tgt != nil {
+		regions := make([]bus.Region, 0, len(cfg.Peripherals))
+		for i, pc := range cfg.Peripherals {
+			p, err := tgt.Port(pc.Name)
+			if err != nil {
+				return nil, err
+			}
+			regions = append(regions, bus.Region{
+				Name: pc.Name,
+				Base: cpu.Config().MMIOBase + uint32(i)*0x100,
+				Size: 0x100,
+				IRQ:  i,
+				Port: p,
+			})
+		}
+		router, err = bus.NewRouter(regions)
+		if err != nil {
+			return nil, err
+		}
+		cpu = vm.New(vm.Config{}, router)
+	}
+	if err := cpu.Load(cfg.Program); err != nil {
+		return nil, err
+	}
+
+	f := &fuzzer{
+		cfg:    cfg,
+		rng:    rng,
+		cpu:    cpu,
+		tgt:    tgt,
+		router: router,
+		clock:  clock,
+		edges:  make(map[uint64]bool),
+	}
+	return f.run()
+}
+
+type fuzzer struct {
+	cfg    Config
+	rng    *rand.Rand
+	cpu    *vm.CPU
+	tgt    *target.Target
+	router *bus.Router
+	clock  *vtime.Clock
+
+	input []byte
+
+	// Snapshot-based reset state.
+	cpuSnap *vm.Snapshot
+	hwSnap  target.State
+
+	// Power-on hardware state for reboots.
+	powerOn target.State
+
+	edges     map[uint64]bool
+	corpus    [][]byte
+	resetTime time.Duration
+}
+
+func (f *fuzzer) run() (*Result, error) {
+	cfg := f.cfg
+	// The ecall hook feeds inputs and captures the snapshot point.
+	f.cpu.OnEcall = func(c *vm.CPU, service int32) bool {
+		switch service {
+		case isa.EcallMakeSymbolic:
+			addr, length := c.Regs[1], c.Regs[2]
+			for i := uint32(0); i < length; i++ {
+				var b byte
+				if int(i) < len(f.input) {
+					b = f.input[i]
+				}
+				if err := c.WriteMem(addr+i, 1, uint32(b)); err != nil {
+					c.Stop = vm.StopFault
+					c.Fault = err
+					return true
+				}
+			}
+			return true
+		case isa.EcallSnapshotHint:
+			if cfg.Reset == ResetSnapshot && f.cpuSnap == nil {
+				f.captureSnapshot()
+			}
+			return true
+		}
+		return false
+	}
+
+	if f.tgt != nil {
+		var err error
+		f.powerOn, err = f.tgt.Save()
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Seed corpus.
+	f.corpus = append(f.corpus, make([]byte, cfg.InputLen))
+	for _, s := range cfg.Seeds {
+		f.corpus = append(f.corpus, append([]byte(nil), s...))
+	}
+
+	res := &Result{}
+	start := f.clock.Now()
+	for exec := 0; exec < cfg.MaxExecs; exec++ {
+		if err := f.reset(); err != nil {
+			return nil, err
+		}
+		f.input = f.mutate(f.corpus[f.rng.Intn(len(f.corpus))])
+		newCov, stop, pc, err := f.execOne()
+		if err != nil {
+			return nil, err
+		}
+		res.Execs++
+		switch stop {
+		case vm.StopAbort, vm.StopAssertFail, vm.StopFault:
+			res.Crashes = append(res.Crashes, Crash{
+				Input: append([]byte(nil), f.input...),
+				Stop:  stop,
+				PC:    pc,
+				Exec:  exec,
+			})
+			if cfg.StopAtFirstCrash {
+				exec = cfg.MaxExecs
+			}
+		}
+		if newCov {
+			f.corpus = append(f.corpus, append([]byte(nil), f.input...))
+		}
+		if cfg.StopAtFirstCrash && len(res.Crashes) > 0 {
+			break
+		}
+	}
+	res.Edges = len(f.edges)
+	res.Corpus = len(f.corpus)
+	res.VirtTime = f.clock.Now() - start
+	res.ResetTime = f.resetTime
+	if secs := res.VirtTime.Seconds(); secs > 0 {
+		res.ExecsPerVirtSecond = float64(res.Execs) / secs
+	}
+	return res, nil
+}
+
+func (f *fuzzer) captureSnapshot() {
+	f.cpuSnap = f.cpu.Snapshot()
+	if f.tgt != nil {
+		hw, err := f.tgt.Save()
+		if err == nil {
+			f.hwSnap = hw
+		}
+	}
+}
+
+func (f *fuzzer) reset() error {
+	before := f.clock.Now()
+	defer func() { f.resetTime += f.clock.Now() - before }()
+
+	switch f.cfg.Reset {
+	case ResetNone:
+		// Even "no reset" must get the CPU running again; memory and
+		// hardware keep their polluted state.
+		f.cpu.Stop = vm.StopNone
+		f.cpu.Fault = nil
+		f.cpu.PC = f.cfg.Program.Entry
+		return nil
+
+	case ResetReboot:
+		f.cpu.Reset()
+		if err := f.cpu.Load(f.cfg.Program); err != nil {
+			return err
+		}
+		if f.tgt != nil {
+			if err := f.tgt.Restore(f.powerOn.Clone()); err != nil {
+				return err
+			}
+			f.router.ResetIRQEdges(nil)
+		}
+		f.clock.Advance(vtime.RebootTime)
+		return nil
+
+	case ResetSnapshot:
+		if f.cpuSnap == nil {
+			// First execution: run until the snapshot hint (or entry).
+			f.cpu.Reset()
+			if err := f.cpu.Load(f.cfg.Program); err != nil {
+				return err
+			}
+			return nil
+		}
+		f.cpu.RestoreSnapshot(f.cpuSnap)
+		if f.tgt != nil && f.hwSnap != nil {
+			if err := f.tgt.Restore(f.hwSnap.Clone()); err != nil {
+				return err
+			}
+			f.router.ResetIRQEdges(nil)
+		}
+		return nil
+	}
+	return fmt.Errorf("fuzz: unknown reset strategy %d", f.cfg.Reset)
+}
+
+// execOne runs one test case to completion, collecting edge coverage.
+func (f *fuzzer) execOne() (newCov bool, stop vm.StopReason, crashPC uint32, err error) {
+	var steps uint64
+	for f.cpu.Stop == vm.StopNone && steps < f.cfg.MaxStepsPerExec {
+		pcBefore := f.cpu.PC
+		if !f.cpu.Step() {
+			break
+		}
+		steps++
+		f.clock.Advance(vtime.VMInstruction)
+		edge := uint64(pcBefore)<<32 | uint64(f.cpu.PC)
+		if !f.edges[edge] {
+			f.edges[edge] = true
+			newCov = true
+		}
+		if f.tgt != nil {
+			if err := f.tgt.Advance(1); err != nil {
+				return false, 0, 0, err
+			}
+			irqs, err := f.router.RisingIRQs()
+			if err != nil {
+				return false, 0, 0, err
+			}
+			for _, n := range irqs {
+				f.cpu.RaiseIRQ(n)
+			}
+		}
+	}
+	if steps >= f.cfg.MaxStepsPerExec && f.cpu.Stop == vm.StopNone {
+		f.cpu.Stop = vm.StopBudget
+	}
+	return newCov, f.cpu.Stop, f.cpu.PC, nil
+}
+
+// mutate produces a variant of a corpus entry.
+func (f *fuzzer) mutate(base []byte) []byte {
+	out := make([]byte, f.cfg.InputLen)
+	copy(out, base)
+	n := 1 + f.rng.Intn(3)
+	for i := 0; i < n; i++ {
+		switch f.rng.Intn(4) {
+		case 0: // bit flip
+			if len(out) > 0 {
+				idx := f.rng.Intn(len(out))
+				out[idx] ^= 1 << uint(f.rng.Intn(8))
+			}
+		case 1: // random byte
+			if len(out) > 0 {
+				out[f.rng.Intn(len(out))] = byte(f.rng.Intn(256))
+			}
+		case 2: // interesting values
+			if len(out) > 0 {
+				vals := []byte{0x00, 0xFF, 0x7F, 0x80, 0x41, 0x0A}
+				out[f.rng.Intn(len(out))] = vals[f.rng.Intn(len(vals))]
+			}
+		case 3: // byte copy within input
+			if len(out) > 1 {
+				out[f.rng.Intn(len(out))] = out[f.rng.Intn(len(out))]
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,287 @@
+package periph
+
+import (
+	"fmt"
+	"strings"
+)
+
+// aesSBox is the FIPS-197 S-box; the Verilog sbox module is generated
+// from this table so the RTL is correct by construction.
+var aesSBox = [256]byte{
+	0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5, 0x30, 0x01, 0x67, 0x2b, 0xfe, 0xd7, 0xab, 0x76,
+	0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59, 0x47, 0xf0, 0xad, 0xd4, 0xa2, 0xaf, 0x9c, 0xa4, 0x72, 0xc0,
+	0xb7, 0xfd, 0x93, 0x26, 0x36, 0x3f, 0xf7, 0xcc, 0x34, 0xa5, 0xe5, 0xf1, 0x71, 0xd8, 0x31, 0x15,
+	0x04, 0xc7, 0x23, 0xc3, 0x18, 0x96, 0x05, 0x9a, 0x07, 0x12, 0x80, 0xe2, 0xeb, 0x27, 0xb2, 0x75,
+	0x09, 0x83, 0x2c, 0x1a, 0x1b, 0x6e, 0x5a, 0xa0, 0x52, 0x3b, 0xd6, 0xb3, 0x29, 0xe3, 0x2f, 0x84,
+	0x53, 0xd1, 0x00, 0xed, 0x20, 0xfc, 0xb1, 0x5b, 0x6a, 0xcb, 0xbe, 0x39, 0x4a, 0x4c, 0x58, 0xcf,
+	0xd0, 0xef, 0xaa, 0xfb, 0x43, 0x4d, 0x33, 0x85, 0x45, 0xf9, 0x02, 0x7f, 0x50, 0x3c, 0x9f, 0xa8,
+	0x51, 0xa3, 0x40, 0x8f, 0x92, 0x9d, 0x38, 0xf5, 0xbc, 0xb6, 0xda, 0x21, 0x10, 0xff, 0xf3, 0xd2,
+	0xcd, 0x0c, 0x13, 0xec, 0x5f, 0x97, 0x44, 0x17, 0xc4, 0xa7, 0x7e, 0x3d, 0x64, 0x5d, 0x19, 0x73,
+	0x60, 0x81, 0x4f, 0xdc, 0x22, 0x2a, 0x90, 0x88, 0x46, 0xee, 0xb8, 0x14, 0xde, 0x5e, 0x0b, 0xdb,
+	0xe0, 0x32, 0x3a, 0x0a, 0x49, 0x06, 0x24, 0x5c, 0xc2, 0xd3, 0xac, 0x62, 0x91, 0x95, 0xe4, 0x79,
+	0xe7, 0xc8, 0x37, 0x6d, 0x8d, 0xd5, 0x4e, 0xa9, 0x6c, 0x56, 0xf4, 0xea, 0x65, 0x7a, 0xae, 0x08,
+	0xba, 0x78, 0x25, 0x2e, 0x1c, 0xa6, 0xb4, 0xc6, 0xe8, 0xdd, 0x74, 0x1f, 0x4b, 0xbd, 0x8b, 0x8a,
+	0x70, 0x3e, 0xb5, 0x66, 0x48, 0x03, 0xf6, 0x0e, 0x61, 0x35, 0x57, 0xb9, 0x86, 0xc1, 0x1d, 0x9e,
+	0xe1, 0xf8, 0x98, 0x11, 0x69, 0xd9, 0x8e, 0x94, 0x9b, 0x1e, 0x87, 0xe9, 0xce, 0x55, 0x28, 0xdf,
+	0x8c, 0xa1, 0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68, 0x41, 0x99, 0x2d, 0x0f, 0xb0, 0x54, 0xbb, 0x16,
+}
+
+// sboxModule renders the combinational S-box lookup module.
+func sboxModule() string {
+	var b strings.Builder
+	b.WriteString(`
+module aes_sbox (
+  input wire [7:0] in,
+  output reg [7:0] out
+);
+  always @(*) begin
+    case (in)
+`)
+	for i, v := range aesSBox {
+		fmt.Fprintf(&b, "      8'h%02x: out = 8'h%02x;\n", i, v)
+	}
+	b.WriteString(`      default: out = 8'h00;
+    endcase
+  end
+endmodule
+`)
+	return b.String()
+}
+
+// AESSource returns the Verilog source of the AES-128 encryption
+// accelerator: round-per-cycle datapath with on-the-fly key expansion,
+// 20 S-box instances (16 SubBytes + 4 key schedule), done interrupt.
+// It is the "complex" member of the corpus (~300 state flops).
+//
+// Register map:
+//
+//	0x00 CTRL    w  [0] start (clears done), [1] irq enable
+//	0x04 STATUS  r  [0] busy, [1] done
+//	0x10-0x1C KEY0..KEY3   w  cipher key, big-endian words (FIPS order)
+//	0x20-0x2C DIN0..DIN3   w  plaintext block
+//	0x30-0x3C DOUT0..DOUT3 r  ciphertext block
+func AESSource() string {
+	return sboxModule() + aesCore
+}
+
+const aesCore = `
+module aes128 (
+  input wire clk,
+  input wire rst,
+  input wire sel,
+  input wire wen,
+  input wire [7:0] addr,
+  input wire [31:0] wdata,
+  output reg [31:0] rdata,
+  output wire irq
+);
+  reg [31:0] key0;
+  reg [31:0] key1;
+  reg [31:0] key2;
+  reg [31:0] key3;
+  reg [31:0] din0;
+  reg [31:0] din1;
+  reg [31:0] din2;
+  reg [31:0] din3;
+  reg [31:0] dout0;
+  reg [31:0] dout1;
+  reg [31:0] dout2;
+  reg [31:0] dout3;
+
+  // Working state (columns) and round key.
+  reg [31:0] s0;
+  reg [31:0] s1;
+  reg [31:0] s2;
+  reg [31:0] s3;
+  reg [31:0] k0;
+  reg [31:0] k1;
+  reg [31:0] k2;
+  reg [31:0] k3;
+  reg [3:0] round;
+  reg busy;
+  reg done;
+  reg irq_en;
+
+  assign irq = done & irq_en;
+
+  // --- SubBytes: 16 S-boxes over the state ------------------------
+  wire [7:0] sb00; wire [7:0] sb01; wire [7:0] sb02; wire [7:0] sb03;
+  wire [7:0] sb10; wire [7:0] sb11; wire [7:0] sb12; wire [7:0] sb13;
+  wire [7:0] sb20; wire [7:0] sb21; wire [7:0] sb22; wire [7:0] sb23;
+  wire [7:0] sb30; wire [7:0] sb31; wire [7:0] sb32; wire [7:0] sb33;
+  aes_sbox sb_u00 (.in(s0[31:24]), .out(sb00));
+  aes_sbox sb_u01 (.in(s0[23:16]), .out(sb01));
+  aes_sbox sb_u02 (.in(s0[15:8]),  .out(sb02));
+  aes_sbox sb_u03 (.in(s0[7:0]),   .out(sb03));
+  aes_sbox sb_u10 (.in(s1[31:24]), .out(sb10));
+  aes_sbox sb_u11 (.in(s1[23:16]), .out(sb11));
+  aes_sbox sb_u12 (.in(s1[15:8]),  .out(sb12));
+  aes_sbox sb_u13 (.in(s1[7:0]),   .out(sb13));
+  aes_sbox sb_u20 (.in(s2[31:24]), .out(sb20));
+  aes_sbox sb_u21 (.in(s2[23:16]), .out(sb21));
+  aes_sbox sb_u22 (.in(s2[15:8]),  .out(sb22));
+  aes_sbox sb_u23 (.in(s2[7:0]),   .out(sb23));
+  aes_sbox sb_u30 (.in(s3[31:24]), .out(sb30));
+  aes_sbox sb_u31 (.in(s3[23:16]), .out(sb31));
+  aes_sbox sb_u32 (.in(s3[15:8]),  .out(sb32));
+  aes_sbox sb_u33 (.in(s3[7:0]),   .out(sb33));
+
+  // --- ShiftRows (pure wiring) -------------------------------------
+  // Column j after ShiftRows: {row0[j], row1[j+1], row2[j+2], row3[j+3]}.
+  wire [31:0] sr0 = {sb00, sb11, sb22, sb33};
+  wire [31:0] sr1 = {sb10, sb21, sb32, sb03};
+  wire [31:0] sr2 = {sb20, sb31, sb02, sb13};
+  wire [31:0] sr3 = {sb30, sb01, sb12, sb23};
+
+  // --- MixColumns ---------------------------------------------------
+  wire [7:0] m0a0 = sr0[31:24]; wire [7:0] m0a1 = sr0[23:16];
+  wire [7:0] m0a2 = sr0[15:8];  wire [7:0] m0a3 = sr0[7:0];
+  wire [7:0] x0a0 = {m0a0[6:0], 1'b0} ^ (m0a0[7] ? 8'h1b : 8'h00);
+  wire [7:0] x0a1 = {m0a1[6:0], 1'b0} ^ (m0a1[7] ? 8'h1b : 8'h00);
+  wire [7:0] x0a2 = {m0a2[6:0], 1'b0} ^ (m0a2[7] ? 8'h1b : 8'h00);
+  wire [7:0] x0a3 = {m0a3[6:0], 1'b0} ^ (m0a3[7] ? 8'h1b : 8'h00);
+  wire [31:0] mc0 = {x0a0 ^ x0a1 ^ m0a1 ^ m0a2 ^ m0a3,
+                     m0a0 ^ x0a1 ^ x0a2 ^ m0a2 ^ m0a3,
+                     m0a0 ^ m0a1 ^ x0a2 ^ x0a3 ^ m0a3,
+                     x0a0 ^ m0a0 ^ m0a1 ^ m0a2 ^ x0a3};
+
+  wire [7:0] m1a0 = sr1[31:24]; wire [7:0] m1a1 = sr1[23:16];
+  wire [7:0] m1a2 = sr1[15:8];  wire [7:0] m1a3 = sr1[7:0];
+  wire [7:0] x1a0 = {m1a0[6:0], 1'b0} ^ (m1a0[7] ? 8'h1b : 8'h00);
+  wire [7:0] x1a1 = {m1a1[6:0], 1'b0} ^ (m1a1[7] ? 8'h1b : 8'h00);
+  wire [7:0] x1a2 = {m1a2[6:0], 1'b0} ^ (m1a2[7] ? 8'h1b : 8'h00);
+  wire [7:0] x1a3 = {m1a3[6:0], 1'b0} ^ (m1a3[7] ? 8'h1b : 8'h00);
+  wire [31:0] mc1 = {x1a0 ^ x1a1 ^ m1a1 ^ m1a2 ^ m1a3,
+                     m1a0 ^ x1a1 ^ x1a2 ^ m1a2 ^ m1a3,
+                     m1a0 ^ m1a1 ^ x1a2 ^ x1a3 ^ m1a3,
+                     x1a0 ^ m1a0 ^ m1a1 ^ m1a2 ^ x1a3};
+
+  wire [7:0] m2a0 = sr2[31:24]; wire [7:0] m2a1 = sr2[23:16];
+  wire [7:0] m2a2 = sr2[15:8];  wire [7:0] m2a3 = sr2[7:0];
+  wire [7:0] x2a0 = {m2a0[6:0], 1'b0} ^ (m2a0[7] ? 8'h1b : 8'h00);
+  wire [7:0] x2a1 = {m2a1[6:0], 1'b0} ^ (m2a1[7] ? 8'h1b : 8'h00);
+  wire [7:0] x2a2 = {m2a2[6:0], 1'b0} ^ (m2a2[7] ? 8'h1b : 8'h00);
+  wire [7:0] x2a3 = {m2a3[6:0], 1'b0} ^ (m2a3[7] ? 8'h1b : 8'h00);
+  wire [31:0] mc2 = {x2a0 ^ x2a1 ^ m2a1 ^ m2a2 ^ m2a3,
+                     m2a0 ^ x2a1 ^ x2a2 ^ m2a2 ^ m2a3,
+                     m2a0 ^ m2a1 ^ x2a2 ^ x2a3 ^ m2a3,
+                     x2a0 ^ m2a0 ^ m2a1 ^ m2a2 ^ x2a3};
+
+  wire [7:0] m3a0 = sr3[31:24]; wire [7:0] m3a1 = sr3[23:16];
+  wire [7:0] m3a2 = sr3[15:8];  wire [7:0] m3a3 = sr3[7:0];
+  wire [7:0] x3a0 = {m3a0[6:0], 1'b0} ^ (m3a0[7] ? 8'h1b : 8'h00);
+  wire [7:0] x3a1 = {m3a1[6:0], 1'b0} ^ (m3a1[7] ? 8'h1b : 8'h00);
+  wire [7:0] x3a2 = {m3a2[6:0], 1'b0} ^ (m3a2[7] ? 8'h1b : 8'h00);
+  wire [7:0] x3a3 = {m3a3[6:0], 1'b0} ^ (m3a3[7] ? 8'h1b : 8'h00);
+  wire [31:0] mc3 = {x3a0 ^ x3a1 ^ m3a1 ^ m3a2 ^ m3a3,
+                     m3a0 ^ x3a1 ^ x3a2 ^ m3a2 ^ m3a3,
+                     m3a0 ^ m3a1 ^ x3a2 ^ x3a3 ^ m3a3,
+                     x3a0 ^ m3a0 ^ m3a1 ^ m3a2 ^ x3a3};
+
+  // --- Key schedule (on the fly) ------------------------------------
+  reg [7:0] rcon;
+  always @(*) begin
+    case (round)
+      4'd1: rcon = 8'h01;
+      4'd2: rcon = 8'h02;
+      4'd3: rcon = 8'h04;
+      4'd4: rcon = 8'h08;
+      4'd5: rcon = 8'h10;
+      4'd6: rcon = 8'h20;
+      4'd7: rcon = 8'h40;
+      4'd8: rcon = 8'h80;
+      4'd9: rcon = 8'h1b;
+      default: rcon = 8'h36;
+    endcase
+  end
+
+  wire [7:0] kw0; wire [7:0] kw1; wire [7:0] kw2; wire [7:0] kw3;
+  // RotWord(k3) = {k3[23:16], k3[15:8], k3[7:0], k3[31:24]}.
+  aes_sbox ks_u0 (.in(k3[23:16]), .out(kw0));
+  aes_sbox ks_u1 (.in(k3[15:8]),  .out(kw1));
+  aes_sbox ks_u2 (.in(k3[7:0]),   .out(kw2));
+  aes_sbox ks_u3 (.in(k3[31:24]), .out(kw3));
+  wire [31:0] ktemp = {kw0 ^ rcon, kw1, kw2, kw3};
+  wire [31:0] nk0 = k0 ^ ktemp;
+  wire [31:0] nk1 = k1 ^ nk0;
+  wire [31:0] nk2 = k2 ^ nk1;
+  wire [31:0] nk3 = k3 ^ nk2;
+
+  wire last_round = (round == 4'd10);
+
+  always @(*) begin
+    case (addr)
+      8'h04: rdata = {30'h0, done, busy};
+      8'h30: rdata = dout0;
+      8'h34: rdata = dout1;
+      8'h38: rdata = dout2;
+      8'h3C: rdata = dout3;
+      default: rdata = 32'h0;
+    endcase
+  end
+
+  always @(posedge clk) begin
+    if (rst) begin
+      key0 <= 0; key1 <= 0; key2 <= 0; key3 <= 0;
+      din0 <= 0; din1 <= 0; din2 <= 0; din3 <= 0;
+      dout0 <= 0; dout1 <= 0; dout2 <= 0; dout3 <= 0;
+      s0 <= 0; s1 <= 0; s2 <= 0; s3 <= 0;
+      k0 <= 0; k1 <= 0; k2 <= 0; k3 <= 0;
+      round <= 0;
+      busy <= 0;
+      done <= 0;
+      irq_en <= 0;
+    end else begin
+      if (sel && wen) begin
+        case (addr)
+          8'h00: begin
+            irq_en <= wdata[1];
+            if (wdata[0]) begin
+              s0 <= din0 ^ key0;
+              s1 <= din1 ^ key1;
+              s2 <= din2 ^ key2;
+              s3 <= din3 ^ key3;
+              k0 <= key0;
+              k1 <= key1;
+              k2 <= key2;
+              k3 <= key3;
+              round <= 4'd1;
+              busy <= 1;
+              done <= 0;
+            end
+          end
+          8'h10: key0 <= wdata;
+          8'h14: key1 <= wdata;
+          8'h18: key2 <= wdata;
+          8'h1C: key3 <= wdata;
+          8'h20: din0 <= wdata;
+          8'h24: din1 <= wdata;
+          8'h28: din2 <= wdata;
+          8'h2C: din3 <= wdata;
+          default: irq_en <= irq_en;
+        endcase
+      end else if (busy) begin
+        k0 <= nk0;
+        k1 <= nk1;
+        k2 <= nk2;
+        k3 <= nk3;
+        if (last_round) begin
+          dout0 <= sr0 ^ nk0;
+          dout1 <= sr1 ^ nk1;
+          dout2 <= sr2 ^ nk2;
+          dout3 <= sr3 ^ nk3;
+          busy <= 0;
+          done <= 1;
+          round <= 0;
+        end else begin
+          s0 <= mc0 ^ nk0;
+          s1 <= mc1 ^ nk1;
+          s2 <= mc2 ^ nk2;
+          s3 <= mc3 ^ nk3;
+          round <= round + 1;
+        end
+      end
+    end
+  end
+endmodule
+`

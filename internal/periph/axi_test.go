@@ -1,0 +1,174 @@
+package periph
+
+import (
+	"testing"
+
+	"hardsnap/internal/rtl"
+	"hardsnap/internal/scanchain"
+	"hardsnap/internal/sim"
+	"hardsnap/internal/verilog"
+)
+
+// axiDev drives the AXI4-Lite wrapper with proper valid/ready
+// handshakes (bounded waits so protocol bugs fail fast).
+type axiDev struct {
+	t *testing.T
+	s *sim.Simulator
+}
+
+func openAXI(t *testing.T, periphName string) *axiDev {
+	t.Helper()
+	spec, ok := Lookup(periphName)
+	if !ok {
+		t.Fatalf("unknown periph %s", periphName)
+	}
+	src := AXIWrap(spec.Source(), spec.Top)
+	f, err := verilog.Parse(src)
+	if err != nil {
+		t.Fatalf("parse wrapper: %v", err)
+	}
+	d, err := rtl.Elaborate(f, spec.Top+"_axi", nil)
+	if err != nil {
+		t.Fatalf("elaborate wrapper: %v", err)
+	}
+	s, err := sim.New(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetInput("rst", 1)
+	s.StepCycle()
+	s.SetInput("rst", 0)
+	return &axiDev{t: t, s: s}
+}
+
+func (d *axiDev) waitHigh(sig string) {
+	d.t.Helper()
+	for i := 0; ; i++ {
+		if i > 100 {
+			d.t.Fatalf("timeout waiting for %s", sig)
+		}
+		if err := d.s.EvalComb(); err != nil {
+			d.t.Fatal(err)
+		}
+		if v, _ := d.s.Peek(sig); v != 0 {
+			return
+		}
+		d.s.StepCycle()
+	}
+}
+
+// write performs a full AW/W/B transaction.
+func (d *axiDev) write(addr, val uint32) {
+	d.t.Helper()
+	s := d.s
+	s.SetInput("awvalid", 1)
+	s.SetInput("awaddr", uint64(addr))
+	s.SetInput("wvalid", 1)
+	s.SetInput("wdata_in", uint64(val))
+	s.SetInput("bready", 1)
+	d.waitHigh("awready")
+	d.waitHigh("wready")
+	s.StepCycle() // both beats accepted
+	s.SetInput("awvalid", 0)
+	s.SetInput("wvalid", 0)
+	d.waitHigh("bvalid")
+	s.StepCycle() // B accepted
+	s.SetInput("bready", 0)
+	// Let the register-port pulse land in the peripheral.
+	s.StepCycle()
+}
+
+// read performs a full AR/R transaction.
+func (d *axiDev) read(addr uint32) uint32 {
+	d.t.Helper()
+	s := d.s
+	s.SetInput("arvalid", 1)
+	s.SetInput("araddr", uint64(addr))
+	s.SetInput("rready", 1)
+	d.waitHigh("arready")
+	s.StepCycle() // AR accepted
+	s.SetInput("arvalid", 0)
+	d.waitHigh("rvalid")
+	v, _ := s.Peek("rdata_out")
+	s.StepCycle() // R accepted
+	s.SetInput("rready", 0)
+	return uint32(v)
+}
+
+func TestAXIWrappedTimer(t *testing.T) {
+	d := openAXI(t, "timer")
+	d.write(0x00, 500) // LOAD
+	d.write(0x08, 1)   // enable
+	v1 := d.read(0x04)
+	if v1 == 0 || v1 > 500 {
+		t.Fatalf("VALUE after enable: %d", v1)
+	}
+	v2 := d.read(0x04)
+	if v2 >= v1 {
+		t.Fatalf("timer not counting down over AXI: %d -> %d", v1, v2)
+	}
+	if got := d.read(0x00); got != 500 {
+		t.Fatalf("LOAD readback %d", got)
+	}
+}
+
+func TestAXIWrappedCRC(t *testing.T) {
+	d := openAXI(t, "crc32")
+	d.write(0x08, 1) // init
+	for _, b := range []byte("123456789") {
+		d.write(0x00, uint32(b))
+		for d.read(0x0C)&1 == 1 {
+		}
+	}
+	if got := d.read(0x04); got != 0xCBF43926 {
+		t.Fatalf("CRC over AXI = %#x, want 0xCBF43926", got)
+	}
+}
+
+func TestAXIWriteDataBeforeAddress(t *testing.T) {
+	// AXI permits W before AW; the adapter must latch both orders.
+	d := openAXI(t, "timer")
+	s := d.s
+	s.SetInput("wvalid", 1)
+	s.SetInput("wdata_in", 77)
+	s.SetInput("bready", 1)
+	d.waitHigh("wready")
+	s.StepCycle()
+	s.SetInput("wvalid", 0)
+	s.SetInput("awvalid", 1)
+	s.SetInput("awaddr", 0x00)
+	d.waitHigh("awready")
+	s.StepCycle()
+	s.SetInput("awvalid", 0)
+	d.waitHigh("bvalid")
+	s.StepCycle()
+	s.SetInput("bready", 0)
+	s.StepCycle()
+	if got := d.read(0x00); got != 77 {
+		t.Fatalf("LOAD = %d after reversed beats", got)
+	}
+}
+
+func TestAXIWrapperInstrumentable(t *testing.T) {
+	// The wrapped hierarchy (adapter + peripheral) scan-instruments
+	// like any design: the chain threads both modules.
+	spec, _ := Lookup("timer")
+	f, err := verilog.Parse(AXIWrap(spec.Source(), spec.Top))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports, err := scanchain.InstrumentAll(f, spec.Top+"_axi", scanchain.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reports["axi2reg"] == nil || reports["axi2reg"].ChainBits == 0 {
+		t.Fatal("adapter not in the chain")
+	}
+	if reports["timer"] == nil || reports["timer"].ChainBits != 68 {
+		t.Fatalf("wrapped peripheral chain: %+v", reports["timer"])
+	}
+	// And it still elaborates after instrumentation.
+	if _, err := rtl.Elaborate(f, spec.Top+"_axi", nil); err != nil {
+		t.Fatalf("instrumented wrapper elaborate: %v", err)
+	}
+}

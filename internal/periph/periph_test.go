@@ -1,0 +1,608 @@
+package periph
+
+import (
+	"crypto/aes"
+	"encoding/binary"
+	"hash/crc32"
+	"math/rand"
+	"testing"
+
+	"hardsnap/internal/rtl"
+	"hardsnap/internal/sim"
+	"hardsnap/internal/verilog"
+)
+
+// dev wraps a simulator with register-port bus transactions.
+type dev struct {
+	t *testing.T
+	s *sim.Simulator
+}
+
+func openDev(t *testing.T, name string, params map[string]uint64) *dev {
+	t.Helper()
+	d, _, err := Build(name, params, false)
+	if err != nil {
+		t.Fatalf("build %s: %v", name, err)
+	}
+	s, err := sim.New(d)
+	if err != nil {
+		t.Fatalf("sim %s: %v", name, err)
+	}
+	// Synchronous reset pulse.
+	s.SetInput("rst", 1)
+	if err := s.StepCycle(); err != nil {
+		t.Fatalf("reset: %v", err)
+	}
+	s.SetInput("rst", 0)
+	return &dev{t: t, s: s}
+}
+
+func (d *dev) write(addr, val uint32) {
+	d.t.Helper()
+	d.s.SetInput("sel", 1)
+	d.s.SetInput("wen", 1)
+	d.s.SetInput("addr", uint64(addr))
+	d.s.SetInput("wdata", uint64(val))
+	if err := d.s.StepCycle(); err != nil {
+		d.t.Fatalf("bus write: %v", err)
+	}
+	d.s.SetInput("sel", 0)
+	d.s.SetInput("wen", 0)
+}
+
+func (d *dev) read(addr uint32) uint32 {
+	d.t.Helper()
+	d.s.SetInput("sel", 1)
+	d.s.SetInput("wen", 0)
+	d.s.SetInput("addr", uint64(addr))
+	if err := d.s.EvalComb(); err != nil {
+		d.t.Fatalf("bus read: %v", err)
+	}
+	v, err := d.s.Peek("rdata")
+	if err != nil {
+		d.t.Fatal(err)
+	}
+	if err := d.s.StepCycle(); err != nil {
+		d.t.Fatalf("bus read edge: %v", err)
+	}
+	d.s.SetInput("sel", 0)
+	return uint32(v)
+}
+
+func (d *dev) run(n uint64) {
+	d.t.Helper()
+	if err := d.s.Run(n); err != nil {
+		d.t.Fatal(err)
+	}
+}
+
+func (d *dev) irq() bool {
+	v, err := d.s.Peek("irq")
+	if err != nil {
+		d.t.Fatal(err)
+	}
+	return v != 0
+}
+
+func TestCorpusBuilds(t *testing.T) {
+	for _, spec := range All() {
+		t.Run(spec.Name, func(t *testing.T) {
+			d, reports, err := Build(spec.Name, spec.Params, true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d.StateBits() == 0 {
+				t.Error("no state bits")
+			}
+			if reports[spec.Top] == nil {
+				t.Error("no instrumentation report")
+			}
+			if _, ok := d.SignalByName("scan_out"); !ok {
+				t.Error("missing scan_out after instrumentation")
+			}
+		})
+	}
+}
+
+func TestGPIO(t *testing.T) {
+	d := openDev(t, "gpio", nil)
+	d.write(0x08, 0xFF00FF00) // DIR
+	d.write(0x00, 0xDEADBEEF) // OUT
+	if got := d.read(0x00); got != 0xDEADBEEF {
+		t.Fatalf("OUT readback %#x", got)
+	}
+	if got := d.read(0x08); got != 0xFF00FF00 {
+		t.Fatalf("DIR readback %#x", got)
+	}
+	pins, _ := d.s.Peek("pins_out")
+	if uint32(pins) != 0xDEADBEEF&0xFF00FF00 {
+		t.Fatalf("pins_out %#x", pins)
+	}
+	d.s.SetInput("pins_in", 0x12345678)
+	if got := d.read(0x04); got != 0x12345678 {
+		t.Fatalf("IN %#x", got)
+	}
+}
+
+func TestTimerExpiresAndIRQ(t *testing.T) {
+	d := openDev(t, "timer", nil)
+	d.write(0x00, 10)  // LOAD
+	d.write(0x08, 0x3) // enable + irq_en
+	if d.irq() {
+		t.Fatal("irq early")
+	}
+	d.run(12)
+	if got := d.read(0x0C); got&1 != 1 {
+		t.Fatalf("not expired: status %#x", got)
+	}
+	if !d.irq() {
+		t.Fatal("irq not raised")
+	}
+	d.write(0x0C, 1) // clear
+	if d.irq() {
+		t.Fatal("irq not cleared")
+	}
+}
+
+func TestTimerAutoReload(t *testing.T) {
+	d := openDev(t, "timer", nil)
+	d.write(0x00, 4)
+	d.write(0x08, 0x7) // enable + irq + auto
+	d.run(20)
+	v := d.read(0x04)
+	if v > 4 {
+		t.Fatalf("value %d should have reloaded", v)
+	}
+}
+
+func TestCRC32CheckValue(t *testing.T) {
+	d := openDev(t, "crc32", nil)
+	d.write(0x08, 1) // init
+	for _, b := range []byte("123456789") {
+		d.write(0x00, uint32(b))
+		for d.read(0x0C)&1 == 1 {
+			// poll busy
+		}
+	}
+	if got := d.read(0x04); got != 0xCBF43926 {
+		t.Fatalf("CRC = %#x, want 0xCBF43926", got)
+	}
+}
+
+func TestCRC32Differential(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	d := openDev(t, "crc32", nil)
+	for trial := 0; trial < 5; trial++ {
+		n := 1 + rng.Intn(20)
+		data := make([]byte, n)
+		rng.Read(data)
+		d.write(0x08, 1)
+		for _, b := range data {
+			d.write(0x00, uint32(b))
+			d.run(8)
+		}
+		want := crc32.ChecksumIEEE(data)
+		if got := d.read(0x04); got != want {
+			t.Fatalf("trial %d: CRC %#x, want %#x (data %x)", trial, got, want, data)
+		}
+	}
+}
+
+func TestUARTLoopback(t *testing.T) {
+	d := openDev(t, "uart", nil)
+	d.write(0x08, 0x1) // loopback
+	d.write(0x00, 0x5A)
+	if d.read(0x04)&1 != 1 {
+		t.Fatal("tx should be busy")
+	}
+	// 10 bits at 8 cycles/bit plus sampling slack.
+	d.run(120)
+	status := d.read(0x04)
+	if status&2 == 0 {
+		t.Fatalf("rx not available, status %#x", status)
+	}
+	if got := d.read(0x00); got != 0x5A {
+		t.Fatalf("loopback byte %#x", got)
+	}
+	if d.read(0x04)&2 != 0 {
+		t.Fatal("fifo should be empty after pop")
+	}
+}
+
+func TestUARTLoopbackMultipleBytes(t *testing.T) {
+	d := openDev(t, "uart", nil)
+	d.write(0x08, 0x1)
+	msg := []byte{0x00, 0xFF, 0xA5, 0x3C}
+	for _, b := range msg {
+		d.write(0x00, uint32(b))
+		d.run(120)
+	}
+	for i, want := range msg {
+		if d.read(0x04)&2 == 0 {
+			t.Fatalf("byte %d not available", i)
+		}
+		if got := d.read(0x00); got != uint32(want) {
+			t.Fatalf("byte %d: %#x want %#x", i, got, want)
+		}
+	}
+}
+
+func TestUARTRxIRQ(t *testing.T) {
+	d := openDev(t, "uart", nil)
+	d.write(0x08, 0x3) // loopback + irq_en_rx
+	if d.irq() {
+		t.Fatal("irq early")
+	}
+	d.write(0x00, 0x41)
+	d.run(120)
+	if !d.irq() {
+		t.Fatal("rx irq not raised")
+	}
+	d.read(0x00)
+	d.s.EvalComb()
+	if d.irq() {
+		t.Fatal("irq should clear after pop")
+	}
+}
+
+func TestUARTExternalRx(t *testing.T) {
+	d := openDev(t, "uart", nil)
+	// Bit-bang a frame on rx_pin at the default divider (8): start,
+	// 8 data bits LSB-first, stop.
+	sendBit := func(b uint64) {
+		d.s.SetInput("rx_pin", b)
+		d.run(8)
+	}
+	d.s.SetInput("rx_pin", 1)
+	d.run(16)
+	byteVal := byte(0xC9)
+	sendBit(0)
+	for i := 0; i < 8; i++ {
+		sendBit(uint64(byteVal >> i & 1))
+	}
+	sendBit(1)
+	d.run(16)
+	if d.read(0x04)&2 == 0 {
+		t.Fatal("rx not available")
+	}
+	if got := d.read(0x00); got != uint32(byteVal) {
+		t.Fatalf("rx byte %#x, want %#x", got, byteVal)
+	}
+}
+
+func aesEncrypt(d *dev, key, pt [16]byte) [16]byte {
+	for i := 0; i < 4; i++ {
+		d.write(uint32(0x10+4*i), binary.BigEndian.Uint32(key[4*i:]))
+		d.write(uint32(0x20+4*i), binary.BigEndian.Uint32(pt[4*i:]))
+	}
+	d.write(0x00, 1) // start
+	for d.read(0x04)&2 == 0 {
+		d.run(1)
+	}
+	var ct [16]byte
+	for i := 0; i < 4; i++ {
+		binary.BigEndian.PutUint32(ct[4*i:], d.read(uint32(0x30+4*i)))
+	}
+	return ct
+}
+
+func TestAESFIPSVector(t *testing.T) {
+	d := openDev(t, "aes128", nil)
+	key := [16]byte{0x00, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09, 0x0a, 0x0b, 0x0c, 0x0d, 0x0e, 0x0f}
+	pt := [16]byte{0x00, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77, 0x88, 0x99, 0xaa, 0xbb, 0xcc, 0xdd, 0xee, 0xff}
+	want := [16]byte{0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b, 0x04, 0x30, 0xd8, 0xcd, 0xb7, 0x80, 0x70, 0xb4, 0xc5, 0x5a}
+	got := aesEncrypt(d, key, pt)
+	if got != want {
+		t.Fatalf("AES FIPS vector:\n got %x\nwant %x", got, want)
+	}
+}
+
+func TestAESDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(4242))
+	d := openDev(t, "aes128", nil)
+	for trial := 0; trial < 4; trial++ {
+		var key, pt [16]byte
+		rng.Read(key[:])
+		rng.Read(pt[:])
+		block, err := aes.NewCipher(key[:])
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want [16]byte
+		block.Encrypt(want[:], pt[:])
+		got := aesEncrypt(d, key, pt)
+		if got != want {
+			t.Fatalf("trial %d:\n got %x\nwant %x", trial, got, want)
+		}
+	}
+}
+
+func TestAESDoneIRQ(t *testing.T) {
+	d := openDev(t, "aes128", nil)
+	d.write(0x00, 0x2) // irq_en only
+	if d.irq() {
+		t.Fatal("irq early")
+	}
+	d.write(0x00, 0x3) // start + irq_en
+	d.run(15)
+	if d.read(0x04)&2 == 0 {
+		t.Fatal("not done after 15 cycles")
+	}
+	if !d.irq() {
+		t.Fatal("done irq not raised")
+	}
+}
+
+func TestRegFile(t *testing.T) {
+	d := openDev(t, "regfile", map[string]uint64{"DEPTH": 32, "WIDTH": 16})
+	if got := d.read(0x08); got != 16<<16|32 {
+		t.Fatalf("INFO %#x", got)
+	}
+	for i := uint32(0); i < 32; i++ {
+		d.write(0x00, i)
+		d.write(0x04, i*3+1)
+	}
+	for i := uint32(0); i < 32; i++ {
+		d.write(0x00, i)
+		if got := d.read(0x04); got != (i*3+1)&0xFFFF {
+			t.Fatalf("file[%d] = %#x", i, got)
+		}
+	}
+}
+
+func TestAESScanSnapshotMidOperation(t *testing.T) {
+	// The paper's headline capability: snapshot a complex peripheral
+	// mid-computation and resume it later with identical results.
+	design, _, err := Build("aes128", nil, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := sim.New(design)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := &dev{t: t, s: s}
+	s.SetInput("rst", 1)
+	s.StepCycle()
+	s.SetInput("rst", 0)
+
+	key := [16]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16}
+	pt := [16]byte{0xAA}
+	for i := 0; i < 4; i++ {
+		d.write(uint32(0x10+4*i), binary.BigEndian.Uint32(key[4*i:]))
+		d.write(uint32(0x20+4*i), binary.BigEndian.Uint32(pt[4*i:]))
+	}
+	d.write(0x00, 1)
+	d.run(4) // part-way through the rounds
+
+	snap := s.Snapshot()
+
+	// Let the original finish.
+	for d.read(0x04)&2 == 0 {
+		d.run(1)
+	}
+	var want [16]byte
+	for i := 0; i < 4; i++ {
+		binary.BigEndian.PutUint32(want[4*i:], d.read(uint32(0x30+4*i)))
+	}
+
+	// Restore mid-operation state and re-run to completion.
+	if err := s.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	for d.read(0x04)&2 == 0 {
+		d.run(1)
+	}
+	var got [16]byte
+	for i := 0; i < 4; i++ {
+		binary.BigEndian.PutUint32(got[4*i:], d.read(uint32(0x30+4*i)))
+	}
+	if got != want {
+		t.Fatalf("resumed ciphertext differs:\n got %x\nwant %x", got, want)
+	}
+
+	// Sanity: matches crypto/aes.
+	block, _ := aes.NewCipher(key[:])
+	var ref [16]byte
+	block.Encrypt(ref[:], pt[:])
+	if got != ref {
+		t.Fatalf("ciphertext wrong vs reference:\n got %x\nwant %x", got, ref)
+	}
+}
+
+// TestStateBitCounts pins the complexity ordering the evaluation
+// relies on (crc32 < gpio < timer < uart < aes128).
+func TestStateBitCounts(t *testing.T) {
+	bits := map[string]uint{}
+	for _, name := range []string{"gpio", "timer", "crc32", "uart", "aes128"} {
+		d, _, err := Build(name, nil, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bits[name] = d.StateBits()
+		t.Logf("%-8s %4d state bits", name, d.StateBits())
+	}
+	if !(bits["crc32"] < bits["gpio"] && bits["gpio"] < bits["timer"] &&
+		bits["timer"] < bits["uart"] && bits["uart"] < bits["aes128"]) {
+		t.Fatalf("complexity ordering broken: %v", bits)
+	}
+}
+
+var _ = rtl.Design{} // keep import for helper extensions
+
+func TestSPILoopbackTransfer(t *testing.T) {
+	d := openDev(t, "spi", nil)
+	d.write(0x08, 0x5) // loopback + cs asserted
+	if v, _ := d.s.Peek("cs_n"); v != 0 {
+		t.Fatal("cs_n should be asserted (low)")
+	}
+	d.write(0x00, 0xB7)
+	if d.read(0x04)&1 != 1 {
+		t.Fatal("should be busy")
+	}
+	// 8 bits x 2 half-periods x clkdiv(2) cycles.
+	d.run(40)
+	status := d.read(0x04)
+	if status&1 != 0 {
+		t.Fatalf("still busy, status %#x", status)
+	}
+	if status&2 == 0 {
+		t.Fatal("done not set")
+	}
+	if got := d.read(0x00); got != 0xB7 {
+		t.Fatalf("loopback rx %#x, want 0xB7", got)
+	}
+	// Clear done via STATUS write.
+	d.write(0x04, 0)
+	if d.read(0x04)&2 != 0 {
+		t.Fatal("done not cleared")
+	}
+}
+
+func TestSPIMosiWaveform(t *testing.T) {
+	d := openDev(t, "spi", nil)
+	d.write(0x0C, 1) // fastest clock: 1-cycle half period
+	d.write(0x00, 0xA3)
+	// Sample MOSI on every rising sclk edge.
+	var bits []uint64
+	prevClk := uint64(0)
+	for i := 0; i < 40 && len(bits) < 8; i++ {
+		sclk, _ := d.s.Peek("sclk")
+		mosi, _ := d.s.Peek("mosi")
+		if sclk == 1 && prevClk == 0 {
+			bits = append(bits, mosi)
+		}
+		prevClk = sclk
+		d.run(1)
+	}
+	if len(bits) != 8 {
+		t.Fatalf("captured %d bits", len(bits))
+	}
+	var got byte
+	for _, b := range bits {
+		got = got<<1 | byte(b)
+	}
+	if got != 0xA3 {
+		t.Fatalf("MOSI stream %#x, want 0xA3 (bits %v)", got, bits)
+	}
+}
+
+func TestSPIExternalMiso(t *testing.T) {
+	d := openDev(t, "spi", nil)
+	d.write(0x0C, 2)
+	// Drive MISO constantly high: receive 0xFF.
+	d.s.SetInput("miso", 1)
+	d.write(0x00, 0x00)
+	d.run(40)
+	if got := d.read(0x00); got != 0xFF {
+		t.Fatalf("rx %#x, want 0xFF", got)
+	}
+}
+
+func TestSPIDoneIRQ(t *testing.T) {
+	d := openDev(t, "spi", nil)
+	d.write(0x08, 0x3) // loopback + irq_en
+	if d.irq() {
+		t.Fatal("irq early")
+	}
+	d.write(0x00, 0x01)
+	d.run(40)
+	if !d.irq() {
+		t.Fatal("transfer-complete irq missing")
+	}
+	d.write(0x04, 0)
+	d.s.EvalComb()
+	if d.irq() {
+		t.Fatal("irq should clear with done")
+	}
+}
+
+func TestSPIScanInstrumentable(t *testing.T) {
+	design, reports, err := Build("spi", nil, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reports["spi"].ChainBits != design.StateBits() {
+		t.Fatalf("chain %d != state bits %d", reports["spi"].ChainBits, design.StateBits())
+	}
+}
+
+// TestCorpusSourceRoundTrip: every corpus peripheral's source parses,
+// prints, re-parses and re-prints identically (printer stability over
+// real-world-sized designs).
+func TestCorpusSourceRoundTrip(t *testing.T) {
+	for _, spec := range All() {
+		t.Run(spec.Name, func(t *testing.T) {
+			f1, err := verilog.Parse(spec.Source())
+			if err != nil {
+				t.Fatal(err)
+			}
+			text1 := verilog.Print(f1)
+			f2, err := verilog.Parse(text1)
+			if err != nil {
+				t.Fatalf("reparse: %v", err)
+			}
+			if text2 := verilog.Print(f2); text1 != text2 {
+				t.Fatal("printer not stable")
+			}
+		})
+	}
+}
+
+// TestInstrumentedCorpusBehaviourUnchanged: with scan_enable low, the
+// instrumented design is cycle-for-cycle identical to the original on
+// random bus traffic.
+func TestInstrumentedCorpusBehaviourUnchanged(t *testing.T) {
+	rng := rand.New(rand.NewSource(31337))
+	for _, name := range []string{"gpio", "timer", "crc32", "uart", "spi"} {
+		t.Run(name, func(t *testing.T) {
+			plainD, _, err := Build(name, nil, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			instD, _, err := Build(name, nil, true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			plain, err := sim.New(plainD)
+			if err != nil {
+				t.Fatal(err)
+			}
+			inst, err := sim.New(instD)
+			if err != nil {
+				t.Fatal(err)
+			}
+			inst.SetInput("scan_enable", 0)
+			for _, s := range []*sim.Simulator{plain, inst} {
+				s.SetInput("rst", 1)
+				s.StepCycle()
+				s.SetInput("rst", 0)
+			}
+			for i := 0; i < 200; i++ {
+				sel := uint64(rng.Intn(2))
+				wen := uint64(rng.Intn(2))
+				addr := uint64(rng.Intn(16) * 4)
+				data := uint64(rng.Uint32())
+				for _, s := range []*sim.Simulator{plain, inst} {
+					s.SetInput("sel", sel)
+					s.SetInput("wen", wen)
+					s.SetInput("addr", addr)
+					s.SetInput("wdata", data)
+					if err := s.StepCycle(); err != nil {
+						t.Fatal(err)
+					}
+				}
+				pv, _ := plain.Peek("rdata")
+				iv, _ := inst.Peek("rdata")
+				if pv != iv {
+					t.Fatalf("step %d: rdata diverged %#x vs %#x", i, pv, iv)
+				}
+				pirq, _ := plain.Peek("irq")
+				iirq, _ := inst.Peek("irq")
+				if pirq != iirq {
+					t.Fatalf("step %d: irq diverged", i)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,248 @@
+// Package periph provides HardSnap's peripheral corpus: Verilog
+// sources for the evaluation peripherals (GPIO, timer, UART, CRC-32,
+// AES-128 and a parametric register file), a registry describing their
+// register maps, and helpers that parse, optionally instrument and
+// elaborate them. The corpus mirrors the paper's "4 synthetic real
+// world and open-source peripherals ... common on embedded systems and
+// [with] different design complexities".
+package periph
+
+// GPIOSource is a minimal general-purpose I/O block: the smallest
+// corpus member (a couple dozen flops).
+//
+// Register map (word offsets):
+//
+//	0x00 OUT  rw  output latch
+//	0x04 IN   r   pin inputs
+//	0x08 DIR  rw  direction mask (1 = output)
+const GPIOSource = `
+module gpio (
+  input wire clk,
+  input wire rst,
+  input wire sel,
+  input wire wen,
+  input wire [7:0] addr,
+  input wire [31:0] wdata,
+  output reg [31:0] rdata,
+  output wire irq,
+  input wire [31:0] pins_in,
+  output wire [31:0] pins_out
+);
+  reg [31:0] out;
+  reg [31:0] dir;
+
+  assign pins_out = out & dir;
+  assign irq = 1'b0;
+
+  always @(*) begin
+    case (addr)
+      8'h00: rdata = out;
+      8'h04: rdata = pins_in;
+      8'h08: rdata = dir;
+      default: rdata = 32'h0;
+    endcase
+  end
+
+  always @(posedge clk) begin
+    if (rst) begin
+      out <= 0;
+      dir <= 0;
+    end else if (sel && wen) begin
+      case (addr)
+        8'h00: out <= wdata;
+        8'h08: dir <= wdata;
+        default: out <= out;
+      endcase
+    end
+  end
+endmodule
+`
+
+// TimerSource is a down-counting timer with auto-reload and interrupt.
+//
+// Register map:
+//
+//	0x00 LOAD   rw  reload value
+//	0x04 VALUE  r   current count
+//	0x08 CTRL   rw  [0] enable, [1] irq enable, [2] auto-reload
+//	0x0C STATUS rw  [0] expired (write 1 to clear)
+const TimerSource = `
+module timer (
+  input wire clk,
+  input wire rst,
+  input wire sel,
+  input wire wen,
+  input wire [7:0] addr,
+  input wire [31:0] wdata,
+  output reg [31:0] rdata,
+  output wire irq
+);
+  reg [31:0] load;
+  reg [31:0] value;
+  reg [2:0] ctrl;
+  reg expired;
+
+  wire enable = ctrl[0];
+  wire irq_en = ctrl[1];
+  wire auto_reload = ctrl[2];
+
+  assign irq = expired & irq_en;
+
+  always @(*) begin
+    case (addr)
+      8'h00: rdata = load;
+      8'h04: rdata = value;
+      8'h08: rdata = {29'h0, ctrl};
+      8'h0C: rdata = {31'h0, expired};
+      default: rdata = 32'h0;
+    endcase
+  end
+
+  always @(posedge clk) begin
+    if (rst) begin
+      load <= 0;
+      value <= 0;
+      ctrl <= 0;
+      expired <= 0;
+    end else begin
+      if (sel && wen) begin
+        case (addr)
+          8'h00: begin
+            load <= wdata;
+            value <= wdata;
+          end
+          8'h08: ctrl <= wdata[2:0];
+          8'h0C: begin
+            if (wdata[0])
+              expired <= 0;
+          end
+          default: load <= load;
+        endcase
+      end else if (enable) begin
+        if (value == 0) begin
+          expired <= 1;
+          if (auto_reload)
+            value <= load;
+        end else begin
+          value <= value - 1;
+        end
+      end
+    end
+  end
+endmodule
+`
+
+// CRC32Source is an iterative CRC-32 (IEEE 802.3, reflected,
+// polynomial 0xEDB88320) engine that consumes one byte in eight clock
+// cycles, exposing a busy flag — giving firmware a reason to poll or
+// sleep, like real offload engines.
+//
+// Register map:
+//
+//	0x00 DATA   w   feed one byte (starts an 8-cycle computation)
+//	0x04 CRC    r   current CRC (finalized: bit-inverted)
+//	0x08 CTRL   w   write 1 to (re)initialize
+//	0x0C STATUS r   [0] busy
+const CRC32Source = `
+module crc32 (
+  input wire clk,
+  input wire rst,
+  input wire sel,
+  input wire wen,
+  input wire [7:0] addr,
+  input wire [31:0] wdata,
+  output reg [31:0] rdata,
+  output wire irq
+);
+  reg [31:0] crc;
+  reg [7:0] data;
+  reg [3:0] bits_left;
+
+  wire busy = (bits_left != 0);
+  wire fb = crc[0] ^ data[0];
+  wire [31:0] shifted = {1'b0, crc[31:1]};
+  wire [31:0] next_crc = fb ? (shifted ^ 32'hEDB88320) : shifted;
+
+  assign irq = 1'b0;
+
+  always @(*) begin
+    case (addr)
+      8'h04: rdata = ~crc;
+      8'h0C: rdata = {31'h0, busy};
+      default: rdata = 32'h0;
+    endcase
+  end
+
+  always @(posedge clk) begin
+    if (rst) begin
+      crc <= 32'hFFFFFFFF;
+      data <= 0;
+      bits_left <= 0;
+    end else if (busy) begin
+      crc <= next_crc;
+      data <= {1'b0, data[7:1]};
+      bits_left <= bits_left - 1;
+    end else if (sel && wen) begin
+      case (addr)
+        8'h00: begin
+          data <= wdata[7:0];
+          bits_left <= 8;
+        end
+        8'h08: begin
+          if (wdata[0])
+            crc <= 32'hFFFFFFFF;
+        end
+        default: data <= data;
+      endcase
+    end
+  end
+endmodule
+`
+
+// RegFileSource is the parametric register file used for the
+// snapshot-cost sweep (experiment E2): DEPTH words of WIDTH bits give
+// DEPTH*WIDTH state flops.
+//
+// Register map:
+//
+//	0x00 ADDR  rw  word index
+//	0x04 DATA  rw  read/write file[ADDR]
+//	0x08 INFO  r   {WIDTH[15:0], DEPTH[15:0]}
+const RegFileSource = `
+module regfile #(parameter DEPTH = 16, parameter WIDTH = 32) (
+  input wire clk,
+  input wire rst,
+  input wire sel,
+  input wire wen,
+  input wire [7:0] addr,
+  input wire [31:0] wdata,
+  output reg [31:0] rdata,
+  output wire irq
+);
+  reg [WIDTH-1:0] file [0:DEPTH-1];
+  reg [15:0] index;
+
+  assign irq = 1'b0;
+
+  always @(*) begin
+    case (addr)
+      8'h00: rdata = {16'h0, index};
+      8'h04: rdata = file[index];
+      8'h08: rdata = (WIDTH << 16) | DEPTH;
+      default: rdata = 32'h0;
+    endcase
+  end
+
+  always @(posedge clk) begin
+    if (rst) begin
+      index <= 0;
+    end else if (sel && wen) begin
+      case (addr)
+        8'h00: index <= wdata[15:0];
+        8'h04: file[index] <= wdata;
+        default: index <= index;
+      endcase
+    end
+  end
+endmodule
+`

@@ -1,0 +1,106 @@
+package periph
+
+// SPISource is a mode-0 SPI master (CPOL=0, CPHA=0): 8-bit transfers,
+// MSB first, programmable clock divider, manual chip select, loopback
+// mode and a transfer-complete interrupt.
+//
+// Register map:
+//
+//	0x00 DATA   rw  write: start transfer with this byte (when idle);
+//	                read: last received byte
+//	0x04 STATUS rw  [0] busy, [1] done (write anything to clear done)
+//	0x08 CTRL   rw  [0] loopback (MISO <- MOSI), [1] irq enable,
+//	                [2] chip select (cs_n output = ~bit)
+//	0x0C CLKDIV rw  half-period of sclk in bus clocks (min 1)
+const SPISource = `
+module spi (
+  input wire clk,
+  input wire rst,
+  input wire sel,
+  input wire wen,
+  input wire [7:0] addr,
+  input wire [31:0] wdata,
+  output reg [31:0] rdata,
+  output wire irq,
+  output wire sclk,
+  output wire mosi,
+  input wire miso,
+  output wire cs_n
+);
+  reg [7:0] txsh;
+  reg [7:0] rxsh;
+  reg [3:0] bits;
+  reg [15:0] cnt;
+  reg sclk_r;
+  reg done;
+  reg [2:0] ctrl;
+  reg [15:0] clkdiv;
+
+  wire busy = (bits != 0);
+  wire miso_eff = ctrl[0] ? mosi : miso;
+
+  assign sclk = sclk_r;
+  assign mosi = txsh[7];
+  assign cs_n = ~ctrl[2];
+  assign irq = done & ctrl[1];
+
+  always @(*) begin
+    case (addr)
+      8'h00: rdata = {24'h0, rxsh};
+      8'h04: rdata = {30'h0, done, busy};
+      8'h08: rdata = {29'h0, ctrl};
+      8'h0C: rdata = {16'h0, clkdiv};
+      default: rdata = 32'h0;
+    endcase
+  end
+
+  always @(posedge clk) begin
+    if (rst) begin
+      txsh <= 0;
+      rxsh <= 0;
+      bits <= 0;
+      cnt <= 0;
+      sclk_r <= 0;
+      done <= 0;
+      ctrl <= 0;
+      clkdiv <= 16'd2;
+    end else begin
+      if (sel && wen) begin
+        case (addr)
+          8'h00: begin
+            if (!busy) begin
+              txsh <= wdata[7:0];
+              bits <= 4'd8;
+              cnt <= clkdiv - 1;
+              sclk_r <= 0;
+              done <= 0;
+            end
+          end
+          8'h04: done <= 0;
+          8'h08: ctrl <= wdata[2:0];
+          8'h0C: clkdiv <= wdata[15:0];
+          default: ctrl <= ctrl;
+        endcase
+      end else if (busy) begin
+        if (cnt == 0) begin
+          cnt <= clkdiv - 1;
+          if (sclk_r == 0) begin
+            // Rising edge: sample MISO.
+            sclk_r <= 1;
+            rxsh <= {rxsh[6:0], miso_eff};
+          end else begin
+            // Falling edge: shift out the next bit.
+            sclk_r <= 0;
+            txsh <= {txsh[6:0], 1'b0};
+            bits <= bits - 1;
+            if (bits == 1)
+              done <= 1;
+          end
+        end else begin
+          cnt <= cnt - 1;
+        end
+      end
+    end
+  end
+endmodule
+`

@@ -1,0 +1,172 @@
+package periph
+
+// UARTSource is a serial transceiver with an 8-deep RX FIFO, a
+// programmable baud divider, serial loopback mode and interrupts —
+// modeled on the ubiquitous 8250-style open-source UART cores.
+//
+// Register map:
+//
+//	0x00 DATA   rw  write: transmit byte; read: pop RX FIFO
+//	0x04 STATUS r   [0] tx_busy, [1] rx_avail, [2] overflow
+//	0x08 CTRL   rw  [0] loopback, [1] irq_en_rx, [2] irq_en_tx
+//	0x0C BAUD   rw  clock cycles per bit (min 4)
+//
+// The RX engine waits 1.5 bit times after the falling start edge and
+// then samples once per bit (no oversampling): adequate for the
+// synchronous-clock co-simulation environment.
+const UARTSource = `
+module uart (
+  input wire clk,
+  input wire rst,
+  input wire sel,
+  input wire wen,
+  input wire [7:0] addr,
+  input wire [31:0] wdata,
+  output reg [31:0] rdata,
+  output wire irq,
+  input wire rx_pin,
+  output wire tx_pin
+);
+  reg [15:0] bauddiv;
+  reg [2:0] ctrl; // [0] loopback, [1] irq_en_rx, [2] irq_en_tx
+  reg overflow;
+
+  // Transmit engine.
+  reg [9:0] tx_shift;
+  reg [3:0] tx_bits;
+  reg [15:0] tx_cnt;
+  wire tx_busy = (tx_bits != 0);
+  assign tx_pin = tx_busy ? tx_shift[0] : 1'b1;
+
+  // Receive engine. The line must be seen idle-high once before a
+  // start bit is accepted (rx_armed), so a floating-low or
+  // disconnected RX pin cannot produce break garbage.
+  wire rx_line = ctrl[0] ? tx_pin : rx_pin;
+  reg rx_armed;
+  reg [1:0] rx_state; // 0 idle, 1 data, 2 stop
+  reg [3:0] rx_bits;
+  reg [15:0] rx_cnt;
+  reg [7:0] rx_shift;
+
+  wire sample_now = (rx_state == 2'd1) && (rx_cnt == 0);
+  wire [7:0] rx_byte = {rx_line, rx_shift[7:1]};
+  wire rx_done = sample_now && (rx_bits == 1);
+
+  // RX FIFO.
+  reg [7:0] fifo [0:7];
+  reg [2:0] rptr;
+  reg [2:0] wptr;
+  reg [3:0] fcount;
+  wire rx_avail = (fcount != 0);
+  wire fifo_full = (fcount == 8);
+  wire push = rx_done && !fifo_full;
+  wire pop = sel && !wen && (addr == 8'h00) && rx_avail;
+
+  assign irq = (ctrl[1] & rx_avail) | (ctrl[2] & ~tx_busy);
+
+  always @(*) begin
+    case (addr)
+      8'h00: rdata = {24'h0, fifo[rptr]};
+      8'h04: rdata = {29'h0, overflow, rx_avail, tx_busy};
+      8'h08: rdata = {29'h0, ctrl};
+      8'h0C: rdata = {16'h0, bauddiv};
+      default: rdata = 32'h0;
+    endcase
+  end
+
+  always @(posedge clk) begin
+    if (rst) begin
+      bauddiv <= 16'd8;
+      ctrl <= 0;
+      overflow <= 0;
+      tx_shift <= 0;
+      tx_bits <= 0;
+      tx_cnt <= 0;
+      rx_armed <= 0;
+      rx_state <= 0;
+      rx_bits <= 0;
+      rx_cnt <= 0;
+      rx_shift <= 0;
+      rptr <= 0;
+      wptr <= 0;
+      fcount <= 0;
+    end else begin
+      // Bus writes.
+      if (sel && wen) begin
+        case (addr)
+          8'h00: begin
+            if (!tx_busy) begin
+              tx_shift <= {1'b1, wdata[7:0], 1'b0};
+              tx_bits <= 4'd10;
+              tx_cnt <= bauddiv - 1;
+            end
+          end
+          8'h04: overflow <= 0;
+          8'h08: ctrl <= wdata[2:0];
+          8'h0C: bauddiv <= wdata[15:0];
+          default: ctrl <= ctrl;
+        endcase
+      end
+
+      // Transmit shifting.
+      if (tx_busy && !(sel && wen && (addr == 8'h00))) begin
+        if (tx_cnt == 0) begin
+          tx_shift <= {1'b1, tx_shift[9:1]};
+          tx_bits <= tx_bits - 1;
+          tx_cnt <= bauddiv - 1;
+        end else begin
+          tx_cnt <= tx_cnt - 1;
+        end
+      end
+
+      // Receive state machine.
+      case (rx_state)
+        2'd0: begin
+          if (!rx_armed) begin
+            if (rx_line)
+              rx_armed <= 1;
+          end else if (rx_line == 0) begin
+            rx_state <= 2'd1;
+            rx_cnt <= bauddiv + (bauddiv >> 1) - 1;
+            rx_bits <= 4'd8;
+          end
+        end
+        2'd1: begin
+          if (rx_cnt == 0) begin
+            rx_shift <= rx_byte;
+            if (rx_bits == 1) begin
+              rx_state <= 2'd2;
+              rx_cnt <= bauddiv - 1;
+            end else begin
+              rx_bits <= rx_bits - 1;
+              rx_cnt <= bauddiv - 1;
+            end
+          end else begin
+            rx_cnt <= rx_cnt - 1;
+          end
+        end
+        default: begin
+          if (rx_cnt == 0)
+            rx_state <= 2'd0;
+          else
+            rx_cnt <= rx_cnt - 1;
+        end
+      endcase
+
+      // FIFO push/pop.
+      if (push) begin
+        fifo[wptr] <= rx_byte;
+        wptr <= wptr + 1;
+      end
+      if (rx_done && fifo_full)
+        overflow <= 1;
+      if (pop)
+        rptr <= rptr + 1;
+      if (push && !pop)
+        fcount <= fcount + 1;
+      else if (pop && !push)
+        fcount <= fcount - 1;
+    end
+  end
+endmodule
+`

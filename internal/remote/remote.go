@@ -1,0 +1,183 @@
+// Package remote implements the remote interface through which the
+// symbolic virtual machine reaches out-of-process hardware targets: a
+// compact length-free binary request/response protocol carrying
+// register reads/writes, IRQ sampling and clock advancement. In the
+// paper this role is played by a shared-memory channel (simulator
+// target) and a USB 3.0 low-latency debugger (FPGA target); here any
+// net.Conn works, including net.Pipe for in-process use and TCP
+// sockets for genuine out-of-process targets.
+//
+// Wire format (all integers little-endian):
+//
+//	request:  opcode(1) offset(4) value(4)
+//	response: status(1) value(4)
+//
+// The client is not safe for concurrent use; the VM serializes
+// hardware access, matching the single memory bus of the modeled SoC.
+package remote
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+
+	"hardsnap/internal/bus"
+)
+
+// Protocol opcodes.
+const (
+	opRead    = 1
+	opWrite   = 2
+	opIRQ     = 3
+	opAdvance = 4
+	opPing    = 5
+)
+
+// Response status codes.
+const (
+	statusOK  = 0
+	statusErr = 1
+)
+
+// Client speaks the protocol over a connection and exposes the remote
+// peripheral as a bus.Port.
+type Client struct {
+	conn io.ReadWriter
+	buf  [9]byte
+}
+
+var _ bus.Port = (*Client)(nil)
+
+// NewClient wraps a connection.
+func NewClient(conn io.ReadWriter) *Client {
+	return &Client{conn: conn}
+}
+
+func (c *Client) roundTrip(op byte, offset, value uint32) (uint32, error) {
+	c.buf[0] = op
+	binary.LittleEndian.PutUint32(c.buf[1:5], offset)
+	binary.LittleEndian.PutUint32(c.buf[5:9], value)
+	if _, err := c.conn.Write(c.buf[:9]); err != nil {
+		return 0, fmt.Errorf("remote: send: %w", err)
+	}
+	var resp [5]byte
+	if _, err := io.ReadFull(c.conn, resp[:]); err != nil {
+		return 0, fmt.Errorf("remote: receive: %w", err)
+	}
+	v := binary.LittleEndian.Uint32(resp[1:5])
+	if resp[0] != statusOK {
+		return 0, fmt.Errorf("remote: target error (code %d)", v)
+	}
+	return v, nil
+}
+
+// ReadReg reads a peripheral register.
+func (c *Client) ReadReg(offset uint32) (uint32, error) {
+	return c.roundTrip(opRead, offset, 0)
+}
+
+// WriteReg writes a peripheral register.
+func (c *Client) WriteReg(offset uint32, v uint32) error {
+	_, err := c.roundTrip(opWrite, offset, v)
+	return err
+}
+
+// IRQLevel samples the remote interrupt line.
+func (c *Client) IRQLevel() (bool, error) {
+	v, err := c.roundTrip(opIRQ, 0, 0)
+	if err != nil {
+		return false, err
+	}
+	return v != 0, nil
+}
+
+// Advance runs n hardware clock cycles remotely.
+func (c *Client) Advance(n uint32) error {
+	_, err := c.roundTrip(opAdvance, 0, n)
+	return err
+}
+
+// Ping verifies the link.
+func (c *Client) Ping() error {
+	v, err := c.roundTrip(opPing, 0, 0x48535250) // "HSRP"
+	if err != nil {
+		return err
+	}
+	if v != 0x48535250 {
+		return fmt.Errorf("remote: bad ping echo %#x", v)
+	}
+	return nil
+}
+
+// Advancer optionally extends bus.Port with clock advancement; the
+// server uses it when the backing port supports it.
+type Advancer interface {
+	Advance(n uint64) error
+}
+
+// Serve answers protocol requests against the given port until the
+// connection closes. It returns nil on clean EOF.
+func Serve(conn io.ReadWriter, port bus.Port) error {
+	var req [9]byte
+	var resp [5]byte
+	for {
+		if _, err := io.ReadFull(conn, req[:]); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				return nil
+			}
+			if ne, ok := err.(net.Error); ok && !ne.Timeout() {
+				return nil
+			}
+			return fmt.Errorf("remote: read request: %w", err)
+		}
+		offset := binary.LittleEndian.Uint32(req[1:5])
+		value := binary.LittleEndian.Uint32(req[5:9])
+		var out uint32
+		var opErr error
+		switch req[0] {
+		case opRead:
+			out, opErr = port.ReadReg(offset)
+		case opWrite:
+			opErr = port.WriteReg(offset, value)
+		case opIRQ:
+			level, err := port.IRQLevel()
+			if level {
+				out = 1
+			}
+			opErr = err
+		case opAdvance:
+			if adv, ok := port.(Advancer); ok {
+				opErr = adv.Advance(uint64(value))
+			} else {
+				opErr = fmt.Errorf("target does not support advance")
+			}
+		case opPing:
+			out = value
+		default:
+			opErr = fmt.Errorf("unknown opcode %d", req[0])
+		}
+		resp[0] = statusOK
+		if opErr != nil {
+			resp[0] = statusErr
+			out = 0
+		}
+		binary.LittleEndian.PutUint32(resp[1:5], out)
+		if _, err := conn.Write(resp[:]); err != nil {
+			return fmt.Errorf("remote: write response: %w", err)
+		}
+	}
+}
+
+// ListenAndServe accepts one connection at a time on the listener and
+// serves the port. It returns when the listener closes.
+func ListenAndServe(ln net.Listener, port bus.Port) error {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return nil //nolint:nilerr // closed listener ends service
+		}
+		_ = Serve(conn, port)
+		_ = conn.Close()
+	}
+}

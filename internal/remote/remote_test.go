@@ -1,0 +1,158 @@
+package remote
+
+import (
+	"net"
+	"sync"
+	"testing"
+
+	"hardsnap/internal/bus"
+	"hardsnap/internal/target"
+	"hardsnap/internal/vtime"
+)
+
+// targetPort adapts a target peripheral port plus Advance for the
+// protocol server.
+type targetPort struct {
+	bus.Port
+	tg *target.Target
+}
+
+func (p *targetPort) Advance(n uint64) error { return p.tg.Advance(n) }
+
+func pipePair(t *testing.T, port bus.Port) *Client {
+	t.Helper()
+	cConn, sConn := net.Pipe()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = Serve(sConn, port)
+	}()
+	t.Cleanup(func() {
+		cConn.Close()
+		sConn.Close()
+		wg.Wait()
+	})
+	return NewClient(cConn)
+}
+
+func newGPIOTarget(t *testing.T) (*target.Target, bus.Port) {
+	t.Helper()
+	tg, err := target.NewSimulator("sim", &vtime.Clock{}, []target.PeriphConfig{
+		{Name: "gpio0", Periph: "gpio"},
+		{Name: "timer0", Periph: "timer"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := tg.Port("gpio0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tg, p
+}
+
+func TestRemoteReadWrite(t *testing.T) {
+	tg, p := newGPIOTarget(t)
+	client := pipePair(t, &targetPort{Port: p, tg: tg})
+
+	if err := client.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.WriteReg(0x00, 0xBEEF); err != nil {
+		t.Fatal(err)
+	}
+	v, err := client.ReadReg(0x00)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0xBEEF {
+		t.Fatalf("remote readback %#x", v)
+	}
+}
+
+func TestRemoteIRQAndAdvance(t *testing.T) {
+	tg, err := target.NewSimulator("sim", &vtime.Clock{}, []target.PeriphConfig{
+		{Name: "timer0", Periph: "timer"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _ := tg.Port("timer0")
+	client := pipePair(t, &targetPort{Port: p, tg: tg})
+
+	client.WriteReg(0x00, 5)
+	client.WriteReg(0x08, 3)
+	level, err := client.IRQLevel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if level {
+		t.Fatal("irq too early")
+	}
+	if err := client.Advance(10); err != nil {
+		t.Fatal(err)
+	}
+	level, err = client.IRQLevel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !level {
+		t.Fatal("irq not raised after remote advance")
+	}
+}
+
+func TestRemoteErrorPropagation(t *testing.T) {
+	_, p := newGPIOTarget(t)
+	// Plain port: Advance unsupported -> server returns an error
+	// response instead of dying.
+	client := pipePair(t, p)
+	if err := client.Advance(1); err == nil {
+		t.Fatal("advance on non-advancer must fail")
+	}
+	// The link must still be usable afterwards.
+	if err := client.Ping(); err != nil {
+		t.Fatalf("link dead after error: %v", err)
+	}
+}
+
+func TestRemoteOverTCP(t *testing.T) {
+	tg, p := newGPIOTarget(t)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = ListenAndServe(ln, &targetPort{Port: p, tg: tg})
+	}()
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := NewClient(conn)
+	if err := client.WriteReg(0x08, 0xFF); err != nil {
+		t.Fatal(err)
+	}
+	v, err := client.ReadReg(0x08)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0xFF {
+		t.Fatalf("tcp readback %#x", v)
+	}
+	conn.Close()
+	ln.Close()
+	<-done
+}
+
+func TestClientBrokenLink(t *testing.T) {
+	cConn, sConn := net.Pipe()
+	sConn.Close()
+	cConn.Close()
+	client := NewClient(cConn)
+	if _, err := client.ReadReg(0); err == nil {
+		t.Fatal("read on closed link must fail")
+	}
+}

@@ -1,0 +1,167 @@
+// Package rtl elaborates a parsed Verilog design into a flat netlist
+// suitable for cycle-accurate simulation: the module hierarchy is
+// flattened (instance signals get hierarchical names), parameters are
+// resolved and constant-folded, every signal receives a width, and
+// combinational logic is scheduled topologically. This package is the
+// Go equivalent of Verilator's elaboration stage.
+package rtl
+
+import (
+	"fmt"
+
+	"hardsnap/internal/verilog"
+)
+
+// Signal is one elaborated net or register.
+type Signal struct {
+	ID    int
+	Name  string // hierarchical, e.g. "u_uart.state"
+	Width uint
+	// IsReg marks state elements (written by sequential blocks).
+	IsReg bool
+	// IsInput/IsOutput mark top-level ports.
+	IsInput  bool
+	IsOutput bool
+}
+
+// Memory is an elaborated unpacked array (reg [W-1:0] m [0:D-1]).
+type Memory struct {
+	ID    int
+	Name  string
+	Width uint
+	Depth uint
+}
+
+// Scope resolves local identifiers of one elaborated module instance.
+type Scope struct {
+	prefix   string
+	params   map[string]uint64
+	signals  map[string]*Signal
+	memories map[string]*Memory
+}
+
+// Param returns a parameter value and whether it exists.
+func (s *Scope) Param(name string) (uint64, bool) {
+	v, ok := s.params[name]
+	return v, ok
+}
+
+// Signal resolves a local signal name.
+func (s *Scope) Signal(name string) (*Signal, bool) {
+	sig, ok := s.signals[name]
+	return sig, ok
+}
+
+// Memory resolves a local memory name.
+func (s *Scope) Memory(name string) (*Memory, bool) {
+	m, ok := s.memories[name]
+	return m, ok
+}
+
+// EvalScope builds a read-only resolution scope over the whole
+// elaborated design: every signal and memory is visible under its
+// hierarchical name (and, for the top level, its plain name). Used to
+// evaluate user-written property expressions against a State.
+func (d *Design) EvalScope() *Scope {
+	s := &Scope{
+		params:   map[string]uint64{},
+		signals:  make(map[string]*Signal, len(d.Signals)),
+		memories: make(map[string]*Memory, len(d.Memories)),
+	}
+	for _, sig := range d.Signals {
+		s.signals[sig.Name] = sig
+	}
+	for _, m := range d.Memories {
+		s.memories[m.Name] = m
+	}
+	return s
+}
+
+// CombNode is one schedulable unit of combinational logic: either a
+// continuous assignment or a whole always @(*) block.
+type CombNode struct {
+	// Assign is set for continuous assignments (and port bindings).
+	Assign *verilog.Assign
+	// Block is set for always @(*) bodies.
+	Block verilog.Stmt
+	// Scope resolves identifiers inside the node.
+	Scope *Scope
+
+	reads  map[int]bool
+	writes map[int]bool
+}
+
+// SeqBlock is an elaborated always @(posedge clk) block.
+type SeqBlock struct {
+	Body  verilog.Stmt
+	Scope *Scope
+}
+
+// Design is a fully elaborated, flattened netlist.
+type Design struct {
+	Top string
+	// Clock is the top-level input driving every sequential block.
+	Clock *Signal
+
+	Signals  []*Signal
+	Memories []*Memory
+
+	Inputs  []*Signal
+	Outputs []*Signal
+
+	// Combs are in topological evaluation order.
+	Combs []*CombNode
+	Seqs  []*SeqBlock
+
+	byName    map[string]*Signal
+	memByName map[string]*Memory
+}
+
+// SignalByName returns the signal with the given hierarchical name.
+func (d *Design) SignalByName(name string) (*Signal, bool) {
+	s, ok := d.byName[name]
+	return s, ok
+}
+
+// MemoryByName returns the memory with the given hierarchical name.
+func (d *Design) MemoryByName(name string) (*Memory, bool) {
+	m, ok := d.memByName[name]
+	return m, ok
+}
+
+// Regs returns all state-holding signals in declaration order.
+func (d *Design) Regs() []*Signal {
+	var regs []*Signal
+	for _, s := range d.Signals {
+		if s.IsReg {
+			regs = append(regs, s)
+		}
+	}
+	return regs
+}
+
+// StateBits counts the total number of state bits (registers plus
+// memories); this is the scan-chain length of the design.
+func (d *Design) StateBits() uint {
+	var n uint
+	for _, s := range d.Signals {
+		if s.IsReg {
+			n += s.Width
+		}
+	}
+	for _, m := range d.Memories {
+		n += m.Width * m.Depth
+	}
+	return n
+}
+
+// Error reports an elaboration failure.
+type Error struct {
+	Module string
+	Line   int
+	Msg    string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("rtl: module %s line %d: %s", e.Module, e.Line, e.Msg)
+}

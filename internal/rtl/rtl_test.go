@@ -1,0 +1,227 @@
+package rtl
+
+import (
+	"strings"
+	"testing"
+
+	"hardsnap/internal/verilog"
+)
+
+func elab(t *testing.T, src, top string, overrides map[string]uint64) *Design {
+	t.Helper()
+	f, err := verilog.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	d, err := Elaborate(f, top, overrides)
+	if err != nil {
+		t.Fatalf("elaborate: %v", err)
+	}
+	return d
+}
+
+const counterSrc = `
+module counter #(parameter WIDTH = 8) (
+  input wire clk,
+  input wire rst,
+  input wire en,
+  output reg [WIDTH-1:0] count,
+  output wire msb
+);
+  assign msb = count[WIDTH-1];
+  always @(posedge clk) begin
+    if (rst)
+      count <= 0;
+    else if (en)
+      count <= count + 1;
+  end
+endmodule
+`
+
+func TestElaborateCounter(t *testing.T) {
+	d := elab(t, counterSrc, "counter", nil)
+	if d.Clock == nil || d.Clock.Name != "clk" {
+		t.Fatalf("clock: %+v", d.Clock)
+	}
+	sig, ok := d.SignalByName("count")
+	if !ok || sig.Width != 8 || !sig.IsReg || !sig.IsOutput {
+		t.Fatalf("count: %+v", sig)
+	}
+	if got := d.StateBits(); got != 8 {
+		t.Fatalf("state bits: %d", got)
+	}
+	if len(d.Inputs) != 3 || len(d.Outputs) != 2 {
+		t.Fatalf("ports: %d in, %d out", len(d.Inputs), len(d.Outputs))
+	}
+}
+
+func TestParameterOverride(t *testing.T) {
+	d := elab(t, counterSrc, "counter", map[string]uint64{"WIDTH": 16})
+	sig, _ := d.SignalByName("count")
+	if sig.Width != 16 {
+		t.Fatalf("width: %d", sig.Width)
+	}
+}
+
+func TestHierarchy(t *testing.T) {
+	src := counterSrc + `
+module top (
+  input wire clk,
+  input wire rst,
+  output wire [15:0] value,
+  output wire flag
+);
+  counter #(.WIDTH(16)) u0 (.clk(clk), .rst(rst), .en(1'b1), .count(value), .msb(flag));
+endmodule
+`
+	d := elab(t, src, "top", nil)
+	if _, ok := d.SignalByName("u0.count"); !ok {
+		t.Fatal("missing hierarchical signal u0.count")
+	}
+	if d.Clock == nil || d.Clock.Name != "clk" {
+		t.Fatalf("clock: %+v", d.Clock)
+	}
+	if got := d.StateBits(); got != 16 {
+		t.Fatalf("state bits: %d", got)
+	}
+}
+
+func TestMemoryElaboration(t *testing.T) {
+	src := `
+module fifo (
+  input wire clk,
+  input wire push,
+  input wire [7:0] din,
+  output wire [7:0] head
+);
+  reg [7:0] mem [0:15];
+  reg [3:0] wptr;
+  assign head = mem[0];
+  always @(posedge clk) begin
+    if (push) begin
+      mem[wptr] <= din;
+      wptr <= wptr + 1;
+    end
+  end
+endmodule
+`
+	d := elab(t, src, "fifo", nil)
+	m, ok := d.MemoryByName("mem")
+	if !ok || m.Width != 8 || m.Depth != 16 {
+		t.Fatalf("mem: %+v", m)
+	}
+	if got := d.StateBits(); got != 8*16+4 {
+		t.Fatalf("state bits: %d", got)
+	}
+}
+
+func TestCombLoopRejected(t *testing.T) {
+	src := `
+module loopy (input wire clk, output wire a);
+  wire b;
+  assign a = ~b;
+  assign b = ~a;
+endmodule
+`
+	f, err := verilog.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Elaborate(f, "loopy", nil); err == nil ||
+		!strings.Contains(err.Error(), "combinational loop") {
+		t.Fatalf("want combinational loop error, got %v", err)
+	}
+}
+
+func TestMultipleDriversRejected(t *testing.T) {
+	src := `
+module dd (input wire clk, input wire x, output wire y);
+  assign y = x;
+  assign y = ~x;
+endmodule
+`
+	f, err := verilog.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Elaborate(f, "dd", nil); err == nil ||
+		!strings.Contains(err.Error(), "multiple comb") {
+		t.Fatalf("want multiple-driver error, got %v", err)
+	}
+}
+
+func TestBlockingInSeqRejected(t *testing.T) {
+	src := `
+module bad (input wire clk, output reg q);
+  always @(posedge clk) q = 1;
+endmodule
+`
+	f, err := verilog.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Elaborate(f, "bad", nil); err == nil {
+		t.Fatal("blocking assignment in seq block must be rejected")
+	}
+}
+
+func TestMultiClockRejected(t *testing.T) {
+	src := `
+module mc (input wire clk, input wire clk2, output reg a, output reg b);
+  always @(posedge clk) a <= 1;
+  always @(posedge clk2) b <= 1;
+endmodule
+`
+	f, err := verilog.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Elaborate(f, "mc", nil); err == nil ||
+		!strings.Contains(err.Error(), "clock") {
+		t.Fatalf("want clock-domain error, got %v", err)
+	}
+}
+
+func TestUnknownModuleRejected(t *testing.T) {
+	src := `
+module top (input wire clk);
+  ghost u0 (.clk(clk));
+endmodule
+`
+	f, err := verilog.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Elaborate(f, "top", nil); err == nil {
+		t.Fatal("unknown module must be rejected")
+	}
+}
+
+func TestUnknownPortRejected(t *testing.T) {
+	src := counterSrc + `
+module top (input wire clk);
+  counter u0 (.clk(clk), .bogus(clk));
+endmodule
+`
+	f, err := verilog.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Elaborate(f, "top", nil); err == nil {
+		t.Fatal("unknown port must be rejected")
+	}
+}
+
+func TestLocalparamAndExpressionWidths(t *testing.T) {
+	src := `
+module w (input wire clk, input wire [7:0] a, output wire [15:0] out);
+  localparam SHIFT = 8;
+  assign out = {a, 8'h00} >> SHIFT << (SHIFT - 8);
+endmodule
+`
+	d := elab(t, src, "w", nil)
+	sig, _ := d.SignalByName("out")
+	if sig.Width != 16 {
+		t.Fatalf("out width %d", sig.Width)
+	}
+}

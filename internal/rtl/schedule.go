@@ -1,0 +1,262 @@
+package rtl
+
+import (
+	"fmt"
+	"sort"
+
+	"hardsnap/internal/verilog"
+)
+
+// collectReads appends the IDs of signals read by an expression.
+func collectReads(x verilog.Expr, scope *Scope, out map[int]bool) {
+	switch v := x.(type) {
+	case *verilog.Number:
+	case *verilog.Ident:
+		if s, ok := scope.signals[v.Name]; ok {
+			out[s.ID] = true
+		}
+	case *verilog.Unary:
+		collectReads(v.X, scope, out)
+	case *verilog.Binary:
+		collectReads(v.X, scope, out)
+		collectReads(v.Y, scope, out)
+	case *verilog.Ternary:
+		collectReads(v.Cond, scope, out)
+		collectReads(v.Then, scope, out)
+		collectReads(v.Else, scope, out)
+	case *verilog.Index:
+		// Memory reads depend only on the index (memory contents are
+		// sequential state); bit-selects depend on both.
+		if base, ok := v.X.(*verilog.Ident); ok {
+			if _, isMem := scope.memories[base.Name]; isMem {
+				collectReads(v.Idx, scope, out)
+				return
+			}
+		}
+		collectReads(v.X, scope, out)
+		collectReads(v.Idx, scope, out)
+	case *verilog.RangeSel:
+		collectReads(v.X, scope, out)
+	case *verilog.Concat:
+		for _, p := range v.Parts {
+			collectReads(p, scope, out)
+		}
+	case *verilog.Repeat:
+		collectReads(v.X, scope, out)
+	}
+}
+
+// collectWrites appends the IDs of signals written by an lvalue, and
+// records reads contributed by dynamic indices. Partial writes
+// (bit/part select) also count as reads of the target.
+func collectWrites(lhs verilog.Expr, scope *Scope, writes, reads map[int]bool) error {
+	switch v := lhs.(type) {
+	case *verilog.Ident:
+		if s, ok := scope.signals[v.Name]; ok {
+			writes[s.ID] = true
+			return nil
+		}
+		if _, isMem := scope.memories[v.Name]; isMem {
+			return fmt.Errorf("rtl: memory %q written without index", v.Name)
+		}
+		return fmt.Errorf("rtl: unknown lvalue %q", v.Name)
+	case *verilog.Index:
+		if base, ok := v.X.(*verilog.Ident); ok {
+			if _, isMem := scope.memories[base.Name]; isMem {
+				collectReads(v.Idx, scope, reads)
+				return nil
+			}
+			if s, ok := scope.signals[base.Name]; ok {
+				writes[s.ID] = true
+				reads[s.ID] = true // read-modify-write
+				collectReads(v.Idx, scope, reads)
+				return nil
+			}
+		}
+		return fmt.Errorf("rtl: unsupported indexed lvalue")
+	case *verilog.RangeSel:
+		base, ok := v.X.(*verilog.Ident)
+		if !ok {
+			return fmt.Errorf("rtl: unsupported part-select lvalue")
+		}
+		s, ok := scope.signals[base.Name]
+		if !ok {
+			return fmt.Errorf("rtl: unknown lvalue %q", base.Name)
+		}
+		writes[s.ID] = true
+		reads[s.ID] = true
+		return nil
+	case *verilog.Concat:
+		for _, p := range v.Parts {
+			if err := collectWrites(p, scope, writes, reads); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return fmt.Errorf("rtl: unsupported lvalue %T", lhs)
+}
+
+// analyzeStmt collects reads/writes of a procedural statement.
+func analyzeStmt(s verilog.Stmt, scope *Scope, writes, reads map[int]bool) error {
+	switch st := s.(type) {
+	case *verilog.Block:
+		for _, sub := range st.Stmts {
+			if err := analyzeStmt(sub, scope, writes, reads); err != nil {
+				return err
+			}
+		}
+	case *verilog.If:
+		collectReads(st.Cond, scope, reads)
+		if err := analyzeStmt(st.Then, scope, writes, reads); err != nil {
+			return err
+		}
+		if st.Else != nil {
+			return analyzeStmt(st.Else, scope, writes, reads)
+		}
+	case *verilog.Case:
+		collectReads(st.Subject, scope, reads)
+		for _, item := range st.Items {
+			for _, l := range item.Labels {
+				collectReads(l, scope, reads)
+			}
+			if err := analyzeStmt(item.Body, scope, writes, reads); err != nil {
+				return err
+			}
+		}
+	case *verilog.NonBlocking:
+		collectReads(st.RHS, scope, reads)
+		return collectWrites(st.LHS, scope, writes, reads)
+	case *verilog.Blocking:
+		collectReads(st.RHS, scope, reads)
+		return collectWrites(st.LHS, scope, writes, reads)
+	}
+	return nil
+}
+
+func (c *CombNode) analyze() error {
+	c.reads = make(map[int]bool)
+	c.writes = make(map[int]bool)
+	if c.Assign != nil {
+		collectReads(c.Assign.RHS, c.Scope, c.reads)
+		return collectWrites(c.Assign.LHS, c.Scope, c.writes, c.reads)
+	}
+	return analyzeStmt(c.Block, c.Scope, c.writes, c.reads)
+}
+
+// Reads returns the IDs of signals the node depends on.
+func (c *CombNode) Reads() []int { return sortedIDs(c.reads) }
+
+// Writes returns the IDs of signals the node drives.
+func (c *CombNode) Writes() []int { return sortedIDs(c.writes) }
+
+func sortedIDs(m map[int]bool) []int {
+	ids := make([]int, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// checkDrivers verifies single-driver rules: a signal is driven by at
+// most one comb node or sequential blocks (not both), and inputs are
+// never driven.
+func (e *elaborator) checkDrivers() error {
+	combDriver := make(map[int]int) // signal -> comb node index
+	for i, c := range e.d.Combs {
+		if err := c.analyze(); err != nil {
+			return err
+		}
+		for id := range c.writes {
+			if prev, dup := combDriver[id]; dup {
+				// Multiple partial drivers of the same signal from the
+				// same always block were already merged (same node), so
+				// this is a genuine conflict.
+				return fmt.Errorf("rtl: signal %s driven by multiple comb nodes (%d and %d)",
+					e.d.Signals[id].Name, prev, i)
+			}
+			combDriver[id] = i
+			if e.d.Signals[id].IsInput {
+				return fmt.Errorf("rtl: top-level input %s cannot be driven", e.d.Signals[id].Name)
+			}
+		}
+	}
+	for _, s := range e.d.Signals {
+		if !s.IsReg {
+			continue
+		}
+		if i, both := combDriver[s.ID]; both {
+			return fmt.Errorf("rtl: signal %s driven both sequentially and by comb node %d", s.Name, i)
+		}
+		if s.IsInput {
+			return fmt.Errorf("rtl: input %s written by a sequential block", s.Name)
+		}
+	}
+	return nil
+}
+
+// schedule topologically sorts comb nodes so that every node runs
+// after the nodes producing its inputs. Register and input reads do
+// not create edges. A cycle is a combinational loop and is rejected.
+func (e *elaborator) schedule() error {
+	n := len(e.d.Combs)
+	producer := make(map[int]int) // signal ID -> producing node
+	for i, c := range e.d.Combs {
+		for id := range c.writes {
+			producer[id] = i
+		}
+	}
+	adj := make([][]int, n)
+	indeg := make([]int, n)
+	for i, c := range e.d.Combs {
+		seen := make(map[int]bool)
+		for id := range c.reads {
+			sig := e.d.Signals[id]
+			if sig.IsReg || sig.IsInput {
+				continue
+			}
+			p, ok := producer[id]
+			if !ok || p == i || seen[p] {
+				continue
+			}
+			seen[p] = true
+			adj[p] = append(adj[p], i)
+			indeg[i]++
+		}
+	}
+	queue := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			queue = append(queue, i)
+		}
+	}
+	order := make([]*CombNode, 0, n)
+	for len(queue) > 0 {
+		i := queue[0]
+		queue = queue[1:]
+		order = append(order, e.d.Combs[i])
+		for _, j := range adj[i] {
+			indeg[j]--
+			if indeg[j] == 0 {
+				queue = append(queue, j)
+			}
+		}
+	}
+	if len(order) != n {
+		// Report one signal on the cycle for diagnosis.
+		for i := 0; i < n; i++ {
+			if indeg[i] > 0 {
+				var name string
+				for id := range e.d.Combs[i].writes {
+					name = e.d.Signals[id].Name
+					break
+				}
+				return fmt.Errorf("rtl: combinational loop involving %s", name)
+			}
+		}
+		return fmt.Errorf("rtl: combinational loop detected")
+	}
+	e.d.Combs = order
+	return nil
+}

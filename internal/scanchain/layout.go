@@ -1,0 +1,62 @@
+package scanchain
+
+import "fmt"
+
+// BitRef identifies where one scan-chain bit lives in the elaborated
+// design: bit Bit of register Name, or bit Bit of word Index of memory
+// Name. Names are hierarchical, matching rtl/sim naming.
+type BitRef struct {
+	Name  string
+	IsMem bool
+	Index uint // memory word
+	Bit   uint
+}
+
+// Layout reconstructs the full chain bit order of an instrumented
+// hierarchy: position 0 is the first bit after scan_in (the LSB of the
+// first element), the last position drives scan_out. Registers
+// contribute bits LSB to MSB; memories contribute word 0..D-1, each
+// LSB to MSB; instances splice in the child module's layout under a
+// hierarchical prefix.
+func Layout(reports map[string]*Report, top string) ([]BitRef, error) {
+	var out []BitRef
+	if err := layoutModule(reports, top, "", &out, 0); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func layoutModule(reports map[string]*Report, module, prefix string, out *[]BitRef, depth int) error {
+	if depth > 64 {
+		return fmt.Errorf("scanchain: layout recursion too deep at %s", module)
+	}
+	r, ok := reports[module]
+	if !ok {
+		return fmt.Errorf("scanchain: no report for module %q", module)
+	}
+	full := func(name string) string {
+		if prefix == "" {
+			return name
+		}
+		return prefix + "." + name
+	}
+	for _, el := range r.Elements {
+		switch el.Kind {
+		case KindRegister:
+			for b := uint(0); b < el.Bits; b++ {
+				*out = append(*out, BitRef{Name: full(el.Name), Bit: b})
+			}
+		case KindMemory:
+			for w := uint(0); w < el.Depth; w++ {
+				for b := uint(0); b < el.Width; b++ {
+					*out = append(*out, BitRef{Name: full(el.Name), IsMem: true, Index: w, Bit: b})
+				}
+			}
+		case KindInstance:
+			if err := layoutModule(reports, el.Module, full(el.Name), out, depth+1); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

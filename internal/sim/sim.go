@@ -1,0 +1,235 @@
+// Package sim is the cycle-accurate simulator for elaborated RTL
+// designs — HardSnap's equivalent of a Verilator-generated model. Each
+// StepCycle evaluates combinational logic, executes every sequential
+// block with nonblocking semantics, commits register/memory updates at
+// the clock edge and re-settles combinational logic.
+//
+// Because simulated state is ordinary process memory, the simulator
+// offers the full-visibility/full-controllability interface the paper
+// attributes to the simulator target: any register or memory can be
+// read and written between cycles, and complete hardware snapshots are
+// cheap deep copies.
+package sim
+
+import (
+	"fmt"
+
+	"hardsnap/internal/rtl"
+	"hardsnap/internal/verilog"
+)
+
+// Simulator drives one elaborated design instance.
+type Simulator struct {
+	design *rtl.Design
+	state  *rtl.State
+	cycles uint64
+
+	// OnCycle, when set, is invoked after each completed cycle with
+	// the cycle number; used by the tracer.
+	OnCycle func(cycle uint64)
+
+	writeBuf []rtl.Write
+}
+
+// New creates a simulator with zero-initialized state (the FPGA-like
+// power-on state of the two-state model), with combinational logic
+// settled.
+func New(d *rtl.Design) (*Simulator, error) {
+	s := &Simulator{design: d, state: rtl.NewState(d)}
+	if err := s.EvalComb(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Design returns the simulated design.
+func (s *Simulator) Design() *rtl.Design { return s.design }
+
+// Cycles returns the number of clock cycles executed.
+func (s *Simulator) Cycles() uint64 { return s.cycles }
+
+// SetInput drives a top-level input.
+func (s *Simulator) SetInput(name string, v uint64) error {
+	sig, ok := s.design.SignalByName(name)
+	if !ok || !sig.IsInput {
+		return fmt.Errorf("sim: no input named %q", name)
+	}
+	s.state.Vals[sig.ID] = v
+	return nil
+}
+
+// Peek reads any signal by hierarchical name.
+func (s *Simulator) Peek(name string) (uint64, error) {
+	sig, ok := s.design.SignalByName(name)
+	if !ok {
+		return 0, fmt.Errorf("sim: no signal named %q", name)
+	}
+	return s.state.Vals[sig.ID], nil
+}
+
+// Poke writes any signal by hierarchical name (full controllability).
+// Poking a non-register is transient: the next comb settle overwrites
+// it.
+func (s *Simulator) Poke(name string, v uint64) error {
+	sig, ok := s.design.SignalByName(name)
+	if !ok {
+		return fmt.Errorf("sim: no signal named %q", name)
+	}
+	s.state.Vals[sig.ID] = v
+	return nil
+}
+
+// PeekMem reads one memory element.
+func (s *Simulator) PeekMem(name string, idx uint) (uint64, error) {
+	m, ok := s.design.MemoryByName(name)
+	if !ok {
+		return 0, fmt.Errorf("sim: no memory named %q", name)
+	}
+	if idx >= m.Depth {
+		return 0, fmt.Errorf("sim: index %d out of range of %s", idx, name)
+	}
+	return s.state.Mems[m.ID][idx], nil
+}
+
+// PokeMem writes one memory element.
+func (s *Simulator) PokeMem(name string, idx uint, v uint64) error {
+	m, ok := s.design.MemoryByName(name)
+	if !ok {
+		return fmt.Errorf("sim: no memory named %q", name)
+	}
+	if idx >= m.Depth {
+		return fmt.Errorf("sim: index %d out of range of %s", idx, name)
+	}
+	s.state.Mems[m.ID][idx] = v
+	return nil
+}
+
+// EvalAssertion evaluates a property expression against the current
+// state under the given scope, returning whether it holds (non-zero).
+func (s *Simulator) EvalAssertion(e verilog.Expr, scope *rtl.Scope) (bool, error) {
+	v, err := rtl.EvalExpr(e, scope, s.state)
+	if err != nil {
+		return false, err
+	}
+	return v != 0, nil
+}
+
+// EvalComb settles combinational logic (nodes run in topological
+// order, once).
+func (s *Simulator) EvalComb() error {
+	for _, c := range s.design.Combs {
+		if err := c.ExecComb(s.state); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// StepCycle advances the design by one clock cycle.
+func (s *Simulator) StepCycle() error {
+	if err := s.EvalComb(); err != nil {
+		return err
+	}
+	s.writeBuf = s.writeBuf[:0]
+	for _, b := range s.design.Seqs {
+		if err := b.ExecSeq(s.state, &s.writeBuf); err != nil {
+			return err
+		}
+	}
+	for i := range s.writeBuf {
+		s.writeBuf[i].Apply(s.state)
+	}
+	if err := s.EvalComb(); err != nil {
+		return err
+	}
+	s.cycles++
+	if s.OnCycle != nil {
+		s.OnCycle(s.cycles)
+	}
+	return nil
+}
+
+// Run executes n cycles.
+func (s *Simulator) Run(n uint64) error {
+	for i := uint64(0); i < n; i++ {
+		if err := s.StepCycle(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// HWState is a complete, portable hardware snapshot: every register
+// and memory element by hierarchical name, plus top-level input pins.
+// Name-keyed state transfers between different executions of the same
+// peripheral (e.g. simulator target and FPGA target).
+type HWState struct {
+	Regs   map[string]uint64   `json:"regs"`
+	Mems   map[string][]uint64 `json:"mems"`
+	Inputs map[string]uint64   `json:"inputs"`
+}
+
+// Snapshot captures the full hardware state.
+func (s *Simulator) Snapshot() *HWState {
+	hw := &HWState{
+		Regs:   make(map[string]uint64),
+		Mems:   make(map[string][]uint64, len(s.design.Memories)),
+		Inputs: make(map[string]uint64, len(s.design.Inputs)),
+	}
+	for _, sig := range s.design.Signals {
+		if sig.IsReg {
+			hw.Regs[sig.Name] = s.state.Vals[sig.ID]
+		}
+	}
+	for _, m := range s.design.Memories {
+		vals := make([]uint64, m.Depth)
+		copy(vals, s.state.Mems[m.ID])
+		hw.Mems[m.Name] = vals
+	}
+	for _, in := range s.design.Inputs {
+		hw.Inputs[in.Name] = s.state.Vals[in.ID]
+	}
+	return hw
+}
+
+// Restore overwrites the hardware state from a snapshot and re-settles
+// combinational logic. Snapshot entries that do not exist in this
+// design are reported as an error (they indicate a design mismatch);
+// registers of this design missing from the snapshot are reset to 0.
+func (s *Simulator) Restore(hw *HWState) error {
+	for _, sig := range s.design.Signals {
+		if sig.IsReg {
+			s.state.Vals[sig.ID] = hw.Regs[sig.Name]
+		}
+	}
+	for name := range hw.Regs {
+		if sig, ok := s.design.SignalByName(name); !ok || !sig.IsReg {
+			return fmt.Errorf("sim: snapshot register %q does not exist in design", name)
+		}
+	}
+	for _, m := range s.design.Memories {
+		src := hw.Mems[m.Name]
+		dst := s.state.Mems[m.ID]
+		for i := range dst {
+			if i < len(src) {
+				dst[i] = src[i]
+			} else {
+				dst[i] = 0
+			}
+		}
+	}
+	for name := range hw.Mems {
+		if _, ok := s.design.MemoryByName(name); !ok {
+			return fmt.Errorf("sim: snapshot memory %q does not exist in design", name)
+		}
+	}
+	for _, in := range s.design.Inputs {
+		if v, ok := hw.Inputs[in.Name]; ok {
+			s.state.Vals[in.ID] = v
+		}
+	}
+	return s.EvalComb()
+}
+
+// StateBits returns the number of snapshot-relevant state bits.
+func (s *Simulator) StateBits() uint { return s.design.StateBits() }

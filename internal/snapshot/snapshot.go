@@ -1,0 +1,110 @@
+// Package snapshot implements HardSnap's snapshotting controller
+// bookkeeping: a store of complete hardware states keyed by unique
+// identifiers, with binary serialization for persistence (crash
+// reports, offline root-cause analysis).
+package snapshot
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"hardsnap/internal/target"
+)
+
+// ID names one stored snapshot; 0 is never issued.
+type ID uint64
+
+// Record is one stored hardware snapshot plus controller-side
+// metadata that must travel with it.
+type Record struct {
+	HW target.State
+	// IRQEdges preserves the bus edge-detector levels so restored
+	// states do not see spurious interrupt edges.
+	IRQEdges []bool
+}
+
+func (r *Record) clone() *Record {
+	c := &Record{HW: r.HW.Clone()}
+	c.IRQEdges = append([]bool(nil), r.IRQEdges...)
+	return c
+}
+
+// Store holds snapshots. The zero value is not usable; call NewStore.
+type Store struct {
+	next  ID
+	snaps map[ID]*Record
+
+	// Stats
+	Puts     uint64
+	Gets     uint64
+	Releases uint64
+	PeakLive int
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{snaps: make(map[ID]*Record)}
+}
+
+// Put stores a snapshot copy and returns its new ID.
+func (s *Store) Put(rec Record) ID {
+	s.next++
+	s.snaps[s.next] = rec.clone()
+	s.Puts++
+	if len(s.snaps) > s.PeakLive {
+		s.PeakLive = len(s.snaps)
+	}
+	return s.next
+}
+
+// Update overwrites an existing snapshot in place (UpdateState of
+// Algorithm 1: the new snapshot overrides the one associated with the
+// previous state).
+func (s *Store) Update(id ID, rec Record) error {
+	if _, ok := s.snaps[id]; !ok {
+		return fmt.Errorf("snapshot: update of unknown id %d", id)
+	}
+	s.snaps[id] = rec.clone()
+	s.Puts++
+	return nil
+}
+
+// Get retrieves a snapshot copy.
+func (s *Store) Get(id ID) (*Record, bool) {
+	rec, ok := s.snaps[id]
+	if !ok {
+		return nil, false
+	}
+	s.Gets++
+	return rec.clone(), true
+}
+
+// Release drops a snapshot (terminated state).
+func (s *Store) Release(id ID) {
+	if _, ok := s.snaps[id]; ok {
+		delete(s.snaps, id)
+		s.Releases++
+	}
+}
+
+// Live returns the number of stored snapshots.
+func (s *Store) Live() int { return len(s.snaps) }
+
+// Encode serializes a record for persistence.
+func Encode(rec *Record) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(rec); err != nil {
+		return nil, fmt.Errorf("snapshot: encode: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Decode deserializes a record.
+func Decode(data []byte) (*Record, error) {
+	var rec Record
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&rec); err != nil {
+		return nil, fmt.Errorf("snapshot: decode: %w", err)
+	}
+	return &rec, nil
+}

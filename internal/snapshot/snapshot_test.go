@@ -1,0 +1,117 @@
+package snapshot
+
+import (
+	"testing"
+
+	"hardsnap/internal/sim"
+	"hardsnap/internal/target"
+)
+
+func record(val uint64) Record {
+	return Record{
+		HW: target.State{
+			"p0": &sim.HWState{
+				Regs:   map[string]uint64{"r": val},
+				Mems:   map[string][]uint64{"m": {1, 2, val}},
+				Inputs: map[string]uint64{"clk": 0},
+			},
+		},
+		IRQEdges: []bool{true, false},
+	}
+}
+
+func TestPutGetRelease(t *testing.T) {
+	s := NewStore()
+	id := s.Put(record(42))
+	if id == 0 {
+		t.Fatal("id must be nonzero")
+	}
+	rec, ok := s.Get(id)
+	if !ok || rec.HW["p0"].Regs["r"] != 42 {
+		t.Fatalf("get: %v %v", rec, ok)
+	}
+	if s.Live() != 1 {
+		t.Fatalf("live %d", s.Live())
+	}
+	s.Release(id)
+	if s.Live() != 0 {
+		t.Fatal("release failed")
+	}
+	if _, ok := s.Get(id); ok {
+		t.Fatal("released snapshot still readable")
+	}
+	s.Release(id) // idempotent
+}
+
+func TestUpdate(t *testing.T) {
+	s := NewStore()
+	id := s.Put(record(1))
+	if err := s.Update(id, record(2)); err != nil {
+		t.Fatal(err)
+	}
+	rec, _ := s.Get(id)
+	if rec.HW["p0"].Regs["r"] != 2 {
+		t.Fatal("update not visible")
+	}
+	if err := s.Update(999, record(3)); err == nil {
+		t.Fatal("update of unknown id must fail")
+	}
+}
+
+func TestIsolation(t *testing.T) {
+	s := NewStore()
+	rec := record(5)
+	id := s.Put(rec)
+	// Mutating the caller's record must not affect the stored copy.
+	rec.HW["p0"].Regs["r"] = 99
+	rec.IRQEdges[0] = false
+	got, _ := s.Get(id)
+	if got.HW["p0"].Regs["r"] != 5 || !got.IRQEdges[0] {
+		t.Fatal("store aliases caller memory")
+	}
+	// Mutating a retrieved record must not affect the store.
+	got.HW["p0"].Mems["m"][0] = 77
+	again, _ := s.Get(id)
+	if again.HW["p0"].Mems["m"][0] != 1 {
+		t.Fatal("get aliases store memory")
+	}
+}
+
+func TestUniqueIDs(t *testing.T) {
+	s := NewStore()
+	seen := map[ID]bool{}
+	for i := 0; i < 100; i++ {
+		id := s.Put(record(uint64(i)))
+		if seen[id] {
+			t.Fatal("duplicate id")
+		}
+		seen[id] = true
+	}
+	if s.PeakLive != 100 {
+		t.Fatalf("peak %d", s.PeakLive)
+	}
+}
+
+func TestEncodeDecode(t *testing.T) {
+	rec := record(123)
+	data, err := Encode(&rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.HW["p0"].Regs["r"] != 123 || back.HW["p0"].Mems["m"][2] != 123 {
+		t.Fatalf("round trip: %+v", back.HW["p0"])
+	}
+	if len(back.IRQEdges) != 2 || !back.IRQEdges[0] {
+		t.Fatalf("irq edges: %v", back.IRQEdges)
+	}
+}
+
+func TestDecodeGarbage(t *testing.T) {
+	if _, err := Decode([]byte("not a snapshot")); err == nil {
+		t.Fatal("garbage must not decode")
+	}
+}

@@ -1,0 +1,152 @@
+package solver
+
+import (
+	"errors"
+
+	"hardsnap/internal/expr"
+)
+
+// Result is the outcome of a satisfiability query.
+type Result int
+
+// Query outcomes.
+const (
+	Sat Result = iota + 1
+	Unsat
+	Unknown
+)
+
+// String returns the lowercase name of the result.
+func (r Result) String() string {
+	switch r {
+	case Sat:
+		return "sat"
+	case Unsat:
+		return "unsat"
+	case Unknown:
+		return "unknown"
+	}
+	return "invalid"
+}
+
+// ErrBudget is returned when the conflict budget is exhausted before a
+// definite answer is reached.
+var ErrBudget = errors.New("solver: conflict budget exhausted")
+
+// Solver decides conjunctions of width-1 bitvector terms. The zero
+// value is ready to use with an unlimited conflict budget.
+type Solver struct {
+	// MaxConflicts bounds the CDCL search; <= 0 means unlimited.
+	MaxConflicts int64
+
+	// Stats accumulates across queries.
+	Stats Stats
+}
+
+// Stats reports cumulative solver effort.
+type Stats struct {
+	Queries      int64
+	SatAnswers   int64
+	UnsatAnswers int64
+	Conflicts    int64
+	Propagations int64
+}
+
+// New returns a Solver with the given conflict budget (<= 0 for
+// unlimited).
+func New(maxConflicts int64) *Solver {
+	return &Solver{MaxConflicts: maxConflicts}
+}
+
+// Check decides whether the conjunction of the given width-1 terms is
+// satisfiable. On Sat it returns a model assigning every variable that
+// occurs in the constraints. On Unknown it returns ErrBudget.
+func (s *Solver) Check(constraints []*expr.Term) (Result, expr.Assignment, error) {
+	s.Stats.Queries++
+
+	// Fast path: all-constant constraints.
+	allConst := true
+	for _, c := range constraints {
+		if c.Width() != 1 {
+			return Unknown, nil, errors.New("solver: constraint is not boolean")
+		}
+		v, ok := c.Const()
+		if !ok {
+			allConst = false
+			break
+		}
+		if v == 0 {
+			s.Stats.UnsatAnswers++
+			return Unsat, nil, nil
+		}
+	}
+	if allConst {
+		s.Stats.SatAnswers++
+		return Sat, expr.Assignment{}, nil
+	}
+
+	core := newSAT()
+	if s.MaxConflicts > 0 {
+		core.maxConflicts = s.MaxConflicts
+	}
+	bl := newBlaster(core)
+	for _, c := range constraints {
+		if v, ok := c.Const(); ok {
+			if v == 0 {
+				s.Stats.UnsatAnswers++
+				return Unsat, nil, nil
+			}
+			continue
+		}
+		bl.assertTrue(c)
+	}
+	res := core.solve()
+	s.Stats.Conflicts += core.conflicts
+	s.Stats.Propagations += core.propagations
+	switch res {
+	case satSat:
+		s.Stats.SatAnswers++
+		return Sat, bl.model(), nil
+	case satUnsat:
+		s.Stats.UnsatAnswers++
+		return Unsat, nil, nil
+	default:
+		return Unknown, nil, ErrBudget
+	}
+}
+
+// MustValue returns a concrete value for term t consistent with the
+// constraints. It is used by the concretization policy. The boolean
+// reports whether a value was found (false means the path is
+// infeasible or the budget ran out).
+func (s *Solver) MustValue(constraints []*expr.Term, t *expr.Term) (uint64, bool) {
+	if v, ok := t.Const(); ok {
+		return v, true
+	}
+	res, m, _ := s.Check(constraints)
+	if res != Sat {
+		return 0, false
+	}
+	return expr.Eval(t, m), true
+}
+
+// Values enumerates up to max distinct concrete values of t under the
+// constraints, by iteratively blocking found values. It is the
+// completeness-oriented concretization policy from the paper.
+func (s *Solver) Values(b *expr.Builder, constraints []*expr.Term, t *expr.Term, max int) []uint64 {
+	if v, ok := t.Const(); ok {
+		return []uint64{v}
+	}
+	var out []uint64
+	cs := append([]*expr.Term{}, constraints...)
+	for len(out) < max {
+		res, m, _ := s.Check(cs)
+		if res != Sat {
+			break
+		}
+		v := expr.Eval(t, m)
+		out = append(out, v)
+		cs = append(cs, b.Ne(t, b.Const(v, t.Width())))
+	}
+	return out
+}

@@ -1,0 +1,683 @@
+package symexec
+
+import (
+	"fmt"
+
+	"hardsnap/internal/asm"
+	"hardsnap/internal/expr"
+	"hardsnap/internal/isa"
+	"hardsnap/internal/solver"
+	"hardsnap/internal/vm"
+)
+
+// Policy selects how symbolic values are concretized when they reach
+// the hardware boundary (the paper's user-customizable concretization
+// policy).
+type Policy int
+
+// Concretization policies.
+const (
+	// ConcretizeOne picks a single feasible value (performance).
+	ConcretizeOne Policy = iota + 1
+	// ConcretizeAll enumerates feasible values up to MaxValues,
+	// forking a state per value (completeness).
+	ConcretizeAll
+)
+
+// MMIOHandler performs concrete hardware accesses on behalf of a
+// state. The engine implements it with bus routing plus hardware
+// context switching.
+type MMIOHandler interface {
+	Read(st *State, addr uint32) (uint32, error)
+	Write(st *State, addr uint32, val uint32) error
+}
+
+// Config parameterizes the executor.
+type Config struct {
+	// VM describes the memory layout (RAM, MMIO window, vectors).
+	VM vm.Config
+	// Policy is the boundary concretization policy.
+	Policy Policy
+	// MaxValues bounds ConcretizeAll enumeration (default 8).
+	MaxValues int
+	// SolverConflicts bounds each solver query (0 = unlimited).
+	SolverConflicts int64
+}
+
+// Stats counts executor activity.
+type Stats struct {
+	Instructions uint64
+	Forks        uint64
+	SolverCalls  uint64
+	Concretized  uint64
+}
+
+// Executor interprets HS32 instructions symbolically.
+type Executor struct {
+	B      *expr.Builder
+	Solver *solver.Solver
+
+	cfg    Config
+	mmio   MMIOHandler
+	image  []byte
+	prog   *asm.Program
+	nextID uint64
+	symSeq int
+
+	Stats Stats
+}
+
+// New builds an executor for a loaded program. mmio may be nil for
+// pure-software firmware.
+func New(cfg Config, prog *asm.Program, mmio MMIOHandler) (*Executor, error) {
+	cfg.VM = normalizeVMConfig(cfg.VM)
+	if cfg.Policy == 0 {
+		cfg.Policy = ConcretizeOne
+	}
+	if cfg.MaxValues <= 0 {
+		cfg.MaxValues = 8
+	}
+	image := make([]byte, cfg.VM.RAMSize)
+	off := int64(prog.Base) - int64(cfg.VM.RAMBase)
+	if off < 0 || off+int64(len(prog.Code)) > int64(len(image)) {
+		return nil, fmt.Errorf("symexec: program does not fit in RAM")
+	}
+	copy(image[off:], prog.Code)
+	return &Executor{
+		B:      expr.NewBuilder(),
+		Solver: solver.New(cfg.SolverConflicts),
+		cfg:    cfg,
+		mmio:   mmio,
+		image:  image,
+		prog:   prog,
+	}, nil
+}
+
+func normalizeVMConfig(c vm.Config) vm.Config {
+	probe := vm.New(c, nil)
+	return probe.Config()
+}
+
+// Config returns the executor's normalized configuration.
+func (e *Executor) Config() Config { return e.cfg }
+
+// SetMMIO installs (or replaces) the hardware boundary handler; the
+// engine injects itself here after construction.
+func (e *Executor) SetMMIO(h MMIOHandler) { e.mmio = h }
+
+// ModelFor returns a satisfying assignment for the state's path
+// condition: the model captured at termination if present, otherwise a
+// fresh solver query. ok is false for infeasible paths.
+func (e *Executor) ModelFor(st *State) (expr.Assignment, bool) {
+	if st.Model != nil {
+		return st.Model, true
+	}
+	ok, model := e.feasible(st)
+	if !ok {
+		return nil, false
+	}
+	return model, true
+}
+
+// TestVector materializes concrete input bytes, per make-symbolic tag,
+// that drive concrete execution down this state's path (the paper's
+// test-case generation). Buffers registered repeatedly under one tag
+// alias the same input. ok is false when the path is infeasible.
+func (e *Executor) TestVector(st *State) (map[uint32][]byte, bool) {
+	model, ok := e.ModelFor(st)
+	if !ok {
+		return nil, false
+	}
+	out := make(map[uint32][]byte)
+	for _, si := range st.SymInputs {
+		buf := out[si.Tag]
+		if uint32(len(buf)) < si.Len {
+			grown := make([]byte, si.Len)
+			copy(grown, buf)
+			buf = grown
+		}
+		for i := uint32(0); i < si.Len; i++ {
+			buf[i] = byte(model[fmt.Sprintf("sym%d_%d", si.Tag, i)])
+		}
+		out[si.Tag] = buf
+	}
+	return out, true
+}
+
+// InitialState returns the entry state (PC at the program entry,
+// registers zero, empty path condition).
+func (e *Executor) InitialState() *State {
+	e.nextID++
+	st := &State{
+		ID:     e.nextID,
+		PC:     e.prog.Entry,
+		Mem:    NewMemory(e.cfg.VM.RAMBase, e.image),
+		Status: StatusRunning,
+	}
+	zero := e.B.Const(0, 32)
+	for i := range st.Regs {
+		st.Regs[i] = zero
+	}
+	return st
+}
+
+// StateFromConcrete builds a symbolic state mirroring a concrete
+// machine (the fast-forwarding hand-off): registers become constant
+// terms and the RAM image becomes the new concrete backing. The mem
+// slice is copied.
+func (e *Executor) StateFromConcrete(pc uint32, regs [isa.NumRegs]uint32, mem []byte,
+	epc uint32, inHandler bool, pending uint32) (*State, error) {
+	if uint32(len(mem)) != e.cfg.VM.RAMSize {
+		return nil, fmt.Errorf("symexec: concrete RAM size %d != configured %d", len(mem), e.cfg.VM.RAMSize)
+	}
+	image := make([]byte, len(mem))
+	copy(image, mem)
+	e.nextID++
+	st := &State{
+		ID:         e.nextID,
+		PC:         pc,
+		Mem:        NewMemory(e.cfg.VM.RAMBase, image),
+		Status:     StatusRunning,
+		EPC:        epc,
+		InHandler:  inHandler,
+		IRQPending: pending,
+	}
+	for i := range st.Regs {
+		st.Regs[i] = e.B.Const(uint64(regs[i]), 32)
+	}
+	return st, nil
+}
+
+func (e *Executor) fork(st *State) *State {
+	e.nextID++
+	e.Stats.Forks++
+	return st.Fork(e.nextID)
+}
+
+func (e *Executor) setReg(st *State, r uint8, t *expr.Term) {
+	if r != isa.RegZero {
+		st.Regs[r] = t
+	}
+}
+
+// feasible checks satisfiability of the state's path condition plus
+// extra constraints.
+func (e *Executor) feasible(st *State, extra ...*expr.Term) (bool, expr.Assignment) {
+	e.Stats.SolverCalls++
+	cs := make([]*expr.Term, 0, len(st.Constraints)+len(extra))
+	cs = append(cs, st.Constraints...)
+	cs = append(cs, extra...)
+	res, model, _ := e.Solver.Check(cs)
+	return res == solver.Sat, model
+}
+
+// concretize reduces a term to concrete value(s) according to the
+// policy. The current state is constrained to the first value;
+// additional feasible values produce forked sibling states whose PC
+// still points at the current instruction (they re-execute it with
+// their value pinned). Must be called before the instruction mutates
+// the state.
+func (e *Executor) concretize(st *State, t *expr.Term, forks *[]*State) (uint32, error) {
+	if v, ok := t.Const(); ok {
+		return uint32(v), nil
+	}
+	e.Stats.Concretized++
+	max := 1
+	if e.cfg.Policy == ConcretizeAll {
+		max = e.cfg.MaxValues
+	}
+	vals := e.Solver.Values(e.B, st.Constraints, t, max)
+	e.Stats.SolverCalls += uint64(len(vals)) + 1
+	if len(vals) == 0 {
+		st.Status = StatusInfeasible
+		return 0, nil
+	}
+	for _, v := range vals[1:] {
+		sib := e.fork(st)
+		sib.AddConstraint(e.B.Eq(t, e.B.Const(v, t.Width())))
+		*forks = append(*forks, sib)
+	}
+	st.AddConstraint(e.B.Eq(t, e.B.Const(vals[0], t.Width())))
+	return uint32(vals[0]), nil
+}
+
+func (e *Executor) fault(st *State, format string, args ...any) {
+	st.Status = StatusFault
+	st.Err = &vm.FaultError{PC: st.PC, Msg: fmt.Sprintf(format, args...)}
+}
+
+// inMMIO reports whether the address window belongs to hardware.
+func (e *Executor) inMMIO(addr uint32, size uint32) bool {
+	c := e.cfg.VM
+	return addr >= c.MMIOBase && addr-c.MMIOBase+size <= c.MMIOSize
+}
+
+// ServePendingInterrupt dispatches one pending IRQ if the state can
+// take it (Algorithm 1's ServePendingInterrupt). Handlers are atomic:
+// no dispatch while one runs.
+func (e *Executor) ServePendingInterrupt(st *State) error {
+	if st.Status != StatusRunning || st.InHandler || st.IRQPending == 0 {
+		return nil
+	}
+	for n := 0; n < e.cfg.VM.NumIRQs; n++ {
+		if st.IRQPending&(1<<uint(n)) == 0 {
+			continue
+		}
+		st.IRQPending &^= 1 << uint(n)
+		handler, err := st.Mem.ConcreteWord(e.B, e.cfg.VM.VectorBase+uint32(4*n))
+		if err != nil {
+			return err
+		}
+		if handler == 0 {
+			return nil
+		}
+		st.EPC = st.PC
+		st.InHandler = true
+		st.PC = handler
+		return nil
+	}
+	return nil
+}
+
+// Step symbolically executes one instruction of st. It returns the
+// sibling states created by forking (branches, concretization,
+// assertion checks); st itself remains the "primary" successor. On
+// termination st.Status changes.
+func (e *Executor) Step(st *State) ([]*State, error) {
+	if st.Status != StatusRunning {
+		return nil, nil
+	}
+	word, err := st.Mem.ConcreteWord(e.B, st.PC)
+	if err != nil {
+		st.Status = StatusFault
+		st.Err = err
+		return nil, nil
+	}
+	in, err := isa.Decode(word)
+	if err != nil {
+		e.fault(st, "illegal instruction %#08x", word)
+		return nil, nil
+	}
+	e.Stats.Instructions++
+	st.Steps++
+	var forks []*State
+	next := st.PC + 4
+	b := e.B
+	r := &st.Regs
+
+	bin := func(f func(x, y *expr.Term) *expr.Term) {
+		e.setReg(st, in.Rd, f(r[in.Rs1], r[in.Rs2]))
+	}
+	binImm := func(f func(x, y *expr.Term) *expr.Term) {
+		e.setReg(st, in.Rd, f(r[in.Rs1], b.Const(uint64(uint32(in.Imm)), 32)))
+	}
+	boolToWord := func(t *expr.Term) *expr.Term { return b.ZExt(t, 32) }
+
+	switch in.Op {
+	case isa.OpADD:
+		bin(b.Add)
+	case isa.OpSUB:
+		bin(b.Sub)
+	case isa.OpAND:
+		bin(b.And)
+	case isa.OpOR:
+		bin(b.Or)
+	case isa.OpXOR:
+		bin(b.Xor)
+	case isa.OpSLL:
+		bin(b.Shl)
+	case isa.OpSRL:
+		bin(b.Lshr)
+	case isa.OpSRA:
+		bin(b.Ashr)
+	case isa.OpMUL:
+		bin(b.Mul)
+	case isa.OpDIVU:
+		bin(b.UDiv)
+	case isa.OpREMU:
+		bin(b.URem)
+	case isa.OpSLT:
+		e.setReg(st, in.Rd, boolToWord(b.Slt(r[in.Rs1], r[in.Rs2])))
+	case isa.OpSLTU:
+		e.setReg(st, in.Rd, boolToWord(b.Ult(r[in.Rs1], r[in.Rs2])))
+
+	case isa.OpADDI:
+		binImm(b.Add)
+	case isa.OpANDI:
+		binImm(b.And)
+	case isa.OpORI:
+		binImm(b.Or)
+	case isa.OpXORI:
+		binImm(b.Xor)
+	case isa.OpSLLI:
+		binImm(b.Shl)
+	case isa.OpSRLI:
+		binImm(b.Lshr)
+	case isa.OpSRAI:
+		binImm(b.Ashr)
+	case isa.OpSLTI:
+		e.setReg(st, in.Rd, boolToWord(b.Slt(r[in.Rs1], b.Const(uint64(uint32(in.Imm)), 32))))
+	case isa.OpSLTIU:
+		e.setReg(st, in.Rd, boolToWord(b.Ult(r[in.Rs1], b.Const(uint64(uint32(in.Imm)), 32))))
+
+	case isa.OpLUI:
+		e.setReg(st, in.Rd, b.Const(uint64(isa.LUIValue(in.Imm)), 32))
+
+	case isa.OpLW, isa.OpLH, isa.OpLHU, isa.OpLB, isa.OpLBU:
+		if done, err := e.execLoad(st, in, &forks); done || err != nil {
+			return forks, err
+		}
+
+	case isa.OpSW, isa.OpSH, isa.OpSB:
+		if done, err := e.execStore(st, in, &forks); done || err != nil {
+			return forks, err
+		}
+
+	case isa.OpBEQ, isa.OpBNE, isa.OpBLT, isa.OpBGE, isa.OpBLTU, isa.OpBGEU:
+		taken := e.branchCond(in, r)
+		if v, ok := taken.Const(); ok {
+			if v != 0 {
+				next = st.PC + uint32(in.Imm)
+			}
+			break
+		}
+		// Symbolic branch: the fork point of the paper's Algorithm 1.
+		satT, _ := e.feasible(st, taken)
+		satF, _ := e.feasible(st, b.NotBool(taken))
+		switch {
+		case satT && satF:
+			sib := e.fork(st)
+			sib.AddConstraint(b.NotBool(taken))
+			sib.PC = st.PC + 4
+			forks = append(forks, sib)
+			st.AddConstraint(taken)
+			next = st.PC + uint32(in.Imm)
+		case satT:
+			st.AddConstraint(taken)
+			next = st.PC + uint32(in.Imm)
+		case satF:
+			st.AddConstraint(b.NotBool(taken))
+		default:
+			st.Status = StatusInfeasible
+			return forks, nil
+		}
+
+	case isa.OpJAL:
+		e.setReg(st, in.Rd, b.Const(uint64(st.PC+4), 32))
+		next = st.PC + uint32(in.Imm)
+
+	case isa.OpJALR:
+		targetT := b.And(b.Add(r[in.Rs1], b.Const(uint64(uint32(in.Imm)), 32)), b.Const(^uint64(3), 32))
+		tv, err := e.concretize(st, targetT, &forks)
+		if err != nil || st.Status != StatusRunning {
+			return forks, err
+		}
+		e.setReg(st, in.Rd, b.Const(uint64(st.PC+4), 32))
+		next = tv
+
+	case isa.OpECALL:
+		stop, err := e.execEcall(st, in.Imm, &forks)
+		if err != nil {
+			return forks, err
+		}
+		if stop {
+			return forks, nil
+		}
+
+	case isa.OpMRET:
+		if st.InHandler {
+			st.InHandler = false
+			next = st.EPC
+		}
+
+	default:
+		e.fault(st, "unimplemented opcode %v", in.Op)
+		return forks, nil
+	}
+
+	if st.Status == StatusRunning {
+		st.PC = next
+	}
+	return forks, nil
+}
+
+func (e *Executor) branchCond(in isa.Inst, r *[isa.NumRegs]*expr.Term) *expr.Term {
+	b := e.B
+	x, y := r[in.Rs1], r[in.Rs2]
+	switch in.Op {
+	case isa.OpBEQ:
+		return b.Eq(x, y)
+	case isa.OpBNE:
+		return b.Ne(x, y)
+	case isa.OpBLT:
+		return b.Slt(x, y)
+	case isa.OpBGE:
+		return b.NotBool(b.Slt(x, y))
+	case isa.OpBLTU:
+		return b.Ult(x, y)
+	default: // BGEU
+		return b.NotBool(b.Ult(x, y))
+	}
+}
+
+// execLoad handles load instructions; done=true means control flow was
+// already resolved (fault or MMIO handled with PC advance).
+func (e *Executor) execLoad(st *State, in isa.Inst, forks *[]*State) (bool, error) {
+	b := e.B
+	addrT := b.Add(st.Regs[in.Rs1], b.Const(uint64(uint32(in.Imm)), 32))
+	addr, err := e.concretize(st, addrT, forks)
+	if err != nil || st.Status != StatusRunning {
+		return true, err
+	}
+	size := loadSize(in.Op)
+	if e.inMMIO(addr, uint32(size)) {
+		if e.mmio == nil {
+			e.fault(st, "MMIO load at %#x with no hardware attached", addr)
+			return true, nil
+		}
+		if size != 4 {
+			e.fault(st, "MMIO load at %#x must be 32-bit", addr)
+			return true, nil
+		}
+		v, err := e.mmio.Read(st, addr)
+		if err != nil {
+			e.fault(st, "MMIO read %#x: %v", addr, err)
+			return true, nil
+		}
+		e.setReg(st, in.Rd, b.Const(uint64(v), 32))
+		st.PC += 4
+		return true, nil
+	}
+	t, err := st.Mem.Read(b, addr, size)
+	if err != nil {
+		st.Status = StatusFault
+		st.Err = err
+		return true, nil
+	}
+	switch in.Op {
+	case isa.OpLW:
+	case isa.OpLH:
+		t = b.SExt(t, 32)
+	case isa.OpLHU:
+		t = b.ZExt(t, 32)
+	case isa.OpLB:
+		t = b.SExt(t, 32)
+	case isa.OpLBU:
+		t = b.ZExt(t, 32)
+	}
+	e.setReg(st, in.Rd, t)
+	return false, nil
+}
+
+func (e *Executor) execStore(st *State, in isa.Inst, forks *[]*State) (bool, error) {
+	b := e.B
+	addrT := b.Add(st.Regs[in.Rs1], b.Const(uint64(uint32(in.Imm)), 32))
+	addr, err := e.concretize(st, addrT, forks)
+	if err != nil || st.Status != StatusRunning {
+		return true, err
+	}
+	size := storeSize(in.Op)
+	val := st.Regs[in.Rs2]
+	if e.inMMIO(addr, uint32(size)) {
+		if e.mmio == nil {
+			e.fault(st, "MMIO store at %#x with no hardware attached", addr)
+			return true, nil
+		}
+		if size != 4 {
+			e.fault(st, "MMIO store at %#x must be 32-bit", addr)
+			return true, nil
+		}
+		// Symbolic data crossing the boundary is concretized per the
+		// policy (Section III-B).
+		v, err := e.concretize(st, val, forks)
+		if err != nil || st.Status != StatusRunning {
+			return true, err
+		}
+		if err := e.mmio.Write(st, addr, v); err != nil {
+			e.fault(st, "MMIO write %#x: %v", addr, err)
+			return true, nil
+		}
+		st.PC += 4
+		return true, nil
+	}
+	if err := st.Mem.Write(b, addr, size, b.Extract(val, 0, uint(8*size))); err != nil {
+		st.Status = StatusFault
+		st.Err = err
+		return true, nil
+	}
+	return false, nil
+}
+
+// execEcall handles environment calls; stop=true means st.PC was
+// resolved (or the state terminated).
+func (e *Executor) execEcall(st *State, service int32, forks *[]*State) (bool, error) {
+	b := e.B
+	switch service {
+	case isa.EcallHalt:
+		st.Status = StatusHalted
+		return true, nil
+
+	case isa.EcallAbort:
+		st.Status = StatusAborted
+		if ok, model := e.feasible(st); ok {
+			st.Model = model
+		}
+		return true, nil
+
+	case isa.EcallAssert:
+		cond := b.Ne(st.Regs[1], b.Const(0, 32))
+		if v, ok := cond.Const(); ok {
+			if v == 0 {
+				st.Status = StatusAssertFail
+				if ok, model := e.feasible(st); ok {
+					st.Model = model
+				}
+				return true, nil
+			}
+			return false, nil
+		}
+		satFail, failModel := e.feasible(st, b.NotBool(cond))
+		satPass, _ := e.feasible(st, cond)
+		if satFail {
+			fail := e.fork(st)
+			fail.AddConstraint(b.NotBool(cond))
+			fail.Status = StatusAssertFail
+			fail.Model = failModel
+			*forks = append(*forks, fail)
+		}
+		if !satPass {
+			st.Status = StatusInfeasible
+			return true, nil
+		}
+		st.AddConstraint(cond)
+		return false, nil
+
+	case isa.EcallAssume:
+		cond := b.Ne(st.Regs[1], b.Const(0, 32))
+		if v, ok := cond.Const(); ok {
+			if v == 0 {
+				st.Status = StatusInfeasible
+				return true, nil
+			}
+			return false, nil
+		}
+		if ok, _ := e.feasible(st, cond); !ok {
+			st.Status = StatusInfeasible
+			return true, nil
+		}
+		st.AddConstraint(cond)
+		return false, nil
+
+	case isa.EcallMakeSymbolic:
+		addr, err := e.concretize(st, st.Regs[1], forks)
+		if err != nil || st.Status != StatusRunning {
+			return true, err
+		}
+		length, err := e.concretize(st, st.Regs[2], forks)
+		if err != nil || st.Status != StatusRunning {
+			return true, err
+		}
+		tag, err := e.concretize(st, st.Regs[3], forks)
+		if err != nil || st.Status != StatusRunning {
+			return true, err
+		}
+		if length > 4096 {
+			e.fault(st, "make_symbolic length %d too large", length)
+			return true, nil
+		}
+		for i := uint32(0); i < length; i++ {
+			e.symSeq++
+			name := fmt.Sprintf("sym%d_%d", tag, i)
+			if err := st.Mem.StoreByte(addr+i, b.Var(name, 8)); err != nil {
+				st.Status = StatusFault
+				st.Err = err
+				return true, nil
+			}
+		}
+		st.SymInputs = append(st.SymInputs, SymInput{Tag: tag, Addr: addr, Len: length})
+		return false, nil
+
+	case isa.EcallPutChar:
+		v, err := e.concretize(st, b.Extract(st.Regs[1], 0, 8), forks)
+		if err != nil || st.Status != StatusRunning {
+			return true, err
+		}
+		st.Console = append(st.Console, byte(v))
+		return false, nil
+
+	case isa.EcallPutInt:
+		v, err := e.concretize(st, st.Regs[1], forks)
+		if err != nil || st.Status != StatusRunning {
+			return true, err
+		}
+		st.Console = append(st.Console, []byte(fmt.Sprintf("%d", v))...)
+		return false, nil
+
+	case isa.EcallSnapshotHint:
+		return false, nil
+	}
+	e.fault(st, "unknown ecall %d", service)
+	return true, nil
+}
+
+func loadSize(op isa.Opcode) int {
+	switch op {
+	case isa.OpLW:
+		return 4
+	case isa.OpLH, isa.OpLHU:
+		return 2
+	default:
+		return 1
+	}
+}
+
+func storeSize(op isa.Opcode) int {
+	switch op {
+	case isa.OpSW:
+		return 4
+	case isa.OpSH:
+		return 2
+	default:
+		return 1
+	}
+}

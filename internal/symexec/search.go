@@ -1,0 +1,109 @@
+package symexec
+
+import "math/rand"
+
+// Searcher picks the next state to execute from the active set
+// (KLEE's state selection heuristic, extended by the engine with
+// INCEPTION's interrupt-atomicity rule).
+type Searcher interface {
+	Name() string
+	// Select returns the index of the next state within active
+	// (non-empty). prev is the previously executed state (may be nil
+	// or no longer active).
+	Select(active []*State, prev *State) int
+}
+
+// DFS always continues the most recently created state, minimizing
+// hardware context switches.
+type DFS struct{}
+
+// Name implements Searcher.
+func (DFS) Name() string { return "dfs" }
+
+// Select implements Searcher.
+func (DFS) Select(active []*State, prev *State) int { return len(active) - 1 }
+
+// BFS explores states in creation order, maximizing breadth (and
+// hardware context switches — the paper's stress case).
+type BFS struct{}
+
+// Name implements Searcher.
+func (BFS) Name() string { return "bfs" }
+
+// Select implements Searcher.
+func (BFS) Select(active []*State, prev *State) int { return 0 }
+
+// RoundRobin steps every active state in turn: the scheduling used to
+// demonstrate concurrent-path hardware inconsistency (Fig. 1).
+type RoundRobin struct {
+	last uint64
+}
+
+// Name implements Searcher.
+func (*RoundRobin) Name() string { return "round-robin" }
+
+// Select implements Searcher.
+func (r *RoundRobin) Select(active []*State, prev *State) int {
+	best := -1
+	for i, st := range active {
+		if st.ID > r.last {
+			if best < 0 || st.ID < active[best].ID {
+				best = i
+			}
+		}
+	}
+	if best < 0 {
+		// Wrap around to the lowest ID.
+		best = 0
+		for i, st := range active {
+			if st.ID < active[best].ID {
+				best = i
+			}
+		}
+	}
+	r.last = active[best].ID
+	return best
+}
+
+// Random picks uniformly with a deterministic seed.
+type Random struct {
+	rng *rand.Rand
+}
+
+// NewRandom builds a seeded random searcher.
+func NewRandom(seed int64) *Random {
+	return &Random{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Name implements Searcher.
+func (*Random) Name() string { return "random" }
+
+// Select implements Searcher.
+func (r *Random) Select(active []*State, prev *State) int {
+	return r.rng.Intn(len(active))
+}
+
+// Coverage prefers states whose program counter has not been visited
+// yet, falling back to DFS.
+type Coverage struct {
+	seen map[uint32]bool
+}
+
+// NewCoverage builds a coverage-guided searcher.
+func NewCoverage() *Coverage {
+	return &Coverage{seen: make(map[uint32]bool)}
+}
+
+// Name implements Searcher.
+func (*Coverage) Name() string { return "coverage" }
+
+// Select implements Searcher.
+func (c *Coverage) Select(active []*State, prev *State) int {
+	for i, st := range active {
+		if !c.seen[st.PC] {
+			c.seen[st.PC] = true
+			return i
+		}
+	}
+	return len(active) - 1
+}

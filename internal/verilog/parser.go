@@ -1,0 +1,952 @@
+package verilog
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseError reports a syntax error with source position.
+type ParseError struct {
+	Line int
+	Col  int
+	Msg  string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("verilog: %d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+// ParseExpr parses a standalone Verilog expression (used for hardware
+// property assertions).
+func ParseExpr(src string) (Expr, error) {
+	toks, err := lexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if !p.at(tokEOF, "") {
+		return nil, p.errorf("trailing input after expression")
+	}
+	return e, nil
+}
+
+// Parse parses Verilog source text.
+func Parse(src string) (*SourceFile, error) {
+	toks, err := lexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	file := &SourceFile{}
+	for !p.at(tokEOF, "") {
+		m, err := p.parseModule()
+		if err != nil {
+			return nil, err
+		}
+		file.Modules = append(file.Modules, m)
+	}
+	return file, nil
+}
+
+func (p *parser) cur() token { return p.toks[p.pos] }
+func (p *parser) peek() token {
+	if p.pos+1 < len(p.toks) {
+		return p.toks[p.pos+1]
+	}
+	return p.toks[len(p.toks)-1]
+}
+
+func (p *parser) at(kind tokenKind, text string) bool {
+	t := p.cur()
+	return t.kind == kind && (text == "" || t.text == text)
+}
+
+func (p *parser) atKw(kw string) bool   { return p.at(tokKeyword, kw) }
+func (p *parser) atPunct(s string) bool { return p.at(tokPunct, s) }
+
+func (p *parser) advance() token {
+	t := p.cur()
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) errorf(format string, args ...any) error {
+	t := p.cur()
+	return &ParseError{Line: t.line, Col: t.col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) expectPunct(s string) (token, error) {
+	if !p.atPunct(s) {
+		return token{}, p.errorf("expected %q, got %v", s, p.cur())
+	}
+	return p.advance(), nil
+}
+
+func (p *parser) expectKw(kw string) (token, error) {
+	if !p.atKw(kw) {
+		return token{}, p.errorf("expected %q, got %v", kw, p.cur())
+	}
+	return p.advance(), nil
+}
+
+func (p *parser) expectIdent() (token, error) {
+	if !p.at(tokIdent, "") {
+		return token{}, p.errorf("expected identifier, got %v", p.cur())
+	}
+	return p.advance(), nil
+}
+
+func (p *parser) parseModule() (*Module, error) {
+	kw, err := p.expectKw("module")
+	if err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	m := &Module{Name: name.text, Line: kw.line}
+
+	// #(parameter A = 1, parameter B = 2)
+	if p.atPunct("#") {
+		p.advance()
+		if _, err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		for {
+			if p.atKw("parameter") {
+				p.advance()
+			}
+			pn, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expectPunct("="); err != nil {
+				return nil, err
+			}
+			val, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			m.Params = append(m.Params, &Param{Name: pn.text, Value: val, Line: pn.line})
+			if p.atPunct(",") {
+				p.advance()
+				continue
+			}
+			break
+		}
+		if _, err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+	}
+
+	// ANSI port list.
+	if p.atPunct("(") {
+		p.advance()
+		if !p.atPunct(")") {
+			var lastDir PortDir
+			var lastReg bool
+			var lastMSB, lastLSB Expr
+			for {
+				port := &Port{Line: p.cur().line}
+				switch {
+				case p.atKw("input"):
+					p.advance()
+					lastDir, lastReg, lastMSB, lastLSB = DirInput, false, nil, nil
+				case p.atKw("output"):
+					p.advance()
+					lastDir, lastReg, lastMSB, lastLSB = DirOutput, false, nil, nil
+				case p.atKw("inout"):
+					p.advance()
+					lastDir, lastReg, lastMSB, lastLSB = DirInout, false, nil, nil
+				}
+				if lastDir == 0 {
+					return nil, p.errorf("port list must start with a direction")
+				}
+				if p.atKw("wire") {
+					p.advance()
+					lastReg = false
+				} else if p.atKw("reg") {
+					p.advance()
+					lastReg = true
+				}
+				if p.atPunct("[") {
+					msb, lsb, err := p.parseRange()
+					if err != nil {
+						return nil, err
+					}
+					lastMSB, lastLSB = msb, lsb
+				} else if p.at(tokIdent, "") && (p.peek().kind == tokPunct && (p.peek().text == "," || p.peek().text == ")")) {
+					// Bare name continuing previous direction keeps its
+					// range only if a direction was just parsed;
+					// otherwise reset handled above.
+					_ = 0
+				}
+				pn, err := p.expectIdent()
+				if err != nil {
+					return nil, err
+				}
+				port.Dir = lastDir
+				port.IsReg = lastReg
+				port.MSB, port.LSB = lastMSB, lastLSB
+				port.Name = pn.text
+				m.Ports = append(m.Ports, port)
+				if p.atPunct(",") {
+					p.advance()
+					continue
+				}
+				break
+			}
+		}
+		if _, err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expectPunct(";"); err != nil {
+		return nil, err
+	}
+
+	for !p.atKw("endmodule") {
+		if p.at(tokEOF, "") {
+			return nil, p.errorf("unexpected end of file in module %s", m.Name)
+		}
+		items, err := p.parseItem()
+		if err != nil {
+			return nil, err
+		}
+		m.Items = append(m.Items, items...)
+	}
+	p.advance() // endmodule
+	return m, nil
+}
+
+func (p *parser) parseRange() (Expr, Expr, error) {
+	if _, err := p.expectPunct("["); err != nil {
+		return nil, nil, err
+	}
+	msb, err := p.parseExpr()
+	if err != nil {
+		return nil, nil, err
+	}
+	if _, err := p.expectPunct(":"); err != nil {
+		return nil, nil, err
+	}
+	lsb, err := p.parseExpr()
+	if err != nil {
+		return nil, nil, err
+	}
+	if _, err := p.expectPunct("]"); err != nil {
+		return nil, nil, err
+	}
+	return msb, lsb, nil
+}
+
+func (p *parser) parseItem() ([]Item, error) {
+	switch {
+	case p.atKw("parameter"), p.atKw("localparam"):
+		isLocal := p.cur().text == "localparam"
+		p.advance()
+		var items []Item
+		for {
+			pn, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expectPunct("="); err != nil {
+				return nil, err
+			}
+			val, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			items = append(items, &ParamItem{Param: &Param{
+				Name: pn.text, Value: val, IsLocal: isLocal, Line: pn.line,
+			}})
+			if p.atPunct(",") {
+				p.advance()
+				continue
+			}
+			break
+		}
+		if _, err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+		return items, nil
+
+	case p.atKw("wire"), p.atKw("reg"), p.atKw("integer"):
+		return p.parseNetDecl()
+
+	case p.atKw("assign"):
+		line := p.advance().line
+		lhs, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expectPunct("="); err != nil {
+			return nil, err
+		}
+		rhs, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+		return []Item{&Assign{LHS: lhs, RHS: rhs, Line: line}}, nil
+
+	case p.atKw("always"):
+		return p.parseAlways()
+
+	case p.at(tokIdent, ""):
+		return p.parseInstance()
+	}
+	return nil, p.errorf("unexpected %v at module level", p.cur())
+}
+
+func (p *parser) parseNetDecl() ([]Item, error) {
+	isReg := p.cur().text == "reg" || p.cur().text == "integer"
+	isInteger := p.cur().text == "integer"
+	line := p.advance().line
+	d := &NetDecl{IsReg: isReg, Line: line}
+	if isInteger {
+		d.MSB = &Number{Value: 31, Width: 0, Text: "31"}
+		d.LSB = &Number{Value: 0, Width: 0, Text: "0"}
+	}
+	if p.atPunct("[") {
+		msb, lsb, err := p.parseRange()
+		if err != nil {
+			return nil, err
+		}
+		d.MSB, d.LSB = msb, lsb
+	}
+	for {
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		dn := DeclName{Name: name.text}
+		if p.atPunct("[") {
+			amsb, alsb, err := p.parseRange()
+			if err != nil {
+				return nil, err
+			}
+			dn.ArrMSB, dn.ArrLSB = amsb, alsb
+		}
+		if p.atPunct("=") {
+			p.advance()
+			init, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			dn.Init = init
+		}
+		d.Names = append(d.Names, dn)
+		if p.atPunct(",") {
+			p.advance()
+			continue
+		}
+		break
+	}
+	if _, err := p.expectPunct(";"); err != nil {
+		return nil, err
+	}
+	return []Item{d}, nil
+}
+
+func (p *parser) parseAlways() ([]Item, error) {
+	line := p.advance().line // always
+	if _, err := p.expectPunct("@"); err != nil {
+		return nil, err
+	}
+	// Accept "@*" and "@(...)".
+	if p.atPunct("*") {
+		p.advance()
+		body, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		return []Item{&AlwaysComb{Body: body, Line: line}}, nil
+	}
+	if _, err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	if p.atPunct("*") {
+		p.advance()
+		if _, err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		body, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		return []Item{&AlwaysComb{Body: body, Line: line}}, nil
+	}
+	if p.atKw("posedge") {
+		p.advance()
+		clk, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		// Reject sensitivity lists with more than the clock: async
+		// resets are outside the subset.
+		if p.atPunct(",") || p.at(tokIdent, "or") {
+			return nil, p.errorf("only single posedge clock sensitivity is supported")
+		}
+		if _, err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		body, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		return []Item{&AlwaysFF{Clock: clk.text, Body: body, Line: line}}, nil
+	}
+	// Plain sensitivity list "always @(a or b)" is treated as comb.
+	for !p.atPunct(")") {
+		if p.at(tokEOF, "") {
+			return nil, p.errorf("unterminated sensitivity list")
+		}
+		p.advance()
+	}
+	p.advance()
+	body, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	return []Item{&AlwaysComb{Body: body, Line: line}}, nil
+}
+
+func (p *parser) parseInstance() ([]Item, error) {
+	modName, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	inst := &Instance{
+		ModuleName:     modName.text,
+		ParamOverrides: map[string]Expr{},
+		Conns:          map[string]Expr{},
+		Line:           modName.line,
+	}
+	if p.atPunct("#") {
+		p.advance()
+		if _, err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		for {
+			if _, err := p.expectPunct("."); err != nil {
+				return nil, err
+			}
+			pn, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expectPunct("("); err != nil {
+				return nil, err
+			}
+			val, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+			inst.ParamOverrides[pn.text] = val
+			if p.atPunct(",") {
+				p.advance()
+				continue
+			}
+			break
+		}
+		if _, err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+	}
+	instName, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	inst.Name = instName.text
+	if _, err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	if !p.atPunct(")") {
+		for {
+			if _, err := p.expectPunct("."); err != nil {
+				return nil, err
+			}
+			pn, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expectPunct("("); err != nil {
+				return nil, err
+			}
+			var actual Expr
+			if !p.atPunct(")") {
+				actual, err = p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+			}
+			if _, err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+			inst.Conns[pn.text] = actual
+			if p.atPunct(",") {
+				p.advance()
+				continue
+			}
+			break
+		}
+	}
+	if _, err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expectPunct(";"); err != nil {
+		return nil, err
+	}
+	return []Item{inst}, nil
+}
+
+func (p *parser) parseStmt() (Stmt, error) {
+	switch {
+	case p.atKw("begin"):
+		p.advance()
+		blk := &Block{}
+		for !p.atKw("end") {
+			if p.at(tokEOF, "") {
+				return nil, p.errorf("unterminated begin block")
+			}
+			s, err := p.parseStmt()
+			if err != nil {
+				return nil, err
+			}
+			blk.Stmts = append(blk.Stmts, s)
+		}
+		p.advance()
+		return blk, nil
+
+	case p.atKw("if"):
+		p.advance()
+		if _, err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		then, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		stmt := &If{Cond: cond, Then: then}
+		if p.atKw("else") {
+			p.advance()
+			els, err := p.parseStmt()
+			if err != nil {
+				return nil, err
+			}
+			stmt.Else = els
+		}
+		return stmt, nil
+
+	case p.atKw("case"), p.atKw("casez"):
+		p.advance()
+		if _, err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		subj, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		cs := &Case{Subject: subj}
+		for !p.atKw("endcase") {
+			if p.at(tokEOF, "") {
+				return nil, p.errorf("unterminated case")
+			}
+			item := CaseItem{}
+			if p.atKw("default") {
+				p.advance()
+				if p.atPunct(":") {
+					p.advance()
+				}
+			} else {
+				for {
+					lbl, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					item.Labels = append(item.Labels, lbl)
+					if p.atPunct(",") {
+						p.advance()
+						continue
+					}
+					break
+				}
+				if _, err := p.expectPunct(":"); err != nil {
+					return nil, err
+				}
+			}
+			body, err := p.parseStmt()
+			if err != nil {
+				return nil, err
+			}
+			item.Body = body
+			cs.Items = append(cs.Items, item)
+		}
+		p.advance()
+		return cs, nil
+
+	case p.atPunct(";"):
+		p.advance()
+		return &Block{}, nil
+	}
+
+	// Assignment statement: lhs <= rhs; or lhs = rhs. The LHS is parsed
+	// with a restricted grammar (identifier, index, part-select or
+	// concatenation) so that "<=" is not swallowed as a comparison.
+	lhs, err := p.parseLValue()
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case p.atPunct("<="):
+		p.advance()
+		rhs, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+		return &NonBlocking{LHS: lhs, RHS: rhs}, nil
+	case p.atPunct("="):
+		p.advance()
+		rhs, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+		return &Blocking{LHS: lhs, RHS: rhs}, nil
+	}
+	return nil, p.errorf("expected assignment, got %v", p.cur())
+}
+
+// parseLValue parses an assignment target: identifier with optional
+// index/part-select chains, or a concatenation of such targets.
+func (p *parser) parseLValue() (Expr, error) {
+	if p.atPunct("{") {
+		p.advance()
+		cat := &Concat{}
+		for {
+			part, err := p.parseLValue()
+			if err != nil {
+				return nil, err
+			}
+			cat.Parts = append(cat.Parts, part)
+			if p.atPunct(",") {
+				p.advance()
+				continue
+			}
+			break
+		}
+		if _, err := p.expectPunct("}"); err != nil {
+			return nil, err
+		}
+		return cat, nil
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	var x Expr = &Ident{Name: name.text}
+	for p.atPunct("[") {
+		p.advance()
+		first, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if p.atPunct(":") {
+			p.advance()
+			lsb, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expectPunct("]"); err != nil {
+				return nil, err
+			}
+			x = &RangeSel{X: x, MSB: first, LSB: lsb}
+			continue
+		}
+		if _, err := p.expectPunct("]"); err != nil {
+			return nil, err
+		}
+		x = &Index{X: x, Idx: first}
+	}
+	return x, nil
+}
+
+// Expression parsing: precedence climbing.
+
+var binPrec = map[string]int{
+	"||": 1,
+	"&&": 2,
+	"|":  3,
+	"^":  4,
+	"&":  5,
+	"==": 6, "!=": 6, "===": 6, "!==": 6,
+	"<": 7, "<=": 7, ">": 7, ">=": 7,
+	"<<": 8, ">>": 8, "<<<": 8, ">>>": 8,
+	"+": 9, "-": 9,
+	"*": 10, "/": 10, "%": 10,
+}
+
+func (p *parser) parseExpr() (Expr, error) {
+	return p.parseTernary()
+}
+
+func (p *parser) parseTernary() (Expr, error) {
+	cond, err := p.parseBinary(1)
+	if err != nil {
+		return nil, err
+	}
+	if !p.atPunct("?") {
+		return cond, nil
+	}
+	p.advance()
+	then, err := p.parseTernary()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expectPunct(":"); err != nil {
+		return nil, err
+	}
+	els, err := p.parseTernary()
+	if err != nil {
+		return nil, err
+	}
+	return &Ternary{Cond: cond, Then: then, Else: els}, nil
+}
+
+func (p *parser) parseBinary(minPrec int) (Expr, error) {
+	lhs, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		if t.kind != tokPunct {
+			return lhs, nil
+		}
+		prec, ok := binPrec[t.text]
+		if !ok || prec < minPrec {
+			return lhs, nil
+		}
+		p.advance()
+		rhs, err := p.parseBinary(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		op := t.text
+		// Normalize SystemVerilog-isms in the subset.
+		switch op {
+		case "===":
+			op = "=="
+		case "!==":
+			op = "!="
+		case "<<<":
+			op = "<<"
+		case ">>>":
+			op = ">>"
+		}
+		lhs = &Binary{Op: op, X: lhs, Y: rhs}
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	t := p.cur()
+	if t.kind == tokPunct {
+		switch t.text {
+		case "~", "!", "-", "&", "|", "^", "+":
+			p.advance()
+			x, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			if t.text == "+" {
+				return x, nil
+			}
+			return &Unary{Op: t.text, X: x}, nil
+		}
+	}
+	return p.parsePostfix()
+}
+
+func (p *parser) parsePostfix() (Expr, error) {
+	x, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for p.atPunct("[") {
+		p.advance()
+		first, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if p.atPunct(":") {
+			p.advance()
+			lsb, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expectPunct("]"); err != nil {
+				return nil, err
+			}
+			x = &RangeSel{X: x, MSB: first, LSB: lsb}
+			continue
+		}
+		if _, err := p.expectPunct("]"); err != nil {
+			return nil, err
+		}
+		x = &Index{X: x, Idx: first}
+	}
+	return x, nil
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tokIdent:
+		p.advance()
+		return &Ident{Name: t.text}, nil
+
+	case t.kind == tokNumber:
+		p.advance()
+		return parseNumber(t)
+
+	case p.atPunct("("):
+		p.advance()
+		x, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		return x, nil
+
+	case p.atPunct("{"):
+		p.advance()
+		first, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		// Replication: {n{expr}}.
+		if p.atPunct("{") {
+			p.advance()
+			inner, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expectPunct("}"); err != nil {
+				return nil, err
+			}
+			if _, err := p.expectPunct("}"); err != nil {
+				return nil, err
+			}
+			return &Repeat{Count: first, X: inner}, nil
+		}
+		cat := &Concat{Parts: []Expr{first}}
+		for p.atPunct(",") {
+			p.advance()
+			part, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			cat.Parts = append(cat.Parts, part)
+		}
+		if _, err := p.expectPunct("}"); err != nil {
+			return nil, err
+		}
+		return cat, nil
+	}
+	return nil, p.errorf("unexpected %v in expression", t)
+}
+
+func parseNumber(t token) (Expr, error) {
+	text := t.text
+	mkErr := func(msg string) error {
+		return &ParseError{Line: t.line, Col: t.col, Msg: msg}
+	}
+	clean := strings.ReplaceAll(text, "_", "")
+	tick := strings.IndexByte(clean, '\'')
+	if tick < 0 {
+		v, err := strconv.ParseUint(clean, 10, 64)
+		if err != nil {
+			return nil, mkErr(fmt.Sprintf("bad number %q", text))
+		}
+		return &Number{Value: v, Width: 0, Text: text}, nil
+	}
+	width := uint(0)
+	if tick > 0 {
+		w, err := strconv.ParseUint(clean[:tick], 10, 8)
+		if err != nil || w == 0 || w > 64 {
+			return nil, mkErr(fmt.Sprintf("bad width in %q", text))
+		}
+		width = uint(w)
+	} else {
+		width = 32
+	}
+	rest := clean[tick+1:]
+	if rest != "" && (rest[0] == 's' || rest[0] == 'S') {
+		rest = rest[1:]
+	}
+	if rest == "" {
+		return nil, mkErr(fmt.Sprintf("missing base in %q", text))
+	}
+	base := 10
+	switch rest[0] {
+	case 'h', 'H':
+		base = 16
+	case 'd', 'D':
+		base = 10
+	case 'b', 'B':
+		base = 2
+	case 'o', 'O':
+		base = 8
+	default:
+		return nil, mkErr(fmt.Sprintf("bad base in %q", text))
+	}
+	digits := rest[1:]
+	if strings.ContainsAny(digits, "xXzZ") {
+		return nil, mkErr("x/z values are outside the two-state subset")
+	}
+	v, err := strconv.ParseUint(digits, base, 64)
+	if err != nil {
+		return nil, mkErr(fmt.Sprintf("bad number %q", text))
+	}
+	if width < 64 {
+		v &= (1 << width) - 1
+	}
+	return &Number{Value: v, Width: width, Text: text}, nil
+}

@@ -1,0 +1,356 @@
+package verilog
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleModule = `
+// A small peripheral used to exercise the whole grammar.
+module counter #(parameter WIDTH = 8, parameter STEP = 1) (
+  input wire clk,
+  input wire rst,
+  input wire en,
+  input wire [WIDTH-1:0] load_val,
+  input wire load,
+  output reg [WIDTH-1:0] count,
+  output wire wrapped
+);
+  localparam MAX = (1 << WIDTH) - 1;
+  reg [1:0] state;
+  wire [WIDTH-1:0] next = count + STEP;
+  reg [7:0] fifo [0:15];
+
+  assign wrapped = (count == MAX) ? 1'b1 : 1'b0;
+
+  always @(posedge clk) begin
+    if (rst) begin
+      count <= 0;
+      state <= 2'b00;
+    end else if (load) begin
+      count <= load_val;
+      fifo[0] <= load_val[7:0];
+    end else if (en) begin
+      case (state)
+        2'b00: state <= 2'b01;
+        2'b01, 2'b10: state <= 2'b11;
+        default: state <= 2'b00;
+      endcase
+      count <= next;
+    end
+  end
+
+  always @(*) begin
+    /* block comment */
+  end
+endmodule
+`
+
+func TestParseSampleModule(t *testing.T) {
+	f, err := Parse(sampleModule)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if len(f.Modules) != 1 {
+		t.Fatalf("modules: %d", len(f.Modules))
+	}
+	m := f.Modules[0]
+	if m.Name != "counter" {
+		t.Errorf("name %q", m.Name)
+	}
+	if len(m.Params) != 2 || m.Params[0].Name != "WIDTH" || m.Params[1].Name != "STEP" {
+		t.Errorf("params: %+v", m.Params)
+	}
+	if len(m.Ports) != 7 {
+		t.Fatalf("ports: %d", len(m.Ports))
+	}
+	if m.Ports[0].Name != "clk" || m.Ports[0].Dir != DirInput {
+		t.Errorf("port 0: %+v", m.Ports[0])
+	}
+	if m.Ports[5].Name != "count" || !m.Ports[5].IsReg || m.Ports[5].Dir != DirOutput {
+		t.Errorf("port count: %+v", m.Ports[5])
+	}
+	if m.Ports[5].MSB == nil {
+		t.Error("count should have a range")
+	}
+
+	var ffs, combs, assigns, decls, params int
+	for _, item := range m.Items {
+		switch item.(type) {
+		case *AlwaysFF:
+			ffs++
+		case *AlwaysComb:
+			combs++
+		case *Assign:
+			assigns++
+		case *NetDecl:
+			decls++
+		case *ParamItem:
+			params++
+		}
+	}
+	if ffs != 1 || combs != 1 || assigns != 1 || decls != 3 || params != 1 {
+		t.Errorf("items: ff=%d comb=%d assign=%d decl=%d param=%d", ffs, combs, assigns, decls, params)
+	}
+}
+
+func TestMemoryDecl(t *testing.T) {
+	f, err := Parse(`module m(); reg [7:0] fifo [0:15]; endmodule`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, ok := f.Modules[0].Items[0].(*NetDecl)
+	if !ok {
+		t.Fatalf("item type %T", f.Modules[0].Items[0])
+	}
+	if d.Names[0].ArrMSB == nil {
+		t.Fatal("missing array range")
+	}
+}
+
+func TestNumbers(t *testing.T) {
+	cases := []struct {
+		src   string
+		value uint64
+		width uint
+	}{
+		{"8'hFF", 0xFF, 8},
+		{"4'b1010", 10, 4},
+		{"16'd1234", 1234, 16},
+		{"8'o17", 15, 8},
+		{"42", 42, 0},
+		{"'h3F", 0x3F, 32},
+		{"32'hDEAD_BEEF", 0xDEADBEEF, 32},
+		{"8'shFF", 0xFF, 8},
+	}
+	for _, tc := range cases {
+		f, err := Parse("module m(); assign x = " + tc.src + "; endmodule")
+		if err != nil {
+			t.Errorf("%s: %v", tc.src, err)
+			continue
+		}
+		a := f.Modules[0].Items[0].(*Assign)
+		n, ok := a.RHS.(*Number)
+		if !ok {
+			t.Errorf("%s: not a number: %T", tc.src, a.RHS)
+			continue
+		}
+		if n.Value != tc.value || n.Width != tc.width {
+			t.Errorf("%s: got (%d, w%d), want (%d, w%d)", tc.src, n.Value, n.Width, tc.value, tc.width)
+		}
+	}
+}
+
+func TestXZRejected(t *testing.T) {
+	_, err := Parse("module m(); assign x = 8'bxxxx_0000; endmodule")
+	if err == nil {
+		t.Fatal("x digits must be rejected")
+	}
+}
+
+func TestNonBlockingVsComparison(t *testing.T) {
+	f, err := Parse(`
+module m(input wire clk, input wire [7:0] a, input wire [7:0] b, output reg y, output reg [7:0] r);
+  always @(posedge clk) begin
+    r <= a;
+    y <= a <= b;
+  end
+endmodule`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ff := findFF(t, f.Modules[0])
+	blk := ff.Body.(*Block)
+	if len(blk.Stmts) != 2 {
+		t.Fatalf("stmts: %d", len(blk.Stmts))
+	}
+	second := blk.Stmts[1].(*NonBlocking)
+	if _, ok := second.RHS.(*Binary); !ok {
+		t.Fatalf("rhs of 'y <= a <= b' should be a comparison, got %T", second.RHS)
+	}
+}
+
+func findFF(t *testing.T, m *Module) *AlwaysFF {
+	t.Helper()
+	for _, item := range m.Items {
+		if ff, ok := item.(*AlwaysFF); ok {
+			return ff
+		}
+	}
+	t.Fatal("no always @(posedge) block")
+	return nil
+}
+
+func TestInstanceParsing(t *testing.T) {
+	f, err := Parse(`
+module top(input wire clk);
+  wire [7:0] d;
+  counter #(.WIDTH(16)) u0 (.clk(clk), .count(d), .unused());
+endmodule`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var inst *Instance
+	for _, item := range f.Modules[0].Items {
+		if i, ok := item.(*Instance); ok {
+			inst = i
+		}
+	}
+	if inst == nil {
+		t.Fatal("no instance")
+	}
+	if inst.ModuleName != "counter" || inst.Name != "u0" {
+		t.Errorf("instance: %+v", inst)
+	}
+	if len(inst.ParamOverrides) != 1 {
+		t.Errorf("param overrides: %v", inst.ParamOverrides)
+	}
+	if inst.Conns["unused"] != nil {
+		t.Error("unconnected port should map to nil")
+	}
+}
+
+func TestOperatorPrecedence(t *testing.T) {
+	f, err := Parse("module m(); assign x = a + b * c == d | e; endmodule")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expect: ((a + (b*c)) == d) | e
+	root := f.Modules[0].Items[0].(*Assign).RHS.(*Binary)
+	if root.Op != "|" {
+		t.Fatalf("root op %q", root.Op)
+	}
+	eq := root.X.(*Binary)
+	if eq.Op != "==" {
+		t.Fatalf("second op %q", eq.Op)
+	}
+	add := eq.X.(*Binary)
+	if add.Op != "+" {
+		t.Fatalf("third op %q", add.Op)
+	}
+	if mul := add.Y.(*Binary); mul.Op != "*" {
+		t.Fatalf("inner op %q", mul.Op)
+	}
+}
+
+func TestConcatAndRepeat(t *testing.T) {
+	f, err := Parse("module m(); assign x = {a, 2'b01, {4{b}}}; endmodule")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := f.Modules[0].Items[0].(*Assign).RHS.(*Concat)
+	if len(cat.Parts) != 3 {
+		t.Fatalf("parts: %d", len(cat.Parts))
+	}
+	if _, ok := cat.Parts[2].(*Repeat); !ok {
+		t.Fatalf("part 2: %T", cat.Parts[2])
+	}
+}
+
+func TestTernaryAndUnary(t *testing.T) {
+	f, err := Parse("module m(); assign x = en ? ~a : (&b); endmodule")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tern := f.Modules[0].Items[0].(*Assign).RHS.(*Ternary)
+	if u := tern.Then.(*Unary); u.Op != "~" {
+		t.Fatalf("then: %v", u)
+	}
+	if u := tern.Else.(*Unary); u.Op != "&" {
+		t.Fatalf("else: %v", u)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	f1, err := Parse(sampleModule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text1 := Print(f1)
+	f2, err := Parse(text1)
+	if err != nil {
+		t.Fatalf("reparse printed output: %v\n%s", err, text1)
+	}
+	text2 := Print(f2)
+	if text1 != text2 {
+		t.Fatalf("print not stable:\n--- first ---\n%s\n--- second ---\n%s", text1, text2)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"module", // truncated
+		"module m( input wire; endmodule",
+		"module m(); assign x = ; endmodule",
+		"module m(); always @(posedge clk or posedge rst) begin end endmodule",
+		"module m(); wire w = 8'q12; endmodule",
+		"module m(); bogus!; endmodule",
+		"module m(); case endmodule",
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("expected parse error for %q", src)
+		}
+	}
+}
+
+func TestMultipleModules(t *testing.T) {
+	f, err := Parse(`
+module a(); endmodule
+module b(); endmodule
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Modules) != 2 || f.FindModule("b") == nil || f.FindModule("zz") != nil {
+		t.Fatalf("modules: %v", len(f.Modules))
+	}
+}
+
+func TestDirectivesIgnored(t *testing.T) {
+	f, err := Parse("`timescale 1ns/1ps\nmodule m(); endmodule\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Modules) != 1 {
+		t.Fatal("directive should be skipped")
+	}
+}
+
+func TestCaseWithMultipleLabels(t *testing.T) {
+	f, err := Parse(`
+module m(input wire clk, input wire [1:0] s, output reg [3:0] y);
+  always @(posedge clk)
+    case (s)
+      2'd0, 2'd1: y <= 4'h1;
+      2'd2: y <= 4'h2;
+      default: y <= 4'h0;
+    endcase
+endmodule`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ff := findFF(t, f.Modules[0])
+	cs := ff.Body.(*Case)
+	if len(cs.Items) != 3 {
+		t.Fatalf("case items: %d", len(cs.Items))
+	}
+	if len(cs.Items[0].Labels) != 2 {
+		t.Fatalf("labels: %d", len(cs.Items[0].Labels))
+	}
+	if cs.Items[2].Labels != nil {
+		t.Fatal("default should have nil labels")
+	}
+}
+
+func TestStringsInLexer(t *testing.T) {
+	// Strings are lexed but not used by the subset grammar; just make
+	// sure the lexer handles them.
+	toks, err := lexAll(`"hello \"world\""`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].kind != tokString || !strings.Contains(toks[0].text, "hello") {
+		t.Fatalf("tok: %+v", toks[0])
+	}
+}

@@ -1,0 +1,49 @@
+package vm
+
+// Snapshot is a complete copy of the CPU's architectural and memory
+// state, used by the fuzzer's snapshot-based reset strategy.
+type Snapshot struct {
+	Regs       [16]uint32
+	PC         uint32
+	EPC        uint32
+	InHandler  bool
+	IRQEnabled bool
+	Pending    uint32
+	Cycles     uint64
+	Mem        []byte
+	Console    []byte
+}
+
+// Snapshot captures the CPU state. The stop state is not captured: a
+// snapshot is only meaningful for a running machine.
+func (c *CPU) Snapshot() *Snapshot {
+	s := &Snapshot{
+		Regs:       c.Regs,
+		PC:         c.PC,
+		EPC:        c.EPC,
+		InHandler:  c.InHandler,
+		IRQEnabled: c.IRQEnabled,
+		Pending:    c.pending,
+		Cycles:     c.Cycles,
+		Mem:        make([]byte, len(c.Mem)),
+		Console:    append([]byte(nil), c.Console...),
+	}
+	copy(s.Mem, c.Mem)
+	return s
+}
+
+// RestoreSnapshot overwrites the CPU state from a snapshot and clears
+// any stop condition.
+func (c *CPU) RestoreSnapshot(s *Snapshot) {
+	c.Regs = s.Regs
+	c.PC = s.PC
+	c.EPC = s.EPC
+	c.InHandler = s.InHandler
+	c.IRQEnabled = s.IRQEnabled
+	c.pending = s.Pending
+	c.Cycles = s.Cycles
+	copy(c.Mem, s.Mem)
+	c.Console = append(c.Console[:0], s.Console...)
+	c.Stop = StopNone
+	c.Fault = nil
+}
