@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: check fmt vet build test race
+
+# Full gate: formatting, static checks, build, tests, race detector on
+# the concurrency-sensitive packages.
+check: fmt vet build test race
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/remote ./internal/target

@@ -28,8 +28,20 @@ func main() {
 	top := flag.String("top", "", "top module of -source")
 	listen := flag.String("listen", "127.0.0.1:0", "TCP listen address")
 	fpga := flag.Bool("fpga", false, "model the FPGA target instead of the simulator")
+	faultRate := flag.Float64("fault-rate", 0, "probability of dropping a protocol frame (half of it is also applied as bit corruption)")
+	faultSeed := flag.Int64("fault-seed", 1, "seed for the deterministic fault schedule")
+	latencyJitter := flag.Duration("latency-jitter", 0, "uniform extra per-frame latency in [0, jitter)")
 	flag.Parse()
-	if err := run(*periphName, *source, *top, *listen, *fpga); err != nil {
+	sched := target.FaultSchedule{
+		Seed:          *faultSeed,
+		DropRate:      *faultRate,
+		CorruptRate:   *faultRate / 2,
+		LatencyJitter: *latencyJitter,
+	}
+	if *faultRate == 0 && *latencyJitter == 0 {
+		sched = target.FaultSchedule{}
+	}
+	if err := run(*periphName, *source, *top, *listen, *fpga, sched); err != nil {
 		fmt.Fprintln(os.Stderr, "hssim:", err)
 		os.Exit(1)
 	}
@@ -44,17 +56,20 @@ type advPort struct {
 
 func (p *advPort) Advance(n uint64) error { return p.tgt.Advance(n) }
 
-func run(periphName, source, top, listen string, fpga bool) error {
+func run(periphName, source, top, listen string, fpga bool, sched target.FaultSchedule) error {
 	ln, err := net.Listen("tcp", listen)
 	if err != nil {
 		return err
 	}
-	return serveOn(ln, periphName, source, top, fpga)
+	return serveOn(ln, periphName, source, top, fpga, sched)
 }
 
 // serveOn hosts the peripheral behind the protocol on an existing
-// listener (separated from run for testability).
-func serveOn(ln net.Listener, periphName, source, top string, fpga bool) error {
+// listener (separated from run for testability). A non-zero fault
+// schedule wraps every accepted connection in a deterministic fault
+// injector, making the TCP link behave like the paper's flaky
+// debugger transport.
+func serveOn(ln net.Listener, periphName, source, top string, fpga bool, sched target.FaultSchedule) error {
 	cfg := target.PeriphConfig{Name: "dev0", Periph: periphName}
 	switch {
 	case source != "":
@@ -86,7 +101,16 @@ func serveOn(ln net.Listener, periphName, source, top string, fpga bool) error {
 	}
 	fmt.Printf("hssim: hosting %s on %s (%s target, %d state bits)\n",
 		describe(cfg), ln.Addr(), tgt.Kind(), tgt.StateBits())
-	return remote.ListenAndServe(ln, &advPort{Port: port, tgt: tgt})
+	srv := &advPort{Port: port, tgt: tgt}
+	var wrap func(net.Conn) net.Conn
+	if sched != (target.FaultSchedule{}) {
+		fmt.Printf("hssim: fault injection armed (seed %d, drop %.2f, corrupt %.2f, jitter %v)\n",
+			sched.Seed, sched.DropRate, sched.CorruptRate, sched.LatencyJitter)
+		wrap = func(conn net.Conn) net.Conn {
+			return target.NewFaultConn(conn, sched)
+		}
+	}
+	return remote.ListenAndServeWith(ln, srv, wrap)
 }
 
 func describe(cfg target.PeriphConfig) string {

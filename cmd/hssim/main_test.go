@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"hardsnap/internal/remote"
+	"hardsnap/internal/target"
 )
 
 func TestServeCorpusPeripheralOverTCP(t *testing.T) {
@@ -19,7 +20,7 @@ func TestServeCorpusPeripheralOverTCP(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	go func() { done <- serveOn(ln, "gpio", "", "", false) }()
+	go func() { done <- serveOn(ln, "gpio", "", "", false, target.FaultSchedule{}) }()
 
 	conn, err := net.DialTimeout("tcp", ln.Addr().String(), 2*time.Second)
 	if err != nil {
@@ -74,7 +75,7 @@ endmodule
 		t.Fatal(err)
 	}
 	done := make(chan error, 1)
-	go func() { done <- serveOn(ln, "", src, "dev", true) }()
+	go func() { done <- serveOn(ln, "", src, "dev", true, target.FaultSchedule{}) }()
 	conn, err := net.DialTimeout("tcp", ln.Addr().String(), 2*time.Second)
 	if err != nil {
 		t.Fatal(err)
@@ -91,8 +92,48 @@ endmodule
 	<-done
 }
 
+func TestServeWithFaultInjection(t *testing.T) {
+	// The server-side fault injector drops and corrupts frames; a
+	// retrying client must still complete every transaction.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	sched := target.FaultSchedule{Seed: 5, DropRate: 0.2, CorruptRate: 0.1}
+	go func() { done <- serveOn(ln, "gpio", "", "", false, sched) }()
+
+	conn, err := net.DialTimeout("tcp", ln.Addr().String(), 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := remote.NewClient(conn)
+	client.Timeout = 100 * time.Millisecond
+	client.MaxRetries = 30
+	client.Backoff = 200 * time.Microsecond
+	client.BackoffMax = 2 * time.Millisecond
+	for i := 0; i < 10; i++ {
+		if err := client.WriteReg(0, uint32(0x100+i)); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+		v, err := client.ReadReg(0)
+		if err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+		if v != uint32(0x100+i) {
+			t.Fatalf("readback %d: %#x", i, v)
+		}
+	}
+	if client.Retries() == 0 {
+		t.Fatal("fault schedule injected nothing")
+	}
+	conn.Close()
+	ln.Close()
+	<-done
+}
+
 func TestRunValidation(t *testing.T) {
-	if err := run("", "", "", "127.0.0.1:0", false); err == nil {
+	if err := run("", "", "", "127.0.0.1:0", false, target.FaultSchedule{}); err == nil {
 		t.Fatal("missing -periph/-source must fail")
 	}
 }

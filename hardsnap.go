@@ -120,6 +120,42 @@ type (
 // Transfer moves the hardware state between targets (FPGA <-> sim).
 func Transfer(from, to *Target) error { return target.Transfer(from, to) }
 
+// Target robustness: fault injection, retry and failover.
+type (
+	// FaultSchedule deterministically describes link misbehavior
+	// (dropped frames, corruption, jitter, permanent death).
+	FaultSchedule = target.FaultSchedule
+	// RetryPolicy bounds transient-fault retries on a target link.
+	RetryPolicy = target.RetryPolicy
+	// TargetStats are cumulative target-side counters (cycles, IO,
+	// snapshots, retries, failovers).
+	TargetStats = target.Stats
+	// TargetError is a typed target failure carrying its class
+	// (transient, fatal, integrity).
+	TargetError = target.Error
+)
+
+// Error classification helpers for target and remote failures.
+var (
+	// IsTransient reports a retry-worthy fault (dropped or corrupted
+	// frame, timeout).
+	IsTransient = target.IsTransient
+	// IsFatal reports an unrecoverable failure (dead target, protocol
+	// violation).
+	IsFatal = target.IsFatal
+	// IsIntegrity reports corrupted or mismatched snapshot data.
+	IsIntegrity = target.IsIntegrity
+)
+
+// EncodeHWState serializes a hardware snapshot with an integrity
+// header (magic, version, length, CRC-32).
+func EncodeHWState(s HWState) ([]byte, error) { return target.EncodeState(s) }
+
+// DecodeHWState validates and deserializes a snapshot produced by
+// EncodeHWState; truncated or corrupted data is rejected with an
+// integrity error.
+func DecodeHWState(data []byte) (HWState, error) { return target.DecodeState(data) }
+
 // Peripheral corpus.
 type (
 	// PeriphSpec describes a corpus peripheral.

@@ -7,10 +7,17 @@
 // net.Conn works, including net.Pipe for in-process use and TCP
 // sockets for genuine out-of-process targets.
 //
-// Wire format (all integers little-endian):
+// Wire format (all integers little-endian, one CRC-8 per frame so
+// corrupted frames are detected and retransmitted instead of applied):
 //
-//	request:  opcode(1) offset(4) value(4)
-//	response: status(1) value(4)
+//	request:  opcode(1) offset(4) value(4) crc(1)
+//	response: status(1) value(4) crc(1)
+//
+// Error responses carry the target error class (transient, fatal,
+// integrity) in the value field, so the client can decide whether to
+// retry. The client absorbs transient link faults with per-transaction
+// deadlines, bounded exponential-backoff retries and optional
+// reconnection; only fatal and integrity errors surface to the caller.
 //
 // The client is not safe for concurrent use; the VM serializes
 // hardware access, matching the single memory bus of the modeled SoC.
@@ -18,11 +25,15 @@ package remote
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"net"
+	"time"
 
 	"hardsnap/internal/bus"
+	"hardsnap/internal/target"
 )
 
 // Protocol opcodes.
@@ -36,15 +47,55 @@ const (
 
 // Response status codes.
 const (
-	statusOK  = 0
+	statusOK = 0
+	// statusErr carries a target-side operation error; the value
+	// field holds its target.ErrorClass.
 	statusErr = 1
+	// statusBadFrame rejects a request whose CRC did not verify; the
+	// client retransmits.
+	statusBadFrame = 2
 )
+
+const (
+	reqLen  = 10
+	respLen = 6
+)
+
+// crc8 folds an IEEE CRC-32 into one byte: enough to catch the
+// single-bit and burst corruption a flaky link produces.
+func crc8(b []byte) byte {
+	s := crc32.ChecksumIEEE(b)
+	return byte(s) ^ byte(s>>8) ^ byte(s>>16) ^ byte(s>>24)
+}
+
+// deadliner is the deadline surface of net.Conn; the client uses it
+// when the transport provides it.
+type deadliner interface {
+	SetDeadline(t time.Time) error
+}
 
 // Client speaks the protocol over a connection and exposes the remote
 // peripheral as a bus.Port.
 type Client struct {
 	conn io.ReadWriter
-	buf  [9]byte
+
+	// Timeout is the per-transaction deadline, applied when the
+	// connection supports deadlines (any net.Conn). Zero disables.
+	Timeout time.Duration
+	// MaxRetries bounds transient-fault retransmissions per
+	// transaction; 0 fails on the first error (the historical
+	// behavior).
+	MaxRetries int
+	// Backoff is the initial delay between retries, doubled each
+	// time up to BackoffMax. Zero values take 200µs / 50ms.
+	Backoff    time.Duration
+	BackoffMax time.Duration
+	// Redial, when set, re-establishes the link before a retry that
+	// follows a transport (not protocol) error.
+	Redial func() (io.ReadWriter, error)
+
+	retries uint64
+	buf     [reqLen]byte
 }
 
 var _ bus.Port = (*Client)(nil)
@@ -54,22 +105,118 @@ func NewClient(conn io.ReadWriter) *Client {
 	return &Client{conn: conn}
 }
 
-func (c *Client) roundTrip(op byte, offset, value uint32) (uint32, error) {
+// Retries reports how many transient-fault retransmissions the client
+// has performed.
+func (c *Client) Retries() uint64 { return c.retries }
+
+// transportError marks errors from the conn itself (as opposed to
+// protocol-level transient errors), so the retry loop knows when a
+// redial is worthwhile.
+type transportError struct{ err error }
+
+func (e *transportError) Error() string { return e.err.Error() }
+func (e *transportError) Unwrap() error { return e.err }
+
+func (c *Client) once(op byte, offset, value uint32) (uint32, error) {
+	if d, ok := c.conn.(deadliner); ok && c.Timeout > 0 {
+		_ = d.SetDeadline(time.Now().Add(c.Timeout))
+		defer func() { _ = d.SetDeadline(time.Time{}) }()
+	}
 	c.buf[0] = op
 	binary.LittleEndian.PutUint32(c.buf[1:5], offset)
 	binary.LittleEndian.PutUint32(c.buf[5:9], value)
-	if _, err := c.conn.Write(c.buf[:9]); err != nil {
-		return 0, fmt.Errorf("remote: send: %w", err)
+	c.buf[9] = crc8(c.buf[:9])
+	if _, err := c.conn.Write(c.buf[:reqLen]); err != nil {
+		return 0, &transportError{fmt.Errorf("remote: send: %w", err)}
 	}
-	var resp [5]byte
+	var resp [respLen]byte
 	if _, err := io.ReadFull(c.conn, resp[:]); err != nil {
-		return 0, fmt.Errorf("remote: receive: %w", err)
+		return 0, &transportError{fmt.Errorf("remote: receive: %w", err)}
+	}
+	if crc8(resp[:respLen-1]) != resp[respLen-1] {
+		return 0, &target.Error{Class: target.Transient, Op: "remote",
+			Err: errors.New("corrupted response frame (bad CRC)")}
 	}
 	v := binary.LittleEndian.Uint32(resp[1:5])
-	if resp[0] != statusOK {
-		return 0, fmt.Errorf("remote: target error (code %d)", v)
+	switch resp[0] {
+	case statusOK:
+		return v, nil
+	case statusBadFrame:
+		return 0, &target.Error{Class: target.Transient, Op: "remote",
+			Err: errors.New("server rejected corrupted request frame")}
+	case statusErr:
+		class := target.ErrorClass(v)
+		switch class {
+		case target.Transient, target.Fatal, target.Integrity:
+		default:
+			class = target.Fatal
+		}
+		return 0, &target.Error{Class: class, Op: "remote",
+			Err: fmt.Errorf("target error (op %d)", op)}
+	default:
+		return 0, &target.Error{Class: target.Transient, Op: "remote",
+			Err: fmt.Errorf("bad response status %d", resp[0])}
 	}
-	return v, nil
+}
+
+// retryable reports whether a transaction failure is worth
+// retransmitting: transport errors (timeouts, drops, broken links)
+// and protocol-transient errors are; target-side fatal/integrity
+// errors are not.
+func retryable(err error) bool {
+	var te *transportError
+	if errors.As(err, &te) {
+		return true
+	}
+	return target.IsTransient(err)
+}
+
+func (c *Client) roundTrip(op byte, offset, value uint32) (uint32, error) {
+	backoff := c.Backoff
+	if backoff <= 0 {
+		backoff = 200 * time.Microsecond
+	}
+	backoffMax := c.BackoffMax
+	if backoffMax <= 0 {
+		backoffMax = 50 * time.Millisecond
+	}
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			c.retries++
+			time.Sleep(backoff)
+			if backoff < backoffMax {
+				backoff *= 2
+				if backoff > backoffMax {
+					backoff = backoffMax
+				}
+			}
+			var te *transportError
+			if c.Redial != nil && errors.As(lastErr, &te) {
+				if conn, err := c.Redial(); err == nil {
+					c.conn = conn
+				}
+			}
+		}
+		v, err := c.once(op, offset, value)
+		if err == nil {
+			return v, nil
+		}
+		lastErr = err
+		if !retryable(err) {
+			return 0, err
+		}
+		if attempt >= c.MaxRetries {
+			break
+		}
+	}
+	var te *transportError
+	if errors.As(lastErr, &te) {
+		// Keep the transient classification so upper layers can
+		// still tell retry-worthy failures apart.
+		return 0, &target.Error{Class: target.Transient, Op: "remote", Err: te.err}
+	}
+	return 0, lastErr
 }
 
 // ReadReg reads a peripheral register.
@@ -98,14 +245,18 @@ func (c *Client) Advance(n uint32) error {
 	return err
 }
 
-// Ping verifies the link.
+// pingMagic is the echo payload of opPing ("HSRP").
+const pingMagic = 0x48535250
+
+// Ping verifies the link end to end.
 func (c *Client) Ping() error {
-	v, err := c.roundTrip(opPing, 0, 0x48535250) // "HSRP"
+	v, err := c.roundTrip(opPing, 0, pingMagic)
 	if err != nil {
 		return err
 	}
-	if v != 0x48535250 {
-		return fmt.Errorf("remote: bad ping echo %#x", v)
+	if v != pingMagic {
+		return &target.Error{Class: target.Transient, Op: "remote",
+			Err: fmt.Errorf("bad ping echo %#x", v)}
 	}
 	return nil
 }
@@ -116,53 +267,74 @@ type Advancer interface {
 	Advance(n uint64) error
 }
 
+// errorClass maps a target-side operation error onto the wire.
+func errorClass(err error) target.ErrorClass {
+	var te *target.Error
+	if errors.As(err, &te) {
+		return te.Class
+	}
+	return target.Fatal
+}
+
 // Serve answers protocol requests against the given port until the
-// connection closes. It returns nil on clean EOF.
+// connection closes. A clean close (EOF between frames, or a closed
+// connection) returns nil; a genuine link failure — including a
+// request truncated mid-frame — is returned to the caller instead of
+// being masked as a clean shutdown.
 func Serve(conn io.ReadWriter, port bus.Port) error {
-	var req [9]byte
-	var resp [5]byte
+	var req [reqLen]byte
+	var resp [respLen]byte
 	for {
 		if _, err := io.ReadFull(conn, req[:]); err != nil {
-			if err == io.EOF || err == io.ErrUnexpectedEOF {
+			switch {
+			case err == io.EOF:
 				return nil
-			}
-			if ne, ok := err.(net.Error); ok && !ne.Timeout() {
+			case errors.Is(err, net.ErrClosed), errors.Is(err, io.ErrClosedPipe):
 				return nil
+			case err == io.ErrUnexpectedEOF:
+				return fmt.Errorf("remote: truncated request: %w", err)
+			default:
+				return fmt.Errorf("remote: read request: %w", err)
 			}
-			return fmt.Errorf("remote: read request: %w", err)
 		}
-		offset := binary.LittleEndian.Uint32(req[1:5])
-		value := binary.LittleEndian.Uint32(req[5:9])
 		var out uint32
-		var opErr error
-		switch req[0] {
-		case opRead:
-			out, opErr = port.ReadReg(offset)
-		case opWrite:
-			opErr = port.WriteReg(offset, value)
-		case opIRQ:
-			level, err := port.IRQLevel()
-			if level {
-				out = 1
+		var status byte = statusOK
+		if crc8(req[:reqLen-1]) != req[reqLen-1] {
+			status = statusBadFrame
+		} else {
+			offset := binary.LittleEndian.Uint32(req[1:5])
+			value := binary.LittleEndian.Uint32(req[5:9])
+			var opErr error
+			switch req[0] {
+			case opRead:
+				out, opErr = port.ReadReg(offset)
+			case opWrite:
+				opErr = port.WriteReg(offset, value)
+			case opIRQ:
+				level, err := port.IRQLevel()
+				if level {
+					out = 1
+				}
+				opErr = err
+			case opAdvance:
+				if adv, ok := port.(Advancer); ok {
+					opErr = adv.Advance(uint64(value))
+				} else {
+					opErr = fmt.Errorf("target does not support advance")
+				}
+			case opPing:
+				out = value
+			default:
+				opErr = fmt.Errorf("unknown opcode %d", req[0])
 			}
-			opErr = err
-		case opAdvance:
-			if adv, ok := port.(Advancer); ok {
-				opErr = adv.Advance(uint64(value))
-			} else {
-				opErr = fmt.Errorf("target does not support advance")
+			if opErr != nil {
+				status = statusErr
+				out = uint32(errorClass(opErr))
 			}
-		case opPing:
-			out = value
-		default:
-			opErr = fmt.Errorf("unknown opcode %d", req[0])
 		}
-		resp[0] = statusOK
-		if opErr != nil {
-			resp[0] = statusErr
-			out = 0
-		}
+		resp[0] = status
 		binary.LittleEndian.PutUint32(resp[1:5], out)
+		resp[respLen-1] = crc8(resp[:respLen-1])
 		if _, err := conn.Write(resp[:]); err != nil {
 			return fmt.Errorf("remote: write response: %w", err)
 		}
@@ -170,14 +342,33 @@ func Serve(conn io.ReadWriter, port bus.Port) error {
 }
 
 // ListenAndServe accepts one connection at a time on the listener and
-// serves the port. It returns when the listener closes.
+// serves the port. It returns when the listener closes; per-connection
+// Serve failures are collected and returned (nil when every
+// connection ended cleanly).
 func ListenAndServe(ln net.Listener, port bus.Port) error {
+	return ListenAndServeWith(ln, port, nil)
+}
+
+// ListenAndServeWith is ListenAndServe with a connection wrapper
+// applied to every accepted connection — e.g. target.NewFaultConn to
+// reproduce the paper's injectable-latency link from the CLI.
+func ListenAndServeWith(ln net.Listener, port bus.Port, wrap func(net.Conn) net.Conn) error {
+	var errs []error
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
-			return nil //nolint:nilerr // closed listener ends service
+			if !errors.Is(err, net.ErrClosed) {
+				errs = append(errs, fmt.Errorf("remote: accept: %w", err))
+			}
+			return errors.Join(errs...)
 		}
-		_ = Serve(conn, port)
+		served := net.Conn(conn)
+		if wrap != nil {
+			served = wrap(conn)
+		}
+		if err := Serve(served, port); err != nil {
+			errs = append(errs, fmt.Errorf("remote: conn %s: %w", conn.RemoteAddr(), err))
+		}
 		_ = conn.Close()
 	}
 }

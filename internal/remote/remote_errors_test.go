@@ -1,0 +1,344 @@
+package remote
+
+import (
+	"encoding/binary"
+	"io"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"hardsnap/internal/bus"
+	"hardsnap/internal/target"
+)
+
+// servePair is pipePair but it also reports Serve's return value.
+func servePair(t *testing.T, port bus.Port) (net.Conn, <-chan error) {
+	t.Helper()
+	cConn, sConn := net.Pipe()
+	errc := make(chan error, 1)
+	go func() {
+		errc <- Serve(sConn, port)
+	}()
+	t.Cleanup(func() {
+		cConn.Close()
+		sConn.Close()
+	})
+	return cConn, errc
+}
+
+// errPort fails every operation with a typed target error.
+type errPort struct{ err error }
+
+func (p *errPort) ReadReg(uint32) (uint32, error) { return 0, p.err }
+func (p *errPort) WriteReg(uint32, uint32) error  { return p.err }
+func (p *errPort) IRQLevel() (bool, error)        { return false, p.err }
+
+func rawRequest(op byte, offset, value uint32) []byte {
+	req := make([]byte, reqLen)
+	req[0] = op
+	binary.LittleEndian.PutUint32(req[1:5], offset)
+	binary.LittleEndian.PutUint32(req[5:9], value)
+	req[9] = crc8(req[:9])
+	return req
+}
+
+func readResponse(t *testing.T, conn io.Reader) (byte, uint32) {
+	t.Helper()
+	var resp [respLen]byte
+	if _, err := io.ReadFull(conn, resp[:]); err != nil {
+		t.Fatalf("read response: %v", err)
+	}
+	if crc8(resp[:respLen-1]) != resp[respLen-1] {
+		t.Fatalf("response CRC mismatch")
+	}
+	return resp[0], binary.LittleEndian.Uint32(resp[1:5])
+}
+
+func TestServeUnknownOpcode(t *testing.T) {
+	_, p := newGPIOTarget(t)
+	conn, _ := servePair(t, p)
+
+	if _, err := conn.Write(rawRequest(99, 0, 0)); err != nil {
+		t.Fatal(err)
+	}
+	status, class := readResponse(t, conn)
+	if status != statusErr {
+		t.Fatalf("unknown opcode: status %d, want statusErr", status)
+	}
+	if target.ErrorClass(class) != target.Fatal {
+		t.Fatalf("unknown opcode class %d, want fatal", class)
+	}
+	// The link survives a protocol error.
+	if _, err := conn.Write(rawRequest(opPing, 0, pingMagic)); err != nil {
+		t.Fatal(err)
+	}
+	if status, echo := readResponse(t, conn); status != statusOK || echo != pingMagic {
+		t.Fatalf("ping after error: status %d echo %#x", status, echo)
+	}
+}
+
+func TestServeBadRequestCRC(t *testing.T) {
+	_, p := newGPIOTarget(t)
+	conn, _ := servePair(t, p)
+
+	req := rawRequest(opWrite, 0, 0xBEEF)
+	req[5] ^= 0x40 // corrupt the payload, keep the stale CRC
+	if _, err := conn.Write(req); err != nil {
+		t.Fatal(err)
+	}
+	if status, _ := readResponse(t, conn); status != statusBadFrame {
+		t.Fatalf("corrupt request: status %d, want statusBadFrame", status)
+	}
+	// The corrupted write must not have been applied.
+	if _, err := conn.Write(rawRequest(opRead, 0, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if status, v := readResponse(t, conn); status != statusOK || v != 0 {
+		t.Fatalf("read after rejected write: status %d value %#x", status, v)
+	}
+}
+
+func TestServeTruncatedRequest(t *testing.T) {
+	_, p := newGPIOTarget(t)
+	conn, errc := servePair(t, p)
+
+	// Half a frame, then a clean close: the server must report the
+	// truncation instead of masking it as a clean shutdown.
+	if _, err := conn.Write(rawRequest(opRead, 0, 0)[:4]); err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+	err := <-errc
+	if err == nil {
+		t.Fatal("Serve must fail on a truncated request")
+	}
+	if !strings.Contains(err.Error(), "truncated") {
+		t.Fatalf("Serve error %q, want truncation", err)
+	}
+}
+
+func TestServeCleanCloseReturnsNil(t *testing.T) {
+	_, p := newGPIOTarget(t)
+	conn, errc := servePair(t, p)
+
+	if _, err := conn.Write(rawRequest(opPing, 0, pingMagic)); err != nil {
+		t.Fatal(err)
+	}
+	readResponse(t, conn)
+	conn.Close()
+	if err := <-errc; err != nil {
+		t.Fatalf("clean close: Serve returned %v", err)
+	}
+}
+
+func TestStatusErrClassPropagation(t *testing.T) {
+	cases := []struct {
+		name  string
+		err   error
+		check func(error) bool
+	}{
+		{"integrity", &target.Error{Class: target.Integrity, Op: "x", Err: io.ErrShortBuffer}, target.IsIntegrity},
+		{"fatal", &target.Error{Class: target.Fatal, Op: "x", Err: io.ErrShortBuffer}, target.IsFatal},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			conn, _ := servePair(t, &errPort{err: tc.err})
+			client := NewClient(conn)
+			// Generous retries: fatal/integrity errors must not be
+			// retried, only transient ones.
+			client.MaxRetries = 5
+			client.Backoff = time.Microsecond
+			_, err := client.ReadReg(0)
+			if err == nil {
+				t.Fatal("errPort read must fail")
+			}
+			if !tc.check(err) {
+				t.Fatalf("error %v lost its %s class", err, tc.name)
+			}
+			if client.Retries() != 0 {
+				t.Fatalf("%d retries on a non-transient error", client.Retries())
+			}
+		})
+	}
+}
+
+func TestClientRetriesTransientStatus(t *testing.T) {
+	conn, _ := servePair(t, &errPort{
+		err: &target.Error{Class: target.Transient, Op: "x", Err: io.ErrShortBuffer},
+	})
+	client := NewClient(conn)
+	client.MaxRetries = 3
+	client.Backoff = time.Microsecond
+	_, err := client.ReadReg(0)
+	if err == nil {
+		t.Fatal("read must fail when every attempt is transient")
+	}
+	if !target.IsTransient(err) {
+		t.Fatalf("exhausted retries lost transient class: %v", err)
+	}
+	if client.Retries() != 3 {
+		t.Fatalf("retries %d, want 3", client.Retries())
+	}
+}
+
+func TestClientTruncatedResponse(t *testing.T) {
+	cConn, sConn := net.Pipe()
+	t.Cleanup(func() { cConn.Close(); sConn.Close() })
+	go func() {
+		var req [reqLen]byte
+		if _, err := io.ReadFull(sConn, req[:]); err != nil {
+			return
+		}
+		sConn.Write([]byte{statusOK, 0x12}) // 2 of 6 bytes
+		sConn.Close()
+	}()
+	client := NewClient(cConn)
+	_, err := client.ReadReg(0)
+	if err == nil {
+		t.Fatal("truncated response must fail")
+	}
+	if !target.IsTransient(err) {
+		t.Fatalf("link failure should classify transient (retry-worthy): %v", err)
+	}
+}
+
+func TestPingEchoMismatch(t *testing.T) {
+	cConn, sConn := net.Pipe()
+	t.Cleanup(func() { cConn.Close(); sConn.Close() })
+	go func() {
+		var req [reqLen]byte
+		if _, err := io.ReadFull(sConn, req[:]); err != nil {
+			return
+		}
+		var resp [respLen]byte
+		resp[0] = statusOK
+		binary.LittleEndian.PutUint32(resp[1:5], 0xDEAD) // wrong echo
+		resp[respLen-1] = crc8(resp[:respLen-1])
+		sConn.Write(resp[:])
+	}()
+	client := NewClient(cConn)
+	err := client.Ping()
+	if err == nil {
+		t.Fatal("ping with a wrong echo must fail")
+	}
+	if !target.IsTransient(err) {
+		t.Fatalf("echo mismatch should classify transient: %v", err)
+	}
+}
+
+func TestClientRetryUnderFaultyLink(t *testing.T) {
+	tg, p := newGPIOTarget(t)
+	cConn, sConn := net.Pipe()
+	go func() { _ = Serve(sConn, &targetPort{Port: p, tg: tg}) }()
+	t.Cleanup(func() { cConn.Close(); sConn.Close() })
+
+	faulty := target.NewFaultConn(cConn, target.FaultSchedule{
+		Seed:        42,
+		DropRate:    0.25,
+		CorruptRate: 0.15,
+	})
+	client := NewClient(faulty)
+	client.Timeout = 50 * time.Millisecond
+	client.MaxRetries = 25
+	client.Backoff = 100 * time.Microsecond
+	client.BackoffMax = time.Millisecond
+
+	const ops = 20
+	for i := 0; i < ops; i++ {
+		if err := client.WriteReg(0x00, uint32(i)); err != nil {
+			t.Fatalf("write %d under faults: %v", i, err)
+		}
+		v, err := client.ReadReg(0x00)
+		if err != nil {
+			t.Fatalf("read %d under faults: %v", i, err)
+		}
+		if v != uint32(i) {
+			t.Fatalf("readback %d got %#x", i, v)
+		}
+	}
+	r := client.Retries()
+	if r == 0 {
+		t.Fatal("fault schedule injected nothing; retries stayed 0")
+	}
+	if r > ops*2*25 {
+		t.Fatalf("retries %d exceed the per-transaction bound", r)
+	}
+	t.Logf("%d transactions, %d retries", ops*2, r)
+}
+
+func TestClientRedial(t *testing.T) {
+	tg, p := newGPIOTarget(t)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = ListenAndServe(ln, &targetPort{Port: p, tg: tg})
+	}()
+
+	dial := func() (io.ReadWriter, error) {
+		return net.Dial("tcp", ln.Addr().String())
+	}
+	first, err := dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := NewClient(first)
+	client.Timeout = time.Second
+	client.MaxRetries = 5
+	client.Backoff = time.Millisecond
+	client.Redial = dial
+
+	if err := client.WriteReg(0x00, 0xA5); err != nil {
+		t.Fatal(err)
+	}
+	// Sever the link under the client; the next transaction must
+	// reconnect transparently.
+	first.(net.Conn).Close()
+	v, err := client.ReadReg(0x00)
+	if err != nil {
+		t.Fatalf("read after reconnect: %v", err)
+	}
+	if v != 0xA5 {
+		t.Fatalf("state lost across reconnect: %#x", v)
+	}
+	if client.Retries() == 0 {
+		t.Fatal("reconnect should have counted a retry")
+	}
+	client.conn.(net.Conn).Close()
+	ln.Close()
+	<-done
+}
+
+func TestListenAndServeSurfacesConnErrors(t *testing.T) {
+	_, p := newGPIOTarget(t)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- ListenAndServe(ln, p) }()
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write(rawRequest(opRead, 0, 0)[:3]); err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+	// Give the serve loop a moment to observe the truncation, then
+	// shut the listener down.
+	time.Sleep(50 * time.Millisecond)
+	ln.Close()
+	got := <-errc
+	if got == nil {
+		t.Fatal("ListenAndServe swallowed the connection error")
+	}
+	if !strings.Contains(got.Error(), "truncated") {
+		t.Fatalf("ListenAndServe error %q, want truncation", got)
+	}
+}

@@ -6,8 +6,10 @@ package snapshot
 
 import (
 	"bytes"
+	"encoding/binary"
 	"encoding/gob"
 	"fmt"
+	"hash/crc32"
 
 	"hardsnap/internal/target"
 )
@@ -91,20 +93,62 @@ func (s *Store) Release(id ID) {
 // Live returns the number of stored snapshots.
 func (s *Store) Live() int { return len(s.snaps) }
 
-// Encode serializes a record for persistence.
+// Serialized record framing: magic(4) version(1) length(4) crc32(4)
+// payload. Persisted snapshots feed restores, so truncation and
+// corruption must be detected before any bit reaches the hardware.
+const (
+	recMagic   = 0x48535352 // "HSSR"
+	recVersion = 1
+	recHdrLen  = 4 + 1 + 4 + 4
+)
+
+// Encode serializes a record for persistence with an integrity header
+// (magic, version, payload length, CRC-32).
 func Encode(rec *Record) ([]byte, error) {
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(rec); err != nil {
 		return nil, fmt.Errorf("snapshot: encode: %w", err)
 	}
-	return buf.Bytes(), nil
+	p := buf.Bytes()
+	out := make([]byte, recHdrLen+len(p))
+	binary.LittleEndian.PutUint32(out[0:4], recMagic)
+	out[4] = recVersion
+	binary.LittleEndian.PutUint32(out[5:9], uint32(len(p)))
+	binary.LittleEndian.PutUint32(out[9:13], crc32.ChecksumIEEE(p))
+	copy(out[recHdrLen:], p)
+	return out, nil
 }
 
-// Decode deserializes a record.
+func integrityErr(format string, args ...interface{}) error {
+	return &target.Error{Class: target.Integrity, Op: "snapshot: decode",
+		Err: fmt.Errorf(format, args...)}
+}
+
+// Decode validates and deserializes a record produced by Encode.
+// Truncated or corrupted data is rejected with a typed integrity
+// error rather than decoded into a wrong hardware state.
 func Decode(data []byte) (*Record, error) {
+	if len(data) < recHdrLen {
+		return nil, integrityErr("truncated header: %d bytes", len(data))
+	}
+	if binary.LittleEndian.Uint32(data[0:4]) != recMagic {
+		return nil, integrityErr("bad magic %#x", binary.LittleEndian.Uint32(data[0:4]))
+	}
+	if data[4] != recVersion {
+		return nil, integrityErr("unsupported version %d", data[4])
+	}
+	n := binary.LittleEndian.Uint32(data[5:9])
+	payload := data[recHdrLen:]
+	if uint32(len(payload)) != n {
+		return nil, integrityErr("length mismatch: header says %d bytes, got %d", n, len(payload))
+	}
+	if sum := crc32.ChecksumIEEE(payload); sum != binary.LittleEndian.Uint32(data[9:13]) {
+		return nil, integrityErr("checksum mismatch (%#x != %#x)",
+			sum, binary.LittleEndian.Uint32(data[9:13]))
+	}
 	var rec Record
-	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&rec); err != nil {
-		return nil, fmt.Errorf("snapshot: decode: %w", err)
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&rec); err != nil {
+		return nil, integrityErr("%v", err)
 	}
 	return &rec, nil
 }

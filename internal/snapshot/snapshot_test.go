@@ -115,3 +115,31 @@ func TestDecodeGarbage(t *testing.T) {
 		t.Fatal("garbage must not decode")
 	}
 }
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	rec := record(7)
+	data, err := Encode(&rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	flip := append([]byte(nil), data...)
+	flip[len(flip)-1] ^= 0x04
+	if _, err := Decode(flip); !target.IsIntegrity(err) {
+		t.Fatalf("bit flip: %v, want integrity error", err)
+	}
+
+	if _, err := Decode(data[:len(data)-5]); !target.IsIntegrity(err) {
+		t.Fatalf("truncation: %v, want integrity error", err)
+	}
+
+	if _, err := Decode(data[:3]); !target.IsIntegrity(err) {
+		t.Fatalf("truncated header: %v, want integrity error", err)
+	}
+
+	ver := append([]byte(nil), data...)
+	ver[4] = 0xEE
+	if _, err := Decode(ver); !target.IsIntegrity(err) {
+		t.Fatalf("bad version: %v, want integrity error", err)
+	}
+}

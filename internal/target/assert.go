@@ -1,0 +1,110 @@
+package target
+
+import (
+	"fmt"
+
+	"hardsnap/internal/rtl"
+	"hardsnap/internal/verilog"
+)
+
+// HWAssertion is a hardware property: a Verilog expression over one
+// peripheral's internal signals that must hold (evaluate non-zero)
+// every cycle. Assertions need full visibility, so only the simulator
+// target accepts them.
+type HWAssertion struct {
+	// Periph names the peripheral instance the expression is scoped
+	// to.
+	Periph string
+	// Name identifies the property in reports.
+	Name string
+	// Expr is the Verilog expression, e.g. `out != 32'hBAD`.
+	Expr string
+}
+
+// Violation reports one failed hardware assertion.
+type Violation struct {
+	Target string
+	Periph string
+	Name   string
+	Expr   string
+	// Cycle is the target cycle count at detection.
+	Cycle uint64
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("hardware assertion %q violated on %s.%s at cycle %d (%s)",
+		v.Name, v.Target, v.Periph, v.Cycle, v.Expr)
+}
+
+// compiledAssert is a parsed assertion bound to one peripheral's
+// design scope. failing latches the current violation level so each
+// violation episode is reported once, not once per cycle.
+type compiledAssert struct {
+	src     HWAssertion
+	expr    verilog.Expr
+	scope   *rtl.Scope
+	failing bool
+}
+
+func compileAssertion(a HWAssertion, inst *periphInst) (*compiledAssert, error) {
+	expr, err := verilog.ParseExpr(a.Expr)
+	if err != nil {
+		return nil, fmt.Errorf("target: assertion %q: %w", a.Name, err)
+	}
+	ca := &compiledAssert{src: a, expr: expr, scope: inst.design.EvalScope()}
+	// Validate eagerly: unknown signals fail at AddAssertion time,
+	// not mid-run.
+	if _, err := inst.sim.EvalAssertion(expr, ca.scope); err != nil {
+		return nil, fmt.Errorf("target: assertion %q: %w", a.Name, err)
+	}
+	return ca, nil
+}
+
+// checkAssertions evaluates inst's assertions against the current
+// state, appending new violations on a holds->fails transition.
+func (t *Target) checkAssertions(inst *periphInst) error {
+	for _, ca := range inst.asserts {
+		holds, err := inst.sim.EvalAssertion(ca.expr, ca.scope)
+		if err != nil {
+			return fatalf("assertion "+ca.src.Name, "%v", err)
+		}
+		if !holds && !ca.failing {
+			t.violations = append(t.violations, Violation{
+				Target: t.name,
+				Periph: inst.cfg.Name,
+				Name:   ca.src.Name,
+				Expr:   ca.src.Expr,
+				Cycle:  t.stats.Cycles,
+			})
+		}
+		ca.failing = !holds
+	}
+	return nil
+}
+
+// AddAssertion arms a hardware property on a simulator target.
+// FPGA targets reject assertions: they require visibility the fabric
+// does not provide.
+func (t *Target) AddAssertion(a HWAssertion) error {
+	if t.kind != KindSimulator {
+		return fmt.Errorf("target %s: %w: assertions need the simulator target", t.name, ErrNoVisibility)
+	}
+	inst, ok := t.periphs[a.Periph]
+	if !ok {
+		return fmt.Errorf("target %s: assertion %q references unknown peripheral %q", t.name, a.Name, a.Periph)
+	}
+	ca, err := compileAssertion(a, inst)
+	if err != nil {
+		return err
+	}
+	inst.asserts = append(inst.asserts, ca)
+	t.asserts = append(t.asserts, a)
+	return nil
+}
+
+// TakeViolations returns and clears the accumulated violations.
+func (t *Target) TakeViolations() []Violation {
+	v := t.violations
+	t.violations = nil
+	return v
+}

@@ -1,0 +1,145 @@
+package target
+
+import (
+	"hardsnap/internal/sim"
+)
+
+// Scan-chain snapshotting: the FPGA target's state leaves and enters
+// the fabric one bit per scan-clock edge through the chain the
+// instrumentation pass stitched into the design. Nothing is modeled:
+// the bits below are produced by actually clocking the instrumented
+// RTL in scan mode, so the linear-in-flops cost the paper measures
+// (E2) is emergent from the real chain length.
+
+const (
+	sigScanEnable = "scan_enable"
+	sigScanIn     = "scan_in"
+	sigScanOut    = "scan_out"
+)
+
+// scanSave shifts the whole chain out non-destructively: each bit
+// captured at scan_out is fed straight back into scan_in, so after a
+// full rotation the fabric state is unchanged. Chain position k holds
+// layout[k]; the first bit out is the last layout position.
+func (t *Target) scanSave(inst *periphInst) (*sim.HWState, error) {
+	s := inst.sim
+	d := inst.design
+
+	// The debugger drives the pins, so it knows their levels without
+	// fabric visibility.
+	inputs := make(map[string]uint64, len(d.Inputs))
+	for _, in := range d.Inputs {
+		v, err := s.Peek(in.Name)
+		if err != nil {
+			return nil, fatalf("scan save "+inst.cfg.Name, "%v", err)
+		}
+		inputs[in.Name] = v
+	}
+
+	hw := &sim.HWState{
+		Regs:   make(map[string]uint64),
+		Mems:   make(map[string][]uint64, len(d.Memories)),
+		Inputs: inputs,
+	}
+	for _, sig := range d.Signals {
+		if sig.IsReg {
+			hw.Regs[sig.Name] = 0
+		}
+	}
+	for _, m := range d.Memories {
+		hw.Mems[m.Name] = make([]uint64, m.Depth)
+	}
+
+	t.clock.Advance(t.costs.SnapshotFixed) // scan command setup
+	if err := s.SetInput(sigScanEnable, 1); err != nil {
+		return nil, fatalf("scan save "+inst.cfg.Name, "%v", err)
+	}
+	n := len(inst.layout)
+	for i := 0; i < n; i++ {
+		if err := s.EvalComb(); err != nil {
+			return nil, fatalf("scan save "+inst.cfg.Name, "%v", err)
+		}
+		b, err := s.Peek(sigScanOut)
+		if err != nil {
+			return nil, fatalf("scan save "+inst.cfg.Name, "%v", err)
+		}
+		if err := s.SetInput(sigScanIn, b&1); err != nil {
+			return nil, fatalf("scan save "+inst.cfg.Name, "%v", err)
+		}
+		if err := s.StepCycle(); err != nil {
+			return nil, fatalf("scan save "+inst.cfg.Name, "%v", err)
+		}
+		t.clock.Advance(t.costs.SnapshotPerBit)
+		ref := inst.layout[n-1-i]
+		if b&1 != 0 {
+			if ref.IsMem {
+				hw.Mems[ref.Name][ref.Index] |= 1 << ref.Bit
+			} else {
+				hw.Regs[ref.Name] |= 1 << ref.Bit
+			}
+		}
+	}
+	return exitScanMode(s, inst, inputs, hw)
+}
+
+// scanRestore shifts a snapshot into the chain, bit for the last
+// layout position first (the capture order), destroying whatever
+// state the fabric held.
+func (t *Target) scanRestore(inst *periphInst, hw *sim.HWState) error {
+	s := inst.sim
+	if hw == nil {
+		hw = &sim.HWState{}
+	}
+	t.clock.Advance(t.costs.SnapshotFixed)
+	if err := s.SetInput(sigScanEnable, 1); err != nil {
+		return fatalf("scan restore "+inst.cfg.Name, "%v", err)
+	}
+	n := len(inst.layout)
+	for i := 0; i < n; i++ {
+		ref := inst.layout[n-1-i]
+		var b uint64
+		if ref.IsMem {
+			if words := hw.Mems[ref.Name]; int(ref.Index) < len(words) {
+				b = (words[ref.Index] >> ref.Bit) & 1
+			}
+		} else {
+			b = (hw.Regs[ref.Name] >> ref.Bit) & 1
+		}
+		if err := s.SetInput(sigScanIn, b); err != nil {
+			return fatalf("scan restore "+inst.cfg.Name, "%v", err)
+		}
+		if err := s.StepCycle(); err != nil {
+			return fatalf("scan restore "+inst.cfg.Name, "%v", err)
+		}
+		t.clock.Advance(t.costs.SnapshotPerBit)
+	}
+	if _, err := exitScanMode(s, inst, hw.Inputs, nil); err != nil {
+		return err
+	}
+	return nil
+}
+
+// exitScanMode leaves scan mode and re-drives functional pin levels,
+// then settles combinational logic. hw is passed through on success.
+func exitScanMode(s *sim.Simulator, inst *periphInst, inputs map[string]uint64, hw *sim.HWState) (*sim.HWState, error) {
+	if err := s.SetInput(sigScanEnable, 0); err != nil {
+		return nil, fatalf("scan "+inst.cfg.Name, "%v", err)
+	}
+	if err := s.SetInput(sigScanIn, 0); err != nil {
+		return nil, fatalf("scan "+inst.cfg.Name, "%v", err)
+	}
+	for _, in := range inst.design.Inputs {
+		if in.Name == sigScanEnable || in.Name == sigScanIn {
+			continue
+		}
+		if v, ok := inputs[in.Name]; ok {
+			if err := s.SetInput(in.Name, v); err != nil {
+				return nil, fatalf("scan "+inst.cfg.Name, "%v", err)
+			}
+		}
+	}
+	if err := s.EvalComb(); err != nil {
+		return nil, fatalf("scan "+inst.cfg.Name, "%v", err)
+	}
+	return hw, nil
+}

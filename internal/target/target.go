@@ -1,0 +1,762 @@
+// Package target implements HardSnap's hardware targets: the
+// execution vehicles that host peripheral RTL and expose it to the
+// analysis through a register port, an interrupt line, clock
+// advancement and whole-state snapshots (Save/Restore).
+//
+// Two targets exist, mirroring the paper's testbed:
+//
+//   - the simulator target executes the design in-process with full
+//     visibility (Peek, VCD tracing via Simulator(), hardware
+//     assertions) and CRIU-like structured-copy snapshots;
+//   - the FPGA target executes the same RTL opaquely: state leaves
+//     the fabric only through a real scan chain (bit-by-bit shifting
+//     through the instrumented design) or through full-fabric
+//     readback, and every MMIO access pays the debugger-link round
+//     trip.
+//
+// Robustness is first-class: every link operation passes through a
+// deterministic fault injector (FaultSchedule), transient faults are
+// absorbed by bounded exponential-backoff retries, a ping-based
+// health check detects persistent link death, and an orchestrator
+// failover (SetStandby) transparently moves the analysis to a
+// simulator target by restoring the last consistent snapshot and
+// replaying the operation journal — the paper's E7 transfer mechanism
+// used as a recovery path.
+package target
+
+import (
+	"fmt"
+	"time"
+
+	"hardsnap/internal/bus"
+	"hardsnap/internal/periph"
+	"hardsnap/internal/rtl"
+	"hardsnap/internal/scanchain"
+	"hardsnap/internal/sim"
+	"hardsnap/internal/vtime"
+)
+
+// Target kinds.
+const (
+	KindSimulator = "simulator"
+	KindFPGA      = "fpga"
+)
+
+// PeriphConfig selects one peripheral instance for a target: either a
+// corpus peripheral by kind (Periph) or custom Verilog (Source/Top).
+type PeriphConfig struct {
+	// Name is the instance name (bus region, snapshot key).
+	Name string
+	// Periph is a corpus peripheral kind (gpio, timer, uart, ...).
+	Periph string
+	// Source is custom Verilog, used instead of Periph when set.
+	Source string
+	// Top is the top module of Source.
+	Top string
+	// Params overrides module parameters.
+	Params map[string]uint64
+}
+
+// Stats are cumulative target-side counters.
+type Stats struct {
+	// Cycles counts clock cycles commanded via Advance.
+	Cycles uint64
+	// IOOps counts forwarded register reads/writes.
+	IOOps uint64
+	// Snapshots / Restores count state movements.
+	Snapshots uint64
+	Restores  uint64
+	// SnapshotTime is the virtual time spent saving and restoring.
+	SnapshotTime time.Duration
+	// Retries counts transient link faults absorbed by retry.
+	Retries uint64
+	// FaultsInjected counts faults the schedule fired.
+	FaultsInjected uint64
+	// Failovers counts transparent transfers to the standby target.
+	Failovers uint64
+}
+
+// RetryPolicy bounds how hard the target fights transient link
+// faults before declaring the link dead. Zero fields take defaults.
+type RetryPolicy struct {
+	// MaxRetries is the number of consecutive transient failures
+	// tolerated between health checks (default 4).
+	MaxRetries int
+	// Backoff is the initial retry delay, doubled per retry
+	// (default vtime.LinkRetryBackoff).
+	Backoff time.Duration
+	// MaxBackoff caps the exponential growth
+	// (default vtime.LinkRetryBackoffMax).
+	MaxBackoff time.Duration
+	// HealthPings is how many pings the health check sends before
+	// declaring the link persistently down (default 3).
+	HealthPings int
+}
+
+func (p RetryPolicy) norm() RetryPolicy {
+	if p.MaxRetries <= 0 {
+		p.MaxRetries = 4
+	}
+	if p.Backoff <= 0 {
+		p.Backoff = vtime.LinkRetryBackoff
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = vtime.LinkRetryBackoffMax
+	}
+	if p.HealthPings <= 0 {
+		p.HealthPings = 3
+	}
+	return p
+}
+
+// journalOp is one replayable hardware interaction since the last
+// consistent snapshot; the journal makes failover exact.
+type jop uint8
+
+const (
+	jWrite jop = iota + 1
+	jRead
+	jAdvance
+)
+
+type journalOp struct {
+	op     jop
+	periph string
+	addr   uint32
+	val    uint32
+	n      uint64
+}
+
+// journalCap bounds failover memory; overflowing disables failover
+// until the next snapshot re-anchors the journal.
+const journalCap = 1 << 15
+
+// periphInst is one peripheral hosted on a target.
+type periphInst struct {
+	cfg    PeriphConfig
+	design *rtl.Design
+	sim    *sim.Simulator
+	// layout maps scan-chain bit positions to named state (scan-mode
+	// FPGA only).
+	layout  []scanchain.BitRef
+	asserts []*compiledAssert
+}
+
+// Target hosts a set of peripherals on one execution vehicle.
+type Target struct {
+	name  string
+	kind  string
+	scan  bool // FPGA snapshots via real scan-chain shifting
+	clock *vtime.Clock
+	costs vtime.Costs
+
+	periphs map[string]*periphInst
+	order   []*periphInst
+
+	stats      Stats
+	violations []Violation
+	asserts    []HWAssertion
+
+	// Robustness state.
+	faults      *injector
+	retry       RetryPolicy
+	standby     *Target
+	journal     []journalOp
+	journalFull bool
+	lastGood    State
+	powerOn     State
+	dead        bool
+}
+
+// NewSimulator builds a simulator target hosting the peripherals:
+// full visibility, cheap structured-copy snapshots.
+func NewSimulator(name string, clock *vtime.Clock, periphs []PeriphConfig) (*Target, error) {
+	return build(name, KindSimulator, clock, periphs, vtime.SimCosts(), false)
+}
+
+// NewFPGA builds an FPGA target hosting the peripherals. Snapshots
+// use the inserted scan chain (real bit shifting through the
+// instrumented design) or, when readback is set, the fixed-cost
+// full-fabric readback path.
+func NewFPGA(name string, clock *vtime.Clock, periphs []PeriphConfig, readback bool) (*Target, error) {
+	costs := vtime.FPGAScanCosts()
+	if readback {
+		costs = vtime.FPGAReadbackCosts()
+	}
+	return build(name, KindFPGA, clock, periphs, costs, !readback)
+}
+
+func build(name, kind string, clock *vtime.Clock, periphs []PeriphConfig, costs vtime.Costs, instrument bool) (*Target, error) {
+	if clock == nil {
+		return nil, fmt.Errorf("target %s: nil clock", name)
+	}
+	if len(periphs) == 0 {
+		return nil, fmt.Errorf("target %s: no peripherals configured", name)
+	}
+	t := &Target{
+		name:    name,
+		kind:    kind,
+		scan:    instrument,
+		clock:   clock,
+		costs:   costs,
+		periphs: make(map[string]*periphInst, len(periphs)),
+	}
+	for _, cfg := range periphs {
+		if cfg.Name == "" {
+			return nil, fmt.Errorf("target %s: peripheral with empty instance name", name)
+		}
+		if _, dup := t.periphs[cfg.Name]; dup {
+			return nil, fmt.Errorf("target %s: duplicate peripheral instance %q", name, cfg.Name)
+		}
+		inst, err := buildPeriph(cfg, instrument)
+		if err != nil {
+			return nil, fmt.Errorf("target %s: %w", name, err)
+		}
+		t.periphs[cfg.Name] = inst
+		t.order = append(t.order, inst)
+	}
+	t.powerOn = t.snapshotRaw()
+	t.lastGood = t.powerOn.Clone()
+	return t, nil
+}
+
+func buildPeriph(cfg PeriphConfig, instrument bool) (*periphInst, error) {
+	var (
+		d       *rtl.Design
+		reports map[string]*scanchain.Report
+		top     string
+		err     error
+	)
+	if cfg.Source != "" {
+		top = cfg.Top
+		if top == "" {
+			return nil, fmt.Errorf("peripheral %s: custom Source requires Top", cfg.Name)
+		}
+		d, reports, err = periph.BuildCustom(cfg.Name, cfg.Source, top, cfg.Params, instrument)
+	} else {
+		spec, ok := periph.Lookup(cfg.Periph)
+		if !ok {
+			return nil, fmt.Errorf("peripheral %s: unknown kind %q", cfg.Name, cfg.Periph)
+		}
+		top = spec.Top
+		d, reports, err = periph.Build(cfg.Periph, cfg.Params, instrument)
+	}
+	if err != nil {
+		return nil, err
+	}
+	s, err := sim.New(d)
+	if err != nil {
+		return nil, err
+	}
+	inst := &periphInst{cfg: cfg, design: d, sim: s}
+	// Power-on reset pulse: registers with non-zero reset values
+	// (baud divisors, state machines) come up initialized, exactly
+	// like the physical platform asserting its reset line at boot.
+	if sig, ok := d.SignalByName(bus.SigRst); ok && sig.IsInput {
+		if err := s.SetInput(bus.SigRst, 1); err != nil {
+			return nil, err
+		}
+		if err := s.StepCycle(); err != nil {
+			return nil, fmt.Errorf("peripheral %s: power-on reset: %w", cfg.Name, err)
+		}
+		if err := s.SetInput(bus.SigRst, 0); err != nil {
+			return nil, err
+		}
+		if err := s.EvalComb(); err != nil {
+			return nil, fmt.Errorf("peripheral %s: power-on reset: %w", cfg.Name, err)
+		}
+	}
+	if instrument {
+		layout, err := scanchain.Layout(reports, top)
+		if err != nil {
+			return nil, err
+		}
+		if uint(len(layout)) != d.StateBits() {
+			return nil, fmt.Errorf("peripheral %s: scan chain covers %d of %d state bits",
+				cfg.Name, len(layout), d.StateBits())
+		}
+		inst.layout = layout
+	}
+	return inst, nil
+}
+
+// Name returns the target's instance name.
+func (t *Target) Name() string { return t.name }
+
+// Kind reports the execution vehicle ("simulator" or "fpga"); after
+// a failover it reports the adopted backend.
+func (t *Target) Kind() string { return t.kind }
+
+// Clock returns the virtual clock all costs are charged to.
+func (t *Target) Clock() *vtime.Clock { return t.clock }
+
+// Stats returns a copy of the cumulative counters.
+func (t *Target) Stats() Stats { return t.stats }
+
+// StateBits is the total snapshot-relevant state across peripherals.
+func (t *Target) StateBits() uint {
+	var n uint
+	for _, inst := range t.order {
+		n += inst.design.StateBits()
+	}
+	return n
+}
+
+// InjectFaults arms a deterministic fault schedule on the target's
+// link. A zero schedule disarms injection.
+func (t *Target) InjectFaults(s FaultSchedule) {
+	if !s.active() {
+		t.faults = nil
+		return
+	}
+	t.faults = newInjector(s)
+}
+
+// SetRetryPolicy replaces the transient-fault retry policy.
+func (t *Target) SetRetryPolicy(p RetryPolicy) { t.retry = p }
+
+// port is a handle bound to the target by instance name, so it stays
+// valid across a backend failover.
+type port struct {
+	t    *Target
+	name string
+}
+
+var _ bus.Port = (*port)(nil)
+
+func (p *port) ReadReg(offset uint32) (uint32, error)  { return p.t.readReg(p.name, offset) }
+func (p *port) WriteReg(offset uint32, v uint32) error { return p.t.writeReg(p.name, offset, v) }
+func (p *port) IRQLevel() (bool, error)                { return p.t.irqLevel(p.name) }
+
+// Port returns the register port of a hosted peripheral.
+func (t *Target) Port(name string) (bus.Port, error) {
+	if _, ok := t.periphs[name]; !ok {
+		return nil, fmt.Errorf("target %s: no peripheral %q", t.name, name)
+	}
+	return &port{t: t, name: name}, nil
+}
+
+// linkOp runs one link transaction with fault injection, bounded
+// exponential-backoff retry, health checking and failover. rec, when
+// non-nil, is journaled after success so the op can be replayed onto
+// a standby target.
+func (t *Target) linkOp(op string, rec *journalOp, fn func() error) error {
+	if t.dead {
+		return fatalf(op, "target %s is dead after an unrecoverable failure", t.name)
+	}
+	pol := t.retry.norm()
+	backoff := pol.Backoff
+	consecutive := 0
+	for {
+		var err error
+		if t.faults != nil {
+			if err = t.faults.op(t.clock); err != nil {
+				t.stats.FaultsInjected++
+			}
+		}
+		if err == nil {
+			// Faults fire before the operation reaches the hardware,
+			// so a retried operation applies exactly once.
+			err = fn()
+		}
+		if err == nil {
+			if rec != nil {
+				t.journalAppend(*rec)
+			}
+			return nil
+		}
+		if !IsTransient(err) {
+			return err
+		}
+		consecutive++
+		if consecutive <= pol.MaxRetries {
+			t.stats.Retries++
+			t.clock.Advance(backoff)
+			if backoff < pol.MaxBackoff {
+				backoff *= 2
+				if backoff > pol.MaxBackoff {
+					backoff = pol.MaxBackoff
+				}
+			}
+			continue
+		}
+		// Retry budget exhausted: probe the link before deciding the
+		// failure is persistent.
+		if t.healthy(pol) {
+			// Fault storm on a live link: keep retrying at capped
+			// backoff.
+			consecutive = 0
+			continue
+		}
+		if ferr := t.failover(op, err); ferr != nil {
+			return ferr
+		}
+		// Loop re-runs fn against the adopted (fault-free) backend.
+		consecutive = 0
+	}
+}
+
+// healthy probes the link with pings; any echo proves it alive.
+func (t *Target) healthy(pol RetryPolicy) bool {
+	if t.faults == nil {
+		return true
+	}
+	for i := 0; i < pol.HealthPings; i++ {
+		t.clock.Advance(t.costs.IORoundTrip)
+		if err := t.faults.op(t.clock); err == nil {
+			return true
+		}
+		t.stats.FaultsInjected++
+	}
+	return false
+}
+
+func (t *Target) journalAppend(j journalOp) {
+	if t.standby == nil || t.journalFull {
+		return
+	}
+	if len(t.journal) >= journalCap {
+		t.journal = nil
+		t.journalFull = true
+		return
+	}
+	t.journal = append(t.journal, j)
+}
+
+// readReg forwards a register read over the link.
+func (t *Target) readReg(name string, offset uint32) (uint32, error) {
+	var v uint32
+	err := t.linkOp("read "+name, &journalOp{op: jRead, periph: name, addr: offset}, func() error {
+		var err error
+		v, err = t.execRead(name, offset)
+		return err
+	})
+	return v, err
+}
+
+// writeReg forwards a register write over the link.
+func (t *Target) writeReg(name string, offset uint32, v uint32) error {
+	return t.linkOp("write "+name, &journalOp{op: jWrite, periph: name, addr: offset, val: v}, func() error {
+		return t.execWrite(name, offset, v)
+	})
+}
+
+// irqLevel samples the interrupt line. The line is a dedicated
+// sideband wire: sampling is free of virtual time and never journaled
+// (it carries no state).
+func (t *Target) irqLevel(name string) (bool, error) {
+	var level bool
+	err := t.linkOp("irq "+name, nil, func() error {
+		inst, ok := t.periphs[name]
+		if !ok {
+			return fatalf("irq", "no peripheral %q", name)
+		}
+		v, err := inst.sim.Peek(bus.SigIRQ)
+		if err != nil {
+			return fatalf("irq "+name, "%v", err)
+		}
+		level = v != 0
+		return nil
+	})
+	return level, err
+}
+
+// Advance runs every hosted peripheral n clock cycles.
+func (t *Target) Advance(n uint64) error {
+	return t.linkOp("advance", &journalOp{op: jAdvance, n: n}, func() error {
+		return t.execAdvance(n)
+	})
+}
+
+// Save captures the complete hardware state. On success the snapshot
+// becomes the failover anchor (last consistent state) and the op
+// journal restarts from it.
+func (t *Target) Save() (State, error) {
+	var st State
+	err := t.linkOp("save", nil, func() error {
+		var err error
+		st, err = t.saveBackend()
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	t.lastGood = st.Clone()
+	t.journal = nil
+	t.journalFull = false
+	return st, nil
+}
+
+// Restore loads a previously saved state. The snapshot is validated
+// against the hosted designs before any bit reaches the hardware;
+// corrupted or mismatched snapshots are rejected with an integrity
+// error instead of silently diverging the hardware.
+func (t *Target) Restore(s State) error {
+	if err := t.validateState(s); err != nil {
+		return err
+	}
+	err := t.linkOp("restore", nil, func() error { return t.applyState(s) })
+	if err != nil {
+		return err
+	}
+	t.lastGood = s.Clone()
+	t.journal = nil
+	t.journalFull = false
+	return nil
+}
+
+// Reset performs a warm reset: every peripheral returns to its
+// power-on (zero) state without paying a platform reboot.
+func (t *Target) Reset() error {
+	err := t.linkOp("reset", nil, func() error { return t.execReset() })
+	if err != nil {
+		return err
+	}
+	t.lastGood = t.powerOn.Clone()
+	t.journal = nil
+	t.journalFull = false
+	return nil
+}
+
+// Peek reads an internal signal by name: simulator target only.
+func (t *Target) Peek(periphName, signal string) (uint64, error) {
+	if t.kind != KindSimulator {
+		return 0, ErrNoVisibility
+	}
+	inst, ok := t.periphs[periphName]
+	if !ok {
+		return 0, fmt.Errorf("target %s: no peripheral %q", t.name, periphName)
+	}
+	return inst.sim.Peek(signal)
+}
+
+// Simulator exposes the underlying RTL simulator of one peripheral
+// for tracing and deep inspection: simulator target only.
+func (t *Target) Simulator(periphName string) (*sim.Simulator, error) {
+	if t.kind != KindSimulator {
+		return nil, ErrNoVisibility
+	}
+	inst, ok := t.periphs[periphName]
+	if !ok {
+		return nil, fmt.Errorf("target %s: no peripheral %q", t.name, periphName)
+	}
+	return inst.sim, nil
+}
+
+// --- raw backend operations (no fault injection, no retry) ---
+
+func (t *Target) execRead(name string, offset uint32) (uint32, error) {
+	inst, ok := t.periphs[name]
+	if !ok {
+		return 0, fatalf("read", "no peripheral %q", name)
+	}
+	t.clock.Advance(t.costs.IORoundTrip + t.costs.Cycle)
+	t.stats.IOOps++
+	v, err := inst.busRead(offset)
+	if err != nil {
+		return 0, fatalf("read "+name, "%v", err)
+	}
+	if err := t.checkAssertions(inst); err != nil {
+		return 0, err
+	}
+	return v, nil
+}
+
+func (t *Target) execWrite(name string, offset uint32, v uint32) error {
+	inst, ok := t.periphs[name]
+	if !ok {
+		return fatalf("write", "no peripheral %q", name)
+	}
+	t.clock.Advance(t.costs.IORoundTrip + t.costs.Cycle)
+	t.stats.IOOps++
+	if err := inst.busWrite(offset, v); err != nil {
+		return fatalf("write "+name, "%v", err)
+	}
+	return t.checkAssertions(inst)
+}
+
+func (t *Target) execAdvance(n uint64) error {
+	t.clock.Advance(time.Duration(n) * t.costs.Cycle)
+	for i := uint64(0); i < n; i++ {
+		for _, inst := range t.order {
+			if err := inst.sim.StepCycle(); err != nil {
+				return fatalf("advance", "%s: %v", inst.cfg.Name, err)
+			}
+		}
+		t.stats.Cycles++
+		for _, inst := range t.order {
+			if len(inst.asserts) > 0 {
+				if err := t.checkAssertions(inst); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func (t *Target) execReset() error {
+	t.clock.Advance(t.costs.Cycle)
+	for _, inst := range t.order {
+		hw := t.powerOn[inst.cfg.Name]
+		if hw == nil {
+			hw = &sim.HWState{}
+		}
+		if err := inst.sim.Restore(hw); err != nil {
+			return fatalf("reset", "%s: %v", inst.cfg.Name, err)
+		}
+	}
+	return nil
+}
+
+// snapshotRaw copies the full state directly (no cost charged): the
+// full-visibility path of the simulator target and the orchestrator's
+// internal bookkeeping.
+func (t *Target) snapshotRaw() State {
+	st := make(State, len(t.order))
+	for _, inst := range t.order {
+		st[inst.cfg.Name] = inst.sim.Snapshot()
+	}
+	return st
+}
+
+func (t *Target) saveBackend() (State, error) {
+	before := t.clock.Now()
+	var st State
+	if t.scan {
+		st = make(State, len(t.order))
+		for _, inst := range t.order {
+			hw, err := t.scanSave(inst)
+			if err != nil {
+				return nil, err
+			}
+			st[inst.cfg.Name] = hw
+		}
+	} else {
+		// Simulator: CRIU-like freeze+copy. Readback FPGA: one
+		// fixed-cost full-fabric dump.
+		t.clock.Advance(t.costs.SnapshotCost(t.StateBits()))
+		st = t.snapshotRaw()
+	}
+	t.stats.Snapshots++
+	t.stats.SnapshotTime += t.clock.Now() - before
+	return st, nil
+}
+
+func (t *Target) validateState(s State) error {
+	if s == nil {
+		return integrityf("restore", "nil state")
+	}
+	for name, hw := range s {
+		inst, ok := t.periphs[name]
+		if !ok {
+			return integrityf("restore", "snapshot names unknown peripheral %q", name)
+		}
+		if hw == nil {
+			return integrityf("restore", "nil state for peripheral %q", name)
+		}
+		d := inst.design
+		for rn := range hw.Regs {
+			if sig, ok := d.SignalByName(rn); !ok || !sig.IsReg {
+				return integrityf("restore", "peripheral %s: register %q does not exist in design", name, rn)
+			}
+		}
+		for mn, words := range hw.Mems {
+			m, ok := d.MemoryByName(mn)
+			if !ok {
+				return integrityf("restore", "peripheral %s: memory %q does not exist in design", name, mn)
+			}
+			if uint(len(words)) > m.Depth {
+				return integrityf("restore", "peripheral %s: memory %q has %d words, design holds %d",
+					name, mn, len(words), m.Depth)
+			}
+		}
+		// Unknown input names are tolerated: state transfers between
+		// scan-instrumented and plain builds of the same design.
+	}
+	return nil
+}
+
+// applyState loads s into the hardware, charging the restore cost.
+// Callers must have validated s.
+func (t *Target) applyState(s State) error {
+	before := t.clock.Now()
+	if t.scan {
+		for _, inst := range t.order {
+			if err := t.scanRestore(inst, s[inst.cfg.Name]); err != nil {
+				return err
+			}
+		}
+	} else {
+		t.clock.Advance(t.costs.SnapshotCost(t.StateBits()))
+		for _, inst := range t.order {
+			hw := s[inst.cfg.Name]
+			if hw == nil {
+				hw = &sim.HWState{}
+			}
+			if err := inst.sim.Restore(hw); err != nil {
+				return integrityf("restore "+inst.cfg.Name, "%v", err)
+			}
+		}
+	}
+	t.stats.Restores++
+	t.stats.SnapshotTime += t.clock.Now() - before
+	return nil
+}
+
+// --- register-port bus transactions (single-cycle convention) ---
+
+func (inst *periphInst) busWrite(addr, val uint32) error {
+	s := inst.sim
+	if err := driveAll(s,
+		in{bus.SigSel, 1}, in{bus.SigWen, 1},
+		in{bus.SigAddr, uint64(addr)}, in{bus.SigWData, uint64(val)}); err != nil {
+		return err
+	}
+	if err := s.StepCycle(); err != nil {
+		return err
+	}
+	if err := driveAll(s, in{bus.SigSel, 0}, in{bus.SigWen, 0}); err != nil {
+		return err
+	}
+	return s.EvalComb()
+}
+
+func (inst *periphInst) busRead(addr uint32) (uint32, error) {
+	s := inst.sim
+	if err := driveAll(s,
+		in{bus.SigSel, 1}, in{bus.SigWen, 0}, in{bus.SigAddr, uint64(addr)}); err != nil {
+		return 0, err
+	}
+	if err := s.EvalComb(); err != nil {
+		return 0, err
+	}
+	v, err := s.Peek(bus.SigRData)
+	if err != nil {
+		return 0, err
+	}
+	if err := s.StepCycle(); err != nil {
+		return 0, err
+	}
+	if err := s.SetInput(bus.SigSel, 0); err != nil {
+		return 0, err
+	}
+	if err := s.EvalComb(); err != nil {
+		return 0, err
+	}
+	return uint32(v), nil
+}
+
+type in struct {
+	name string
+	val  uint64
+}
+
+func driveAll(s *sim.Simulator, ins ...in) error {
+	for _, i := range ins {
+		if err := s.SetInput(i.name, i.val); err != nil {
+			return err
+		}
+	}
+	return nil
+}

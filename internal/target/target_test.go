@@ -1,0 +1,454 @@
+package target
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"hardsnap/internal/sim"
+	"hardsnap/internal/vtime"
+)
+
+func newSim(t *testing.T, clock *vtime.Clock, periphs ...PeriphConfig) *Target {
+	t.Helper()
+	if len(periphs) == 0 {
+		periphs = []PeriphConfig{{Name: "gpio0", Periph: "gpio"}}
+	}
+	tg, err := NewSimulator("sim", clock, periphs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tg
+}
+
+func newFPGA(t *testing.T, clock *vtime.Clock, readback bool, periphs ...PeriphConfig) *Target {
+	t.Helper()
+	if len(periphs) == 0 {
+		periphs = []PeriphConfig{{Name: "gpio0", Periph: "gpio"}}
+	}
+	tg, err := NewFPGA("fpga", clock, periphs, readback)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tg
+}
+
+func TestSimulatorPortReadWrite(t *testing.T) {
+	tg := newSim(t, &vtime.Clock{})
+	p, err := tg.Port("gpio0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.WriteReg(0x00, 0xCAFE); err != nil {
+		t.Fatal(err)
+	}
+	v, err := p.ReadReg(0x00)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0xCAFE {
+		t.Fatalf("readback %#x", v)
+	}
+	// Full visibility: the register is observable directly.
+	out, err := tg.Peek("gpio0", "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != 0xCAFE {
+		t.Fatalf("peek out = %#x", out)
+	}
+	if _, err := tg.Port("nope"); err == nil {
+		t.Fatal("port on unknown peripheral must fail")
+	}
+}
+
+func TestSaveRestoreRoundtrip(t *testing.T) {
+	tg := newSim(t, &vtime.Clock{})
+	p, _ := tg.Port("gpio0")
+	p.WriteReg(0x00, 0x1111)
+	st, err := tg.Save()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.WriteReg(0x00, 0x2222)
+	if err := tg.Restore(st); err != nil {
+		t.Fatal(err)
+	}
+	v, _ := p.ReadReg(0x00)
+	if v != 0x1111 {
+		t.Fatalf("restore lost state: %#x", v)
+	}
+	s := tg.Stats()
+	if s.Snapshots != 1 || s.Restores != 1 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestFPGAScanSnapshotCost(t *testing.T) {
+	clock := &vtime.Clock{}
+	tg := newFPGA(t, clock, false)
+	p, _ := tg.Port("gpio0")
+	p.WriteReg(0x00, 0xAB)
+
+	bits := tg.StateBits()
+	want := vtime.FPGAScanCosts().SnapshotCost(bits)
+
+	before := clock.Now()
+	st, err := tg.Save()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := clock.Now() - before; got != want {
+		t.Fatalf("scan save cost %v, want %v (%d bits)", got, want, bits)
+	}
+
+	p.WriteReg(0x00, 0xCD)
+	before = clock.Now()
+	if err := tg.Restore(st); err != nil {
+		t.Fatal(err)
+	}
+	if got := clock.Now() - before; got != want {
+		t.Fatalf("scan restore cost %v, want %v", got, want)
+	}
+	if v, _ := p.ReadReg(0x00); v != 0xAB {
+		t.Fatalf("scan roundtrip lost state: %#x", v)
+	}
+}
+
+func TestFPGAReadbackSnapshotCost(t *testing.T) {
+	clock := &vtime.Clock{}
+	tg := newFPGA(t, clock, true)
+	p, _ := tg.Port("gpio0")
+	p.WriteReg(0x00, 0x77)
+
+	before := clock.Now()
+	st, err := tg.Save()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := clock.Now() - before; got != vtime.ReadbackFixed {
+		t.Fatalf("readback save cost %v, want %v", got, vtime.ReadbackFixed)
+	}
+	p.WriteReg(0x00, 0x88)
+	if err := tg.Restore(st); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := p.ReadReg(0x00); v != 0x77 {
+		t.Fatalf("readback roundtrip lost state: %#x", v)
+	}
+}
+
+func TestTransferFPGAToSimulator(t *testing.T) {
+	clock := &vtime.Clock{}
+	periphs := []PeriphConfig{
+		{Name: "gpio0", Periph: "gpio"},
+		{Name: "timer0", Periph: "timer"},
+	}
+	fp := newFPGA(t, clock, false, periphs...)
+	sm := newSim(t, clock, periphs...)
+
+	fpPort, _ := fp.Port("gpio0")
+	fpPort.WriteReg(0x00, 0xFEED)
+	if err := fp.Advance(7); err != nil {
+		t.Fatal(err)
+	}
+	if err := Transfer(fp, sm); err != nil {
+		t.Fatal(err)
+	}
+	smPort, _ := sm.Port("gpio0")
+	v, err := smPort.ReadReg(0x00)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0xFEED {
+		t.Fatalf("transferred state readback %#x", v)
+	}
+}
+
+func TestFPGANoVisibility(t *testing.T) {
+	tg := newFPGA(t, &vtime.Clock{}, false)
+	if _, err := tg.Peek("gpio0", "out"); !errors.Is(err, ErrNoVisibility) {
+		t.Fatalf("Peek error %v, want ErrNoVisibility", err)
+	}
+	if _, err := tg.Simulator("gpio0"); !errors.Is(err, ErrNoVisibility) {
+		t.Fatalf("Simulator error %v, want ErrNoVisibility", err)
+	}
+	err := tg.AddAssertion(HWAssertion{Periph: "gpio0", Name: "n", Expr: "out == out"})
+	if !errors.Is(err, ErrNoVisibility) {
+		t.Fatalf("AddAssertion error %v, want ErrNoVisibility", err)
+	}
+}
+
+func TestAssertionViolation(t *testing.T) {
+	tg := newSim(t, &vtime.Clock{})
+	if err := tg.AddAssertion(HWAssertion{
+		Periph: "gpio0", Name: "forbidden-value", Expr: "out != 32'hBAD",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	p, _ := tg.Port("gpio0")
+	p.WriteReg(0x00, 0xBAD)
+	// Holding the violating value must not re-report the episode.
+	p.WriteReg(0x00, 0xBAD)
+	vs := tg.TakeViolations()
+	if len(vs) != 1 {
+		t.Fatalf("%d violations, want 1", len(vs))
+	}
+	if vs[0].Name != "forbidden-value" || vs[0].Periph != "gpio0" {
+		t.Fatalf("violation %+v", vs[0])
+	}
+	if tg.TakeViolations() != nil {
+		t.Fatal("TakeViolations must clear")
+	}
+	// Recover, violate again: a new episode.
+	p.WriteReg(0x00, 0)
+	p.WriteReg(0x00, 0xBAD)
+	if vs := tg.TakeViolations(); len(vs) != 1 {
+		t.Fatalf("%d violations after recovery, want 1", len(vs))
+	}
+
+	if err := tg.AddAssertion(HWAssertion{Periph: "gpio0", Name: "bad", Expr: "no_such_sig == 0"}); err == nil {
+		t.Fatal("assertion on unknown signal must fail at add time")
+	}
+}
+
+func TestDeterministicFaultRuns(t *testing.T) {
+	sched := FaultSchedule{
+		Seed:          99,
+		DropRate:      0.35,
+		CorruptRate:   0.1,
+		LatencyJitter: 10 * time.Microsecond,
+		StallEvery:    3,
+		StallTime:     time.Millisecond,
+	}
+	run := func() (time.Duration, Stats, uint32) {
+		clock := &vtime.Clock{}
+		tg := newFPGA(t, clock, false)
+		tg.InjectFaults(sched)
+		p, _ := tg.Port("gpio0")
+		for i := 0; i < 10; i++ {
+			if err := p.WriteReg(0x00, uint32(i)); err != nil {
+				t.Fatalf("write %d: %v", i, err)
+			}
+			if _, err := p.ReadReg(0x00); err != nil {
+				t.Fatalf("read %d: %v", i, err)
+			}
+		}
+		if err := tg.Advance(5); err != nil {
+			t.Fatal(err)
+		}
+		v, _ := p.ReadReg(0x00)
+		return clock.Now(), tg.Stats(), v
+	}
+	t1, s1, v1 := run()
+	t2, s2, v2 := run()
+	if t1 != t2 {
+		t.Fatalf("virtual time diverged: %v vs %v", t1, t2)
+	}
+	if s1 != s2 {
+		t.Fatalf("stats diverged:\n%+v\n%+v", s1, s2)
+	}
+	if v1 != v2 || v1 != 9 {
+		t.Fatalf("final values %#x / %#x, want 9", v1, v2)
+	}
+	if s1.Retries == 0 || s1.FaultsInjected == 0 {
+		t.Fatalf("schedule injected nothing: %+v", s1)
+	}
+}
+
+func TestFailoverToStandby(t *testing.T) {
+	clock := &vtime.Clock{}
+	periphs := []PeriphConfig{
+		{Name: "gpio0", Periph: "gpio"},
+		{Name: "timer0", Periph: "timer"},
+	}
+	fp := newFPGA(t, clock, false, periphs...)
+	sb := newSim(t, clock, periphs...)
+	if err := fp.SetStandby(sb); err != nil {
+		t.Fatal(err)
+	}
+
+	p, _ := fp.Port("gpio0")
+	if err := p.WriteReg(0x00, 0x11); err != nil {
+		t.Fatal(err)
+	}
+	// The link now survives exactly one more transaction, then dies
+	// permanently — the persistent-failure scenario.
+	fp.InjectFaults(FaultSchedule{Seed: 1, FailAfter: 1})
+	if err := p.WriteReg(0x00, 0x22); err != nil {
+		t.Fatal(err)
+	}
+	// This one exhausts retries, fails the health check and triggers
+	// the transparent failover; the caller just sees success.
+	if err := p.WriteReg(0x00, 0x33); err != nil {
+		t.Fatalf("write across failover: %v", err)
+	}
+
+	if fp.Kind() != KindSimulator {
+		t.Fatalf("kind after failover %q", fp.Kind())
+	}
+	st := fp.Stats()
+	if st.Failovers != 1 {
+		t.Fatalf("failovers %d, want 1", st.Failovers)
+	}
+	if st.Retries == 0 {
+		t.Fatal("failover without any retries")
+	}
+	// The journal replay must have reproduced the pre-failure writes;
+	// the port handle stays valid on the adopted backend.
+	v, err := p.ReadReg(0x00)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0x33 {
+		t.Fatalf("post-failover state %#x, want 0x33", v)
+	}
+	// The adopted backend has full visibility.
+	if _, err := fp.Peek("gpio0", "out"); err != nil {
+		t.Fatalf("peek after failover: %v", err)
+	}
+}
+
+func TestPersistentFailureWithoutStandby(t *testing.T) {
+	clock := &vtime.Clock{}
+	fp := newFPGA(t, clock, false)
+	fp.InjectFaults(FaultSchedule{Seed: 1, FailAfter: 1})
+	p, _ := fp.Port("gpio0")
+	if err := p.WriteReg(0x00, 0x11); err != nil {
+		t.Fatal(err)
+	}
+	err := p.WriteReg(0x00, 0x22)
+	if err == nil {
+		t.Fatal("write on a dead link with no standby must fail")
+	}
+	if !IsFatal(err) {
+		t.Fatalf("error %v, want fatal class", err)
+	}
+	// Only this path dies; further use reports the death immediately.
+	if _, err := p.ReadReg(0x00); err == nil || !IsFatal(err) {
+		t.Fatalf("dead target accepted an op: %v", err)
+	}
+}
+
+func TestRestoreRejectsCorruptedState(t *testing.T) {
+	tg := newSim(t, &vtime.Clock{})
+	p, _ := tg.Port("gpio0")
+	p.WriteReg(0x00, 0x42)
+	st, err := tg.Save()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	unknown := st.Clone()
+	unknown["bogus"] = &sim.HWState{}
+	if err := tg.Restore(unknown); !IsIntegrity(err) {
+		t.Fatalf("unknown peripheral: %v, want integrity error", err)
+	}
+
+	badReg := st.Clone()
+	badReg["gpio0"].Regs["no_such_register"] = 7
+	if err := tg.Restore(badReg); !IsIntegrity(err) {
+		t.Fatalf("unknown register: %v, want integrity error", err)
+	}
+
+	if err := tg.Restore(nil); !IsIntegrity(err) {
+		t.Fatalf("nil state: %v, want integrity error", err)
+	}
+
+	// The rejected restores must not have touched the hardware.
+	if v, _ := p.ReadReg(0x00); v != 0x42 {
+		t.Fatalf("rejected restore mutated state: %#x", v)
+	}
+}
+
+func TestEncodeDecodeState(t *testing.T) {
+	tg := newSim(t, &vtime.Clock{})
+	p, _ := tg.Port("gpio0")
+	p.WriteReg(0x00, 0x5A5A)
+	st, _ := tg.Save()
+
+	blob, err := EncodeState(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeState(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(st, got) {
+		t.Fatal("encode/decode roundtrip diverged")
+	}
+
+	// Every corruption mode must be rejected with an integrity error.
+	flip := append([]byte(nil), blob...)
+	flip[len(flip)-1] ^= 0x01
+	if _, err := DecodeState(flip); !IsIntegrity(err) {
+		t.Fatalf("payload corruption: %v", err)
+	}
+	if _, err := DecodeState(blob[:len(blob)-3]); !IsIntegrity(err) {
+		t.Fatalf("truncation: %v", err)
+	}
+	if _, err := DecodeState(blob[:5]); !IsIntegrity(err) {
+		t.Fatalf("truncated header: %v", err)
+	}
+	magic := append([]byte(nil), blob...)
+	magic[0] = 0xFF
+	if _, err := DecodeState(magic); !IsIntegrity(err) {
+		t.Fatalf("bad magic: %v", err)
+	}
+	ver := append([]byte(nil), blob...)
+	ver[4] = 9
+	if _, err := DecodeState(ver); !IsIntegrity(err) {
+		t.Fatalf("bad version: %v", err)
+	}
+}
+
+func TestStateClone(t *testing.T) {
+	tg := newSim(t, &vtime.Clock{})
+	p, _ := tg.Port("gpio0")
+	p.WriteReg(0x00, 0x10)
+	st, _ := tg.Save()
+	c := st.Clone()
+	c["gpio0"].Regs["out"] = 0xFFFF
+	if st["gpio0"].Regs["out"] == 0xFFFF {
+		t.Fatal("Clone aliases the original")
+	}
+}
+
+func TestResetRestoresPowerOnState(t *testing.T) {
+	// The UART's baud divisor is loaded by the reset line; a warm
+	// Reset must return to that power-on state, not to all-zeros.
+	tg := newSim(t, &vtime.Clock{}, PeriphConfig{Name: "uart0", Periph: "uart"})
+	div, err := tg.Peek("uart0", "bauddiv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if div == 0 {
+		t.Fatal("power-on reset did not initialize bauddiv")
+	}
+	if err := tg.Advance(50); err != nil {
+		t.Fatal(err)
+	}
+	if err := tg.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := tg.Peek("uart0", "bauddiv")
+	if got != div {
+		t.Fatalf("bauddiv after warm reset %d, want %d", got, div)
+	}
+}
+
+func TestFaultPortChargesVirtualTime(t *testing.T) {
+	tg := newSim(t, &vtime.Clock{})
+	inner, _ := tg.Port("gpio0")
+	clock := &vtime.Clock{}
+	fp := NewFaultPort(inner, clock, FaultSchedule{Seed: 3, DropRate: 1.0})
+	err := fp.WriteReg(0, 1)
+	if !IsTransient(err) {
+		t.Fatalf("dropped frame: %v, want transient", err)
+	}
+	if clock.Now() < vtime.LinkTimeout {
+		t.Fatalf("drop charged %v, want >= %v", clock.Now(), vtime.LinkTimeout)
+	}
+}
