@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race
+.PHONY: check fmt vet build test race bench-smoke bench-json
 
 # Full gate: formatting, static checks, build, tests, race detector on
 # the concurrency-sensitive packages.
@@ -22,4 +22,14 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/remote ./internal/target
+	$(GO) test -race ./internal/remote ./internal/target ./internal/core ./internal/snapshot
+
+# bench-smoke runs every Benchmark* exactly once so benchmarks cannot
+# silently rot without anyone noticing.
+bench-smoke:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
+
+# bench-json emits the experiments' machine-readable metrics, for
+# recording BENCH_*.json trajectories across revisions.
+bench-json:
+	$(GO) run ./cmd/hsbench -json

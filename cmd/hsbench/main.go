@@ -6,9 +6,11 @@
 //	hsbench            # run every experiment
 //	hsbench e1 e4      # run selected experiments
 //	hsbench -list      # list experiments
+//	hsbench -json e4   # machine-readable metrics (JSON array)
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -18,14 +20,16 @@ import (
 
 func main() {
 	list := flag.Bool("list", false, "list experiments and exit")
+	jsonOut := flag.Bool("json", false,
+		"emit machine-readable metrics as a JSON array of {experiment, metric, value, unit}")
 	flag.Parse()
-	if err := run(*list, flag.Args()); err != nil {
+	if err := run(*list, *jsonOut, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "hsbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(list bool, args []string) error {
+func run(list, jsonOut bool, args []string) error {
 	if list {
 		for _, e := range bench.All() {
 			fmt.Printf("%-4s %s\n", e.ID, e.Title)
@@ -44,15 +48,25 @@ func run(list bool, args []string) error {
 			selected = append(selected, e)
 		}
 	}
+	metrics := []bench.Metric{}
 	for i, e := range selected {
-		if i > 0 {
+		if !jsonOut && i > 0 {
 			fmt.Println()
 		}
 		table, err := e.Run()
 		if err != nil {
 			return fmt.Errorf("%s: %w", e.ID, err)
 		}
+		if jsonOut {
+			metrics = append(metrics, table.Metrics...)
+			continue
+		}
 		fmt.Print(table)
+	}
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(metrics)
 	}
 	return nil
 }

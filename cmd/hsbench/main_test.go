@@ -3,20 +3,26 @@ package main
 import "testing"
 
 func TestRunList(t *testing.T) {
-	if err := run(true, nil); err != nil {
+	if err := run(true, false, nil); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunSelected(t *testing.T) {
 	// E5 is the fastest experiment.
-	if err := run(false, []string{"e5"}); err != nil {
+	if err := run(false, false, []string{"e5"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunJSON(t *testing.T) {
+	if err := run(false, true, []string{"e5"}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunUnknown(t *testing.T) {
-	if err := run(false, []string{"e99"}); err == nil {
+	if err := run(false, false, []string{"e99"}); err == nil {
 		t.Fatal("unknown experiment must fail")
 	}
 }

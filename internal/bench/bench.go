@@ -21,11 +21,31 @@ type Table struct {
 	Columns []string
 	Rows    [][]string
 	Notes   []string
+	// Metrics are the experiment's machine-readable results, emitted
+	// by `hsbench -json` so metric trajectories can be recorded
+	// across revisions.
+	Metrics []Metric
+}
+
+// Metric is one machine-readable measurement of an experiment.
+type Metric struct {
+	Experiment string  `json:"experiment"`
+	Metric     string  `json:"metric"`
+	Value      float64 `json:"value"`
+	Unit       string  `json:"unit"`
 }
 
 // AddRow appends a formatted row.
 func (t *Table) AddRow(cells ...string) {
 	t.Rows = append(t.Rows, cells)
+}
+
+// AddMetric records one machine-readable measurement (the Experiment
+// field is filled from the table ID).
+func (t *Table) AddMetric(name string, value float64, unit string) {
+	t.Metrics = append(t.Metrics, Metric{
+		Experiment: t.ID, Metric: name, Value: value, Unit: unit,
+	})
 }
 
 // String renders the table as aligned text.

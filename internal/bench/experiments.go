@@ -86,6 +86,10 @@ func E1() (*Table, error) {
 			return nil, err
 		}
 		t.AddRow(p, fmt.Sprintf("%d", bits), dur(simD), dur(scanD), dur(rbD))
+		t.AddMetric(p+".state_bits", float64(bits), "bits")
+		t.AddMetric(p+".simulator_save_restore", float64(simD.Nanoseconds()), "ns")
+		t.AddMetric(p+".fpga_scan_save_restore", float64(scanD.Nanoseconds()), "ns")
+		t.AddMetric(p+".fpga_readback_save_restore", float64(rbD.Nanoseconds()), "ns")
 	}
 	return t, nil
 }
@@ -239,17 +243,19 @@ skip%d:
 // vs reboot-based consistent exploration, sweeping the path count.
 func E4() (*Table, error) {
 	t := &Table{
-		ID:      "E4",
-		Title:   "multi-path firmware analysis: HardSnap vs naive-and-consistent reboot",
-		Columns: []string{"paths", "hardsnap time", "record-replay time", "reboot time", "speedup vs reboot"},
+		ID:    "E4",
+		Title: "multi-path firmware analysis: HardSnap vs naive-and-consistent reboot",
+		Columns: []string{"paths", "hardsnap time", "record-replay time", "reboot time",
+			"speedup vs reboot", "snap bytes", "switches skipped"},
 		Notes: []string{
 			"reboot cost grows with path count (each switch pays reboot + prefix replay); HardSnap pays only µs-scale restores",
 			"record-replay (the related-work alternative) avoids reboots but re-issues every recorded I/O per switch",
+			"snap bytes / switches skipped are the HardSnap mode's snapshot link traffic and generation-proven redundant save+restore operations",
 		},
 	}
 	for _, k := range []int{2, 3, 4, 5} {
 		fw := explorationFirmware(k)
-		runMode := func(mode core.Mode) (time.Duration, int, error) {
+		runMode := func(mode core.Mode) (*core.Report, error) {
 			a, err := core.Setup(core.SetupConfig{
 				Firmware:    fw,
 				Peripherals: []target.PeriphConfig{{Name: "g", Periph: "gpio"}},
@@ -261,31 +267,41 @@ func E4() (*Table, error) {
 				},
 			})
 			if err != nil {
-				return 0, 0, err
+				return nil, err
 			}
-			rep, err := a.Engine.Run()
-			if err != nil {
-				return 0, 0, err
-			}
-			return rep.VirtualTime, len(rep.Finished), nil
+			return a.Engine.Run()
 		}
-		hsD, hsPaths, err := runMode(core.ModeHardSnap)
+		hs, err := runMode(core.ModeHardSnap)
 		if err != nil {
 			return nil, err
 		}
-		rrD, rrPaths, err := runMode(core.ModeRecordReplay)
+		rr, err := runMode(core.ModeRecordReplay)
 		if err != nil {
 			return nil, err
 		}
-		rbD, rbPaths, err := runMode(core.ModeNaiveReboot)
+		rb, err := runMode(core.ModeNaiveReboot)
 		if err != nil {
 			return nil, err
 		}
-		if hsPaths != rbPaths || hsPaths != rrPaths {
-			return nil, fmt.Errorf("E4: path counts differ (%d vs %d vs %d)", hsPaths, rrPaths, rbPaths)
+		hsPaths := len(hs.Finished)
+		if hsPaths != len(rb.Finished) || hsPaths != len(rr.Finished) {
+			return nil, fmt.Errorf("E4: path counts differ (%d vs %d vs %d)",
+				hsPaths, len(rr.Finished), len(rb.Finished))
 		}
-		t.AddRow(fmt.Sprintf("%d", hsPaths), dur(hsD), dur(rrD), dur(rbD),
-			fmt.Sprintf("%.1fx", float64(rbD)/float64(hsD)))
+		snaps := hs.Snapshots
+		skipped := snaps.Manager.SavesSkipped + snaps.Manager.RestoresSkipped
+		t.AddRow(fmt.Sprintf("%d", hsPaths), dur(hs.VirtualTime), dur(rr.VirtualTime), dur(rb.VirtualTime),
+			fmt.Sprintf("%.1fx", float64(rb.VirtualTime)/float64(hs.VirtualTime)),
+			fmt.Sprintf("%d", snaps.BytesMoved),
+			fmt.Sprintf("%d", skipped))
+		p := fmt.Sprintf("paths%d.", hsPaths)
+		t.AddMetric(p+"hardsnap_vt", float64(hs.VirtualTime.Nanoseconds()), "ns")
+		t.AddMetric(p+"record_replay_vt", float64(rr.VirtualTime.Nanoseconds()), "ns")
+		t.AddMetric(p+"reboot_vt", float64(rb.VirtualTime.Nanoseconds()), "ns")
+		t.AddMetric(p+"hardsnap_snapshot_bytes", float64(snaps.BytesMoved), "bytes")
+		t.AddMetric(p+"hardsnap_snapshot_vt", float64(snaps.SnapshotTime.Nanoseconds()), "ns")
+		t.AddMetric(p+"hardsnap_switches_skipped", float64(skipped), "ops")
+		t.AddMetric(p+"hardsnap_dedup_hits", float64(snaps.Store.DedupHits), "ops")
 	}
 	return t, nil
 }
@@ -593,11 +609,13 @@ poll:
 // E8 regenerates the fuzzing-throughput comparison.
 func E8() (*Table, error) {
 	t := &Table{
-		ID:      "E8",
-		Title:   "fuzzing throughput by reset strategy (CRC parser, 200 execs)",
-		Columns: []string{"reset strategy", "virtual time", "execs/sec", "time in reset"},
+		ID:    "E8",
+		Title: "fuzzing throughput by reset strategy (CRC parser, 200 execs)",
+		Columns: []string{"reset strategy", "virtual time", "execs/sec", "time in reset",
+			"snap bytes", "delta restores"},
 		Notes: []string{
 			"snapshot restore replaces the full reboot embedded fuzzing otherwise needs between test cases",
+			"delta restores write back only the state dirtied since the snapshot anchor instead of a full CRIU freeze+copy",
 		},
 	}
 	prog, err := core.Setup(core.SetupConfig{Firmware: fuzzFirmware})
@@ -620,14 +638,25 @@ func E8() (*Table, error) {
 		if reset == fuzz.ResetReboot {
 			base = res
 		}
-		row := []string{reset.String(), dur(res.VirtTime),
-			fmt.Sprintf("%.1f", res.ExecsPerVirtSecond), dur(res.ResetTime)}
-		if reset == fuzz.ResetSnapshot && base != nil {
-			row[0] = "snapshot (hardsnap)"
-			t.Notes = append(t.Notes, fmt.Sprintf("speedup: %.1fx",
-				float64(base.VirtTime)/float64(res.VirtTime)))
+		name := reset.String()
+		if reset == fuzz.ResetSnapshot {
+			name = "snapshot (hardsnap)"
+			if base != nil {
+				t.Notes = append(t.Notes, fmt.Sprintf("speedup: %.1fx",
+					float64(base.VirtTime)/float64(res.VirtTime)))
+			}
 		}
-		t.AddRow(row...)
+		t.AddRow(name, dur(res.VirtTime),
+			fmt.Sprintf("%.1f", res.ExecsPerVirtSecond), dur(res.ResetTime),
+			fmt.Sprintf("%d", res.HWSnapshotBytes),
+			fmt.Sprintf("%d", res.DeltaRestores))
+		p := reset.String() + "."
+		t.AddMetric(p+"virt_time", float64(res.VirtTime.Nanoseconds()), "ns")
+		t.AddMetric(p+"execs_per_vsec", res.ExecsPerVirtSecond, "execs/s")
+		t.AddMetric(p+"reset_vt", float64(res.ResetTime.Nanoseconds()), "ns")
+		t.AddMetric(p+"snapshot_bytes", float64(res.HWSnapshotBytes), "bytes")
+		t.AddMetric(p+"delta_restores", float64(res.DeltaRestores), "ops")
+		t.AddMetric(p+"restores_skipped", float64(res.RestoresSkipped), "ops")
 	}
 	return t, nil
 }
@@ -639,12 +668,14 @@ func E8() (*Table, error) {
 // interleaving (round-robin).
 func E9() (*Table, error) {
 	t := &Table{
-		ID:      "E9",
-		Title:   "ablation: state-selection heuristic vs hardware context switches",
-		Columns: []string{"searcher", "paths", "context switches", "snapshot time", "total time"},
+		ID:    "E9",
+		Title: "ablation: state-selection heuristic vs hardware context switches",
+		Columns: []string{"searcher", "paths", "context switches", "snapshot time", "total time",
+			"snap bytes", "switches skipped"},
 		Notes: []string{
 			"same 16-path firmware, HardSnap mode on the FPGA target",
 			"context-switch count is the searcher's hardware cost driver: interleaving heuristics pay ~5x more snapshot traffic",
+			"switches skipped counts save/restore operations the mutation generation proved redundant (no scan traffic, no vtime)",
 		},
 	}
 	fw := explorationFirmware(4)
@@ -677,11 +708,20 @@ func E9() (*Table, error) {
 			return nil, err
 		}
 		st := a.Target.Stats()
+		skipped := rep.Snapshots.Manager.SavesSkipped + rep.Snapshots.Manager.RestoresSkipped
 		t.AddRow(s.name,
 			fmt.Sprintf("%d", len(rep.Finished)),
 			fmt.Sprintf("%d", rep.Stats.ContextSwitches),
 			dur(st.SnapshotTime),
-			dur(rep.VirtualTime))
+			dur(rep.VirtualTime),
+			fmt.Sprintf("%d", rep.Snapshots.BytesMoved),
+			fmt.Sprintf("%d", skipped))
+		p := s.name + "."
+		t.AddMetric(p+"context_switches", float64(rep.Stats.ContextSwitches), "ops")
+		t.AddMetric(p+"snapshot_vt", float64(st.SnapshotTime.Nanoseconds()), "ns")
+		t.AddMetric(p+"total_vt", float64(rep.VirtualTime.Nanoseconds()), "ns")
+		t.AddMetric(p+"snapshot_bytes", float64(rep.Snapshots.BytesMoved), "bytes")
+		t.AddMetric(p+"switches_skipped", float64(skipped), "ops")
 	}
 	return t, nil
 }

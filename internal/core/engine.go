@@ -128,12 +128,34 @@ type Stats struct {
 	HWViolations int
 }
 
+// SnapshotTraffic summarizes what the copy-on-write snapshot pipeline
+// actually moved during a run.
+type SnapshotTraffic struct {
+	// Manager counts how context-switch operations were served
+	// (performed vs. skipped vs. delta).
+	Manager SnapManagerStats
+	// Store counts dedup hits, structural sharing and bytes.
+	Store snapshot.Stats
+	// HWSaves / HWRestores / DeltaRestores are the operations that
+	// reached the hardware (target-side counters).
+	HWSaves       uint64
+	HWRestores    uint64
+	DeltaRestores uint64
+	// BytesMoved is the state bytes that crossed the target link.
+	BytesMoved uint64
+	// SnapshotTime is the virtual time spent moving state.
+	SnapshotTime time.Duration
+}
+
 // Report is the outcome of a Run.
 type Report struct {
 	Finished []*symexec.State
 	Stats    Stats
 	// VirtualTime is the total virtual time consumed.
 	VirtualTime time.Duration
+	// Snapshots is the snapshot-traffic breakdown (zero without
+	// hardware attached).
+	Snapshots SnapshotTraffic
 }
 
 // Bugs returns the states that ended in an assertion failure or
@@ -161,12 +183,13 @@ func (r *Report) CountStatus(s symexec.Status) int {
 
 // Engine drives one analysis.
 type Engine struct {
-	cfg    Config
-	exec   *symexec.Executor
-	tgt    *target.Target
-	router *bus.Router
-	snaps  *snapshot.Store
-	clock  *vtime.Clock
+	cfg     Config
+	exec    *symexec.Executor
+	tgt     *target.Target
+	router  *bus.Router
+	snaps   *snapshot.Store
+	snapman *SnapshotManager
+	clock   *vtime.Clock
 
 	active   []*symexec.State
 	finished []*symexec.State
@@ -216,6 +239,7 @@ func New(cfg Config, exec *symexec.Executor, tgt *target.Target, router *bus.Rou
 	}
 	if tgt != nil {
 		e.clock = tgt.Clock()
+		e.snapman = NewSnapshotManager(e.snaps, tgt, router)
 	} else {
 		e.clock = &vtime.Clock{}
 	}
@@ -228,6 +252,10 @@ func (e *Engine) Clock() *vtime.Clock { return e.clock }
 
 // Snapshots exposes the snapshot store (diagnostics).
 func (e *Engine) Snapshots() *snapshot.Store { return e.snaps }
+
+// SnapshotManager exposes the copy-on-write snapshot seam, nil when
+// no hardware is attached.
+func (e *Engine) SnapshotManager() *SnapshotManager { return e.snapman }
 
 // BugSnapshot returns the retained hardware snapshot of a buggy state
 // (requires Config.KeepBugSnapshots).
@@ -323,18 +351,15 @@ func (e *Engine) replayLog(st *symexec.State) error {
 }
 
 // saveCurrent captures the live hardware into the state's snapshot
-// slot (UpdateState of Algorithm 1).
+// slot (UpdateState of Algorithm 1). The manager skips the hardware
+// traffic entirely when the state is already in sync.
 func (e *Engine) saveCurrent(st *symexec.State) error {
-	hw, err := e.tgt.Save()
+	id, err := e.snapman.Sync(snapshot.ID(st.HWSnapshot))
 	if err != nil {
 		return err
 	}
-	rec := snapshot.Record{HW: hw, IRQEdges: e.router.IRQEdgeState()}
-	if st.HWSnapshot == 0 {
-		st.HWSnapshot = symexec.SnapshotID(e.snaps.Put(rec))
-		return nil
-	}
-	return e.snaps.Update(snapshot.ID(st.HWSnapshot), rec)
+	st.HWSnapshot = symexec.SnapshotID(id)
+	return nil
 }
 
 // restoreFor loads the state's hardware snapshot into the live
@@ -343,17 +368,9 @@ func (e *Engine) saveCurrent(st *symexec.State) error {
 // only happens for the initial state, which keeps the power-on
 // hardware.
 func (e *Engine) restoreFor(st *symexec.State) error {
-	if st.HWSnapshot == 0 {
-		return nil
+	if err := e.snapman.Restore(snapshot.ID(st.HWSnapshot)); err != nil {
+		return fmt.Errorf("core: state %d: %w", st.ID, err)
 	}
-	rec, ok := e.snaps.Get(snapshot.ID(st.HWSnapshot))
-	if !ok {
-		return fmt.Errorf("core: state %d references missing snapshot %d", st.ID, st.HWSnapshot)
-	}
-	if err := e.tgt.Restore(rec.HW); err != nil {
-		return err
-	}
-	e.router.ResetIRQEdges(rec.IRQEdges)
 	return nil
 }
 
@@ -440,12 +457,14 @@ func (e *Engine) finish(st *symexec.State) {
 	if e.cfg.KeepBugSnapshots && e.tgt != nil && e.previous == st &&
 		(st.Status == symexec.StatusAborted || st.Status == symexec.StatusAssertFail) {
 		// The live hardware still belongs to this state: capture it
-		// for the crash report.
-		if hw, err := e.tgt.Save(); err == nil {
+		// for the crash report. When the state's snapshot is already
+		// current this reuses the stored record instead of a second
+		// full save.
+		if rec, err := e.snapman.LiveRecord(); err == nil {
 			if e.bugSnaps == nil {
 				e.bugSnaps = make(map[uint64]*snapshot.Record)
 			}
-			e.bugSnaps[st.ID] = &snapshot.Record{HW: hw, IRQEdges: e.router.IRQEdgeState()}
+			e.bugSnaps[st.ID] = rec
 		}
 	}
 	if st.HWSnapshot != 0 {
@@ -495,14 +514,14 @@ func (e *Engine) Run() (*Report, error) {
 		for _, f := range forks {
 			switch {
 			case e.tgt != nil && (e.cfg.Mode == ModeHardSnap || e.cfg.Mode == ModeNaiveReboot):
-				hw, err := e.tgt.Save()
+				// Capture dedups against the live content: forking off
+				// untouched hardware is a refcount++, not a second
+				// scan-out.
+				id, err := e.snapman.Capture()
 				if err != nil {
 					return nil, fmt.Errorf("core: snapshot at fork: %w", err)
 				}
-				f.HWSnapshot = symexec.SnapshotID(e.snaps.Put(snapshot.Record{
-					HW:       hw,
-					IRQEdges: e.router.IRQEdgeState(),
-				}))
+				f.HWSnapshot = symexec.SnapshotID(id)
 			case e.tgt != nil && e.cfg.Mode == ModeRecordReplay:
 				// The child inherits the parent's interaction log.
 				if e.ioLogs == nil {
@@ -563,9 +582,22 @@ func (e *Engine) Run() (*Report, error) {
 	}
 	e.active = nil
 
-	return &Report{
+	rep := &Report{
 		Finished:    e.finished,
 		Stats:       e.stats,
 		VirtualTime: e.clock.Now() - start,
-	}, nil
+	}
+	if e.tgt != nil {
+		ts := e.tgt.Stats()
+		rep.Snapshots = SnapshotTraffic{
+			Manager:       e.snapman.Stats(),
+			Store:         e.snaps.Stats(),
+			HWSaves:       ts.Snapshots,
+			HWRestores:    ts.Restores,
+			DeltaRestores: ts.DeltaRestores,
+			BytesMoved:    ts.SnapshotBytes,
+			SnapshotTime:  ts.SnapshotTime,
+		}
+	}
+	return rep, nil
 }

@@ -19,7 +19,9 @@ import (
 
 	"hardsnap/internal/asm"
 	"hardsnap/internal/bus"
+	"hardsnap/internal/core"
 	"hardsnap/internal/isa"
+	"hardsnap/internal/snapshot"
 	"hardsnap/internal/target"
 	"hardsnap/internal/vm"
 	"hardsnap/internal/vtime"
@@ -95,6 +97,19 @@ type Result struct {
 	ResetTime time.Duration
 	// ExecsPerVirtSecond is the headline fuzzing throughput.
 	ExecsPerVirtSecond float64
+
+	// Snapshot-traffic breakdown (hardware targets only).
+	//
+	// HWSnapshotBytes is the state bytes that crossed the target
+	// link; HWRestores counts restores that reached the hardware, of
+	// which DeltaRestores went through the incremental dirty-only
+	// path; RestoresSkipped/SavesSkipped were proven redundant by the
+	// mutation generation and cost nothing.
+	HWSnapshotBytes uint64
+	HWRestores      uint64
+	DeltaRestores   uint64
+	RestoresSkipped uint64
+	SavesSkipped    uint64
 }
 
 // Run executes a fuzzing campaign.
@@ -166,6 +181,9 @@ func Run(cfg Config) (*Result, error) {
 		clock:  clock,
 		edges:  make(map[uint64]bool),
 	}
+	if tgt != nil {
+		f.snapman = core.NewSnapshotManager(snapshot.NewStore(), tgt, router)
+	}
 	return f.run()
 }
 
@@ -179,12 +197,17 @@ type fuzzer struct {
 
 	input []byte
 
+	// snapman is the copy-on-write snapshot pipeline shared with the
+	// engine: resets skip hardware traffic the generation proves
+	// redundant and use delta restores on the simulator target.
+	snapman *core.SnapshotManager
+
 	// Snapshot-based reset state.
 	cpuSnap *vm.Snapshot
-	hwSnap  target.State
+	hwSnap  snapshot.ID
 
-	// Power-on hardware state for reboots.
-	powerOn target.State
+	// Power-on hardware snapshot for reboots.
+	powerOn snapshot.ID
 
 	edges     map[uint64]bool
 	corpus    [][]byte
@@ -221,7 +244,7 @@ func (f *fuzzer) run() (*Result, error) {
 
 	if f.tgt != nil {
 		var err error
-		f.powerOn, err = f.tgt.Save()
+		f.powerOn, err = f.snapman.Capture()
 		if err != nil {
 			return nil, err
 		}
@@ -268,6 +291,15 @@ func (f *fuzzer) run() (*Result, error) {
 	res.Corpus = len(f.corpus)
 	res.VirtTime = f.clock.Now() - start
 	res.ResetTime = f.resetTime
+	if f.tgt != nil {
+		ts := f.tgt.Stats()
+		ms := f.snapman.Stats()
+		res.HWSnapshotBytes = ts.SnapshotBytes
+		res.HWRestores = ts.Restores
+		res.DeltaRestores = ts.DeltaRestores
+		res.RestoresSkipped = ms.RestoresSkipped
+		res.SavesSkipped = ms.SavesSkipped
+	}
 	if secs := res.VirtTime.Seconds(); secs > 0 {
 		res.ExecsPerVirtSecond = float64(res.Execs) / secs
 	}
@@ -277,9 +309,8 @@ func (f *fuzzer) run() (*Result, error) {
 func (f *fuzzer) captureSnapshot() {
 	f.cpuSnap = f.cpu.Snapshot()
 	if f.tgt != nil {
-		hw, err := f.tgt.Save()
-		if err == nil {
-			f.hwSnap = hw
+		if id, err := f.snapman.Capture(); err == nil {
+			f.hwSnap = id
 		}
 	}
 }
@@ -303,10 +334,9 @@ func (f *fuzzer) reset() error {
 			return err
 		}
 		if f.tgt != nil {
-			if err := f.tgt.Restore(f.powerOn.Clone()); err != nil {
+			if err := f.snapman.Restore(f.powerOn); err != nil {
 				return err
 			}
-			f.router.ResetIRQEdges(nil)
 		}
 		f.clock.Advance(vtime.RebootTime)
 		return nil
@@ -321,11 +351,10 @@ func (f *fuzzer) reset() error {
 			return nil
 		}
 		f.cpu.RestoreSnapshot(f.cpuSnap)
-		if f.tgt != nil && f.hwSnap != nil {
-			if err := f.tgt.Restore(f.hwSnap.Clone()); err != nil {
+		if f.tgt != nil && f.hwSnap != 0 {
+			if err := f.snapman.Restore(f.hwSnap); err != nil {
 				return err
 			}
-			f.router.ResetIRQEdges(nil)
 		}
 		return nil
 	}

@@ -222,3 +222,34 @@ func TestCoverageGrows(t *testing.T) {
 		t.Fatalf("corpus did not grow: %d", res.Corpus)
 	}
 }
+
+func TestSnapshotResetUsesDeltaRestores(t *testing.T) {
+	// Every exec after the first restores the same power-on snapshot
+	// the previous restore anchored, so the dirty-tracked delta path
+	// must carry (nearly) all of the reset traffic on a plain
+	// simulator target.
+	prog := assemble(t, hwFirmware)
+	res, err := Run(Config{
+		Program:     prog,
+		Peripherals: []target.PeriphConfig{{Name: "crc0", Periph: "crc32"}},
+		Reset:       ResetSnapshot,
+		MaxExecs:    50,
+		InputLen:    2,
+		Seed:        7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DeltaRestores == 0 {
+		t.Fatalf("snapshot reset never used the delta path: %+v", res)
+	}
+	if res.DeltaRestores > res.HWRestores {
+		t.Fatalf("delta restores %d exceed hardware restores %d",
+			res.DeltaRestores, res.HWRestores)
+	}
+	full := res.HWRestores - res.DeltaRestores
+	if full > res.DeltaRestores {
+		t.Fatalf("full restores (%d) dominate delta restores (%d)",
+			full, res.DeltaRestores)
+	}
+}

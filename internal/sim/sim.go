@@ -29,17 +29,82 @@ type Simulator struct {
 	OnCycle func(cycle uint64)
 
 	writeBuf []rtl.Write
+
+	// gen counts observed mutations of snapshot-relevant state
+	// (registers, memories, input pins). It only moves when a value
+	// actually changes, so idle designs clocking away do not look
+	// dirty to the snapshotting layer.
+	gen uint64
+	// dirtySigs/dirtyMems record which registers/inputs (by signal
+	// ID) and memories (by memory ID, whole-array granularity) have
+	// changed since the last ClearDirty — the basis for delta
+	// restores.
+	dirtySigs map[int]struct{}
+	dirtyMems map[int]struct{}
 }
 
 // New creates a simulator with zero-initialized state (the FPGA-like
 // power-on state of the two-state model), with combinational logic
 // settled.
 func New(d *rtl.Design) (*Simulator, error) {
-	s := &Simulator{design: d, state: rtl.NewState(d)}
+	s := &Simulator{
+		design:    d,
+		state:     rtl.NewState(d),
+		dirtySigs: make(map[int]struct{}),
+		dirtyMems: make(map[int]struct{}),
+	}
 	if err := s.EvalComb(); err != nil {
 		return nil, err
 	}
 	return s, nil
+}
+
+// Gen returns the mutation generation: a counter that advances only
+// when snapshot-relevant state (a register, memory element or input
+// pin) actually changes value. Two equal generations prove the
+// hardware state is bit-identical.
+func (s *Simulator) Gen() uint64 { return s.gen }
+
+// ClearDirty re-anchors dirty tracking: the current state becomes the
+// reference against which DirtyBits and RestoreDirty operate.
+func (s *Simulator) ClearDirty() {
+	clear(s.dirtySigs)
+	clear(s.dirtyMems)
+}
+
+// DirtyBits returns the number of state bits touched since the last
+// ClearDirty (memories count whole-array when any element changed).
+func (s *Simulator) DirtyBits() uint {
+	var n uint
+	for id := range s.dirtySigs {
+		n += s.design.Signals[id].Width
+	}
+	for id := range s.dirtyMems {
+		m := s.design.Memories[id]
+		n += m.Depth * m.Width
+	}
+	return n
+}
+
+// widthMask is the value mask of a w-bit element (mirrors the
+// truncation rtl.Write.Apply performs on memory writes).
+func widthMask(w uint) uint64 {
+	if w >= 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << w) - 1
+}
+
+// markSig records a value change of a snapshot-relevant signal.
+func (s *Simulator) markSig(id int) {
+	s.gen++
+	s.dirtySigs[id] = struct{}{}
+}
+
+// markMem records a value change inside a memory.
+func (s *Simulator) markMem(id int) {
+	s.gen++
+	s.dirtyMems[id] = struct{}{}
 }
 
 // Design returns the simulated design.
@@ -53,6 +118,9 @@ func (s *Simulator) SetInput(name string, v uint64) error {
 	sig, ok := s.design.SignalByName(name)
 	if !ok || !sig.IsInput {
 		return fmt.Errorf("sim: no input named %q", name)
+	}
+	if s.state.Vals[sig.ID] != v {
+		s.markSig(sig.ID)
 	}
 	s.state.Vals[sig.ID] = v
 	return nil
@@ -74,6 +142,9 @@ func (s *Simulator) Poke(name string, v uint64) error {
 	sig, ok := s.design.SignalByName(name)
 	if !ok {
 		return fmt.Errorf("sim: no signal named %q", name)
+	}
+	if (sig.IsReg || sig.IsInput) && s.state.Vals[sig.ID] != v {
+		s.markSig(sig.ID)
 	}
 	s.state.Vals[sig.ID] = v
 	return nil
@@ -99,6 +170,9 @@ func (s *Simulator) PokeMem(name string, idx uint, v uint64) error {
 	}
 	if idx >= m.Depth {
 		return fmt.Errorf("sim: index %d out of range of %s", idx, name)
+	}
+	if s.state.Mems[m.ID][idx] != v {
+		s.markMem(m.ID)
 	}
 	s.state.Mems[m.ID][idx] = v
 	return nil
@@ -137,7 +211,18 @@ func (s *Simulator) StepCycle() error {
 		}
 	}
 	for i := range s.writeBuf {
-		s.writeBuf[i].Apply(s.state)
+		w := &s.writeBuf[i]
+		if w.Mem != nil {
+			if w.Idx < uint64(w.Mem.Depth) && s.state.Mems[w.Mem.ID][w.Idx] != w.Val&widthMask(w.Mem.Width) {
+				s.markMem(w.Mem.ID)
+			}
+		} else {
+			old := s.state.Vals[w.Sig.ID]
+			if (old&^w.Mask)|(w.Val&w.Mask) != old {
+				s.markSig(w.Sig.ID)
+			}
+		}
+		w.Apply(s.state)
 	}
 	if err := s.EvalComb(); err != nil {
 		return err
@@ -199,7 +284,10 @@ func (s *Simulator) Snapshot() *HWState {
 func (s *Simulator) Restore(hw *HWState) error {
 	for _, sig := range s.design.Signals {
 		if sig.IsReg {
-			s.state.Vals[sig.ID] = hw.Regs[sig.Name]
+			if v := hw.Regs[sig.Name]; s.state.Vals[sig.ID] != v {
+				s.markSig(sig.ID)
+				s.state.Vals[sig.ID] = v
+			}
 		}
 	}
 	for name := range hw.Regs {
@@ -211,10 +299,13 @@ func (s *Simulator) Restore(hw *HWState) error {
 		src := hw.Mems[m.Name]
 		dst := s.state.Mems[m.ID]
 		for i := range dst {
+			v := uint64(0)
 			if i < len(src) {
-				dst[i] = src[i]
-			} else {
-				dst[i] = 0
+				v = src[i]
+			}
+			if dst[i] != v {
+				s.markMem(m.ID)
+				dst[i] = v
 			}
 		}
 	}
@@ -225,10 +316,63 @@ func (s *Simulator) Restore(hw *HWState) error {
 	}
 	for _, in := range s.design.Inputs {
 		if v, ok := hw.Inputs[in.Name]; ok {
-			s.state.Vals[in.ID] = v
+			if s.state.Vals[in.ID] != v {
+				s.markSig(in.ID)
+				s.state.Vals[in.ID] = v
+			}
 		}
 	}
 	return s.EvalComb()
+}
+
+// RestoreDirty overwrites only the registers, memories and inputs
+// marked dirty since the last ClearDirty, reading their reference
+// values from hw. It is equivalent to Restore(hw) — and returns the
+// number of state bits written back — ONLY under the caller-guaranteed
+// precondition that hw equals the state that was live at the last
+// ClearDirty (the anchor): every clean element already holds its
+// anchor value, so rewriting it would be a no-op. Dirty tracking is
+// re-anchored on success.
+func (s *Simulator) RestoreDirty(hw *HWState) (uint, error) {
+	var bits uint
+	for id := range s.dirtySigs {
+		sig := s.design.Signals[id]
+		switch {
+		case sig.IsReg:
+			// Same missing-entry semantics as Restore: absent
+			// registers reset to 0.
+			s.state.Vals[id] = hw.Regs[sig.Name]
+		case sig.IsInput:
+			// Absent inputs keep their current value, as in Restore.
+			if v, ok := hw.Inputs[sig.Name]; ok {
+				s.state.Vals[id] = v
+			}
+		}
+		bits += sig.Width
+	}
+	for id := range s.dirtyMems {
+		m := s.design.Memories[id]
+		src := hw.Mems[m.Name]
+		dst := s.state.Mems[id]
+		for i := range dst {
+			if i < len(src) {
+				dst[i] = src[i]
+			} else {
+				dst[i] = 0
+			}
+		}
+		bits += m.Depth * m.Width
+	}
+	if bits > 0 {
+		// Preserve the invariant "gen unchanged ⟹ state unchanged"
+		// for observers that sampled Gen before this restore.
+		s.gen++
+	}
+	s.ClearDirty()
+	if err := s.EvalComb(); err != nil {
+		return bits, err
+	}
+	return bits, nil
 }
 
 // StateBits returns the number of snapshot-relevant state bits.

@@ -1,21 +1,44 @@
 // Package snapshot implements HardSnap's snapshotting controller
-// bookkeeping: a store of complete hardware states keyed by unique
-// identifiers, with binary serialization for persistence (crash
-// reports, offline root-cause analysis).
+// bookkeeping: a content-addressed store of complete hardware states,
+// with binary serialization for persistence (crash reports, offline
+// root-cause analysis).
+//
+// The store is copy-on-write all the way down. Each stored record is
+// keyed by a digest of its serialized state: identical states — the
+// common case right after a fork, and whenever the hardware was not
+// touched between context switches — collapse to one immutable,
+// reference-counted entry, so a fork costs a refcount increment
+// instead of a second full deep copy. One level below, individual
+// peripheral states are interned in a shared pool keyed by their own
+// digests, so two records that differ in one peripheral share the
+// others structurally (the "delta encoding" of the pipeline: only
+// changed peripherals occupy new memory). Immutability is what makes
+// the sharing safe and removes the defensive clone on Get: callers
+// receive the canonical record and must not mutate it.
 package snapshot
 
 import (
 	"bytes"
+	"crypto/sha256"
 	"encoding/binary"
 	"encoding/gob"
 	"fmt"
 	"hash/crc32"
+	"sort"
+	"sync"
 
+	"hardsnap/internal/sim"
 	"hardsnap/internal/target"
 )
 
-// ID names one stored snapshot; 0 is never issued.
+// ID names one live reference to a stored snapshot; 0 is never issued
+// (the engine uses 0 as its "no snapshot" sentinel).
 type ID uint64
+
+// Digest is the content address of a record: a SHA-256 over a
+// deterministic serialization of the hardware state and IRQ edge
+// levels. Equal digests imply bit-identical restored states.
+type Digest [sha256.Size]byte
 
 // Record is one stored hardware snapshot plus controller-side
 // metadata that must travel with it.
@@ -26,72 +49,439 @@ type Record struct {
 	IRQEdges []bool
 }
 
-func (r *Record) clone() *Record {
-	c := &Record{HW: r.HW.Clone()}
-	c.IRQEdges = append([]bool(nil), r.IRQEdges...)
-	return c
+// DigestRecord computes the content address of a record. The
+// serialization is deterministic (map keys visited in sorted order,
+// lengths as separators), so the same state always hashes the same.
+func DigestRecord(rec *Record) Digest {
+	h := sha256.New()
+	names := make([]string, 0, len(rec.HW))
+	for name := range rec.HW {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var scratch [8]byte
+	for _, name := range names {
+		writeStr(h, name, &scratch)
+		d := digestHW(rec.HW[name])
+		h.Write(d[:])
+	}
+	binary.LittleEndian.PutUint64(scratch[:], uint64(len(rec.IRQEdges)))
+	h.Write(scratch[:])
+	for _, e := range rec.IRQEdges {
+		if e {
+			h.Write([]byte{1})
+		} else {
+			h.Write([]byte{0})
+		}
+	}
+	var d Digest
+	h.Sum(d[:0])
+	return d
+}
+
+// digestHW content-addresses one peripheral's state.
+func digestHW(hw *sim.HWState) Digest {
+	h := sha256.New()
+	var scratch [8]byte
+	if hw == nil {
+		hw = &sim.HWState{}
+	}
+	regs := sortedKeys(hw.Regs)
+	binary.LittleEndian.PutUint64(scratch[:], uint64(len(regs)))
+	h.Write(scratch[:])
+	for _, name := range regs {
+		writeStr(h, name, &scratch)
+		binary.LittleEndian.PutUint64(scratch[:], hw.Regs[name])
+		h.Write(scratch[:])
+	}
+	mems := make([]string, 0, len(hw.Mems))
+	for name := range hw.Mems {
+		mems = append(mems, name)
+	}
+	sort.Strings(mems)
+	binary.LittleEndian.PutUint64(scratch[:], uint64(len(mems)))
+	h.Write(scratch[:])
+	for _, name := range mems {
+		writeStr(h, name, &scratch)
+		words := hw.Mems[name]
+		binary.LittleEndian.PutUint64(scratch[:], uint64(len(words)))
+		h.Write(scratch[:])
+		for _, w := range words {
+			binary.LittleEndian.PutUint64(scratch[:], w)
+			h.Write(scratch[:])
+		}
+	}
+	inputs := sortedKeys(hw.Inputs)
+	binary.LittleEndian.PutUint64(scratch[:], uint64(len(inputs)))
+	h.Write(scratch[:])
+	for _, name := range inputs {
+		writeStr(h, name, &scratch)
+		binary.LittleEndian.PutUint64(scratch[:], hw.Inputs[name])
+		h.Write(scratch[:])
+	}
+	var d Digest
+	h.Sum(d[:0])
+	return d
+}
+
+func sortedKeys(m map[string]uint64) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+func writeStr(h interface{ Write([]byte) (int, error) }, s string, scratch *[8]byte) {
+	binary.LittleEndian.PutUint64(scratch[:], uint64(len(s)))
+	h.Write(scratch[:])
+	h.Write([]byte(s))
+}
+
+// hwBytes approximates the in-memory footprint of one peripheral
+// state (value words only; names are interned by Go anyway).
+func hwBytes(hw *sim.HWState) uint64 {
+	if hw == nil {
+		return 0
+	}
+	n := uint64(len(hw.Regs)+len(hw.Inputs)) * 8
+	for _, words := range hw.Mems {
+		n += uint64(len(words)) * 8
+	}
+	return n
+}
+
+// poolEntry is one interned peripheral state, shared by every record
+// that contains it.
+type poolEntry struct {
+	hw   *sim.HWState
+	refs int
+}
+
+// entry is one immutable content-addressed record.
+type entry struct {
+	rec    *Record
+	digest Digest
+	// periphs are the pool keys of the record's peripheral states,
+	// needed to drop pool references when the entry dies.
+	periphs []Digest
+	refs    int
+	bytes   uint64
+}
+
+// Stats are cumulative store-side counters.
+type Stats struct {
+	// Puts counts Put/Update calls that attached content to an ID.
+	Puts uint64
+	// Gets counts successful Get calls.
+	Gets uint64
+	// Releases counts successful Release calls.
+	Releases uint64
+	// PeakLive is the high-water mark of live IDs.
+	PeakLive int
+	// DedupHits counts Put/Update/Adopt calls satisfied by an
+	// existing identical record (refcount++ instead of a copy).
+	DedupHits uint64
+	// PeriphStored / PeriphShared count peripheral states that had to
+	// be materialized vs. structurally shared from the intern pool.
+	PeriphStored uint64
+	PeriphShared uint64
+	// BytesStored is the cumulative unique state bytes materialized;
+	// BytesShared is the cumulative bytes avoided by whole-record
+	// dedup and per-peripheral sharing. BytesShared/(Stored+Shared)
+	// is the store's delta ratio.
+	BytesStored uint64
+	BytesShared uint64
+	// BytesMaterialized is the cumulative bytes handed out by Get.
+	BytesMaterialized uint64
 }
 
 // Store holds snapshots. The zero value is not usable; call NewStore.
+// Safe for concurrent use.
 type Store struct {
-	next  ID
-	snaps map[ID]*Record
-
-	// Stats
-	Puts     uint64
-	Gets     uint64
-	Releases uint64
-	PeakLive int
+	mu      sync.Mutex
+	next    ID
+	ids     map[ID]Digest
+	entries map[Digest]*entry
+	pool    map[Digest]*poolEntry
+	stats   Stats
 }
 
 // NewStore returns an empty store.
 func NewStore() *Store {
-	return &Store{snaps: make(map[ID]*Record)}
+	return &Store{
+		ids:     make(map[ID]Digest),
+		entries: make(map[Digest]*entry),
+		pool:    make(map[Digest]*poolEntry),
+	}
 }
 
-// Put stores a snapshot copy and returns its new ID.
+// Put stores a snapshot and returns a new ID referencing it. If an
+// identical record is already stored, the new ID shares it (refcount
+// increment, no copy). The caller keeps ownership of rec; the store
+// never aliases caller memory.
 func (s *Store) Put(rec Record) ID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d := DigestRecord(&rec)
+	s.attach(d, &rec)
 	s.next++
-	s.snaps[s.next] = rec.clone()
-	s.Puts++
-	if len(s.snaps) > s.PeakLive {
-		s.PeakLive = len(s.snaps)
+	s.ids[s.next] = d
+	s.stats.Puts++
+	if len(s.ids) > s.stats.PeakLive {
+		s.stats.PeakLive = len(s.ids)
 	}
 	return s.next
 }
 
-// Update overwrites an existing snapshot in place (UpdateState of
+// Update re-points an existing ID at new content (UpdateState of
 // Algorithm 1: the new snapshot overrides the one associated with the
-// previous state).
+// previous state). Updating the zero ID is an explicit error: 0 is
+// the engine's "no snapshot" sentinel and never names stored content.
 func (s *Store) Update(id ID, rec Record) error {
-	if _, ok := s.snaps[id]; !ok {
+	if id == 0 {
+		return fmt.Errorf("snapshot: update of the zero (no-snapshot) id")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	old, ok := s.ids[id]
+	if !ok {
 		return fmt.Errorf("snapshot: update of unknown id %d", id)
 	}
-	s.snaps[id] = rec.clone()
-	s.Puts++
+	d := DigestRecord(&rec)
+	if d == old {
+		// Content unchanged: the whole update is a no-op.
+		s.stats.DedupHits++
+		s.stats.BytesShared += s.entries[old].bytes
+		return nil
+	}
+	s.attach(d, &rec)
+	s.detach(old)
+	s.ids[id] = d
+	s.stats.Puts++
 	return nil
 }
 
-// Get retrieves a snapshot copy.
+// UpdateToDigest re-points an existing ID at already-stored content,
+// without supplying the state bytes: the caller proved (via a
+// mutation generation) that the content at d is what the ID should
+// hold. Returns false — caller must fall back to Update with real
+// content — when id or d is unknown.
+func (s *Store) UpdateToDigest(id ID, d Digest) bool {
+	if id == 0 {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	old, ok := s.ids[id]
+	if !ok {
+		return false
+	}
+	ent, ok := s.entries[d]
+	if !ok {
+		return false
+	}
+	s.stats.DedupHits++
+	s.stats.BytesShared += ent.bytes
+	if old == d {
+		return true
+	}
+	ent.refs++
+	s.detach(old)
+	s.ids[id] = d
+	s.stats.Puts++
+	return true
+}
+
+// Get retrieves a snapshot. The returned record is the canonical
+// stored entry, shared by every ID with the same content: callers
+// MUST NOT mutate it. Get(0) is an explicit fast-path miss (0 is the
+// "no snapshot" sentinel).
 func (s *Store) Get(id ID) (*Record, bool) {
-	rec, ok := s.snaps[id]
+	if id == 0 {
+		return nil, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d, ok := s.ids[id]
 	if !ok {
 		return nil, false
 	}
-	s.Gets++
-	return rec.clone(), true
+	ent := s.entries[d]
+	s.stats.Gets++
+	s.stats.BytesMaterialized += ent.bytes
+	return ent.rec, true
 }
 
-// Release drops a snapshot (terminated state).
+// Release drops one ID (terminated state); the underlying record dies
+// when its last reference goes. Release(0) is an explicit no-op.
 func (s *Store) Release(id ID) {
-	if _, ok := s.snaps[id]; ok {
-		delete(s.snaps, id)
-		s.Releases++
+	if id == 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d, ok := s.ids[id]
+	if !ok {
+		return
+	}
+	delete(s.ids, id)
+	s.detach(d)
+	s.stats.Releases++
+}
+
+// Adopt returns a new ID referencing already-stored content, or false
+// if no record with that digest is live. This is the fork fast path:
+// a child state adopts the parent's snapshot for a refcount++.
+func (s *Store) Adopt(d Digest) (ID, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ent, ok := s.entries[d]
+	if !ok {
+		return 0, false
+	}
+	ent.refs++
+	s.next++
+	s.ids[s.next] = d
+	s.stats.Puts++
+	s.stats.DedupHits++
+	s.stats.BytesShared += ent.bytes
+	if len(s.ids) > s.stats.PeakLive {
+		s.stats.PeakLive = len(s.ids)
+	}
+	return s.next, true
+}
+
+// DigestOf returns the content address an ID currently points at.
+func (s *Store) DigestOf(id ID) (Digest, bool) {
+	if id == 0 {
+		return Digest{}, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d, ok := s.ids[id]
+	return d, ok
+}
+
+// RecordByDigest returns the live record with the given content
+// address, if any. The record is shared: callers MUST NOT mutate it.
+func (s *Store) RecordByDigest(d Digest) (*Record, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ent, ok := s.entries[d]
+	if !ok {
+		return nil, false
+	}
+	return ent.rec, true
+}
+
+// Live returns the number of live snapshot references.
+func (s *Store) Live() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.ids)
+}
+
+// Entries returns the number of distinct stored records (≤ Live when
+// dedup collapsed references).
+func (s *Store) Entries() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries)
+}
+
+// Stats returns a copy of the cumulative counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// attach resolves d to a live entry, creating one from rec (with
+// per-peripheral interning) if needed, and takes a reference. Caller
+// holds the lock.
+func (s *Store) attach(d Digest, rec *Record) {
+	if ent, ok := s.entries[d]; ok {
+		ent.refs++
+		s.stats.DedupHits++
+		s.stats.BytesShared += ent.bytes
+		return
+	}
+	names := make([]string, 0, len(rec.HW))
+	for name := range rec.HW {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	hw := make(target.State, len(names))
+	periphs := make([]Digest, 0, len(names))
+	var total uint64
+	for _, name := range names {
+		pd := digestHW(rec.HW[name])
+		pe, ok := s.pool[pd]
+		if ok {
+			pe.refs++
+			s.stats.PeriphShared++
+			s.stats.BytesShared += hwBytes(pe.hw)
+		} else {
+			pe = &poolEntry{hw: cloneHW(rec.HW[name]), refs: 1}
+			s.pool[pd] = pe
+			s.stats.PeriphStored++
+			s.stats.BytesStored += hwBytes(pe.hw)
+		}
+		hw[name] = pe.hw
+		periphs = append(periphs, pd)
+		total += hwBytes(pe.hw)
+	}
+	s.entries[d] = &entry{
+		rec:     &Record{HW: hw, IRQEdges: append([]bool(nil), rec.IRQEdges...)},
+		digest:  d,
+		periphs: periphs,
+		refs:    1,
+		bytes:   total,
 	}
 }
 
-// Live returns the number of stored snapshots.
-func (s *Store) Live() int { return len(s.snaps) }
+// detach drops one reference from the entry at d, freeing it and its
+// pooled peripheral states when the last reference goes. Caller holds
+// the lock.
+func (s *Store) detach(d Digest) {
+	ent, ok := s.entries[d]
+	if !ok {
+		return
+	}
+	ent.refs--
+	if ent.refs > 0 {
+		return
+	}
+	delete(s.entries, d)
+	for _, pd := range ent.periphs {
+		if pe, ok := s.pool[pd]; ok {
+			pe.refs--
+			if pe.refs <= 0 {
+				delete(s.pool, pd)
+			}
+		}
+	}
+}
+
+func cloneHW(hw *sim.HWState) *sim.HWState {
+	c := &sim.HWState{
+		Regs:   make(map[string]uint64, len(hw.Regs)),
+		Mems:   make(map[string][]uint64, len(hw.Mems)),
+		Inputs: make(map[string]uint64, len(hw.Inputs)),
+	}
+	for k, v := range hw.Regs {
+		c.Regs[k] = v
+	}
+	for k, v := range hw.Mems {
+		c.Mems[k] = append([]uint64(nil), v...)
+	}
+	for k, v := range hw.Inputs {
+		c.Inputs[k] = v
+	}
+	return c
+}
 
 // Serialized record framing: magic(4) version(1) length(4) crc32(4)
 // payload. Persisted snapshots feed restores, so truncation and

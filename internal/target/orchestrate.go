@@ -123,5 +123,8 @@ func (t *Target) failover(op string, cause error) error {
 	// The replayed journal still describes the state since lastGood.
 	t.journal = journal
 	t.stats.Failovers++
+	// The adopted backend's simulators carry fresh dirty tracking;
+	// re-anchor so generations and delta restores stay sound.
+	t.reanchor(true)
 	return nil
 }

@@ -68,6 +68,13 @@ type Stats struct {
 	Restores  uint64
 	// SnapshotTime is the virtual time spent saving and restoring.
 	SnapshotTime time.Duration
+	// SnapshotBytes counts the state bytes actually moved over the
+	// link by saves and restores (delta restores move only dirty
+	// bytes, so this is the honest traffic number).
+	SnapshotBytes uint64
+	// DeltaRestores counts restores served by the incremental
+	// dirty-only path instead of a full state load.
+	DeltaRestores uint64
 	// Retries counts transient link faults absorbed by retry.
 	Retries uint64
 	// FaultsInjected counts faults the schedule fired.
@@ -140,6 +147,9 @@ type periphInst struct {
 	// FPGA only).
 	layout  []scanchain.BitRef
 	asserts []*compiledAssert
+	// genBase is the simulator mutation generation last folded into
+	// the target generation (see Target.Generation).
+	genBase uint64
 }
 
 // Target hosts a set of peripherals on one execution vehicle.
@@ -156,6 +166,17 @@ type Target struct {
 	stats      Stats
 	violations []Violation
 	asserts    []HWAssertion
+
+	// gen is the target-level mutation generation: it advances iff
+	// some hosted peripheral's state changed value. Equal generations
+	// prove the hardware is bit-identical, which lets the snapshot
+	// manager skip save/restore traffic entirely.
+	gen uint64
+	// anchorSeq counts re-anchorings of dirty tracking (every Save,
+	// Restore, Reset, delta restore or failover). A delta restore is
+	// only sound against the record captured at the current anchor;
+	// callers compare this sequence to detect a stale anchor.
+	anchorSeq uint64
 
 	// Robustness state.
 	faults      *injector
@@ -300,6 +321,43 @@ func (t *Target) StateBits() uint {
 		n += inst.design.StateBits()
 	}
 	return n
+}
+
+// Generation returns the target-level mutation generation. It folds
+// any pending per-peripheral simulator mutations in lazily: the
+// counter advances exactly when some register, memory element or
+// input pin changed value since the previous call. Two equal return
+// values therefore prove the hardware state is unchanged.
+func (t *Target) Generation() uint64 {
+	for _, inst := range t.order {
+		if g := inst.sim.Gen(); g != inst.genBase {
+			inst.genBase = g
+			t.gen++
+		}
+	}
+	return t.gen
+}
+
+// AnchorSeq identifies the current dirty-tracking anchor (the state
+// at the last Save/Restore/Reset). Delta restores are only valid
+// against the snapshot captured at the same sequence number.
+func (t *Target) AnchorSeq() uint64 { return t.anchorSeq }
+
+// reanchor resets dirty tracking so the current hardware state
+// becomes the delta-restore reference. mutated=false is the
+// post-Save case: a scan-chain save transiently rotates bits through
+// the fabric (net-identity on state), so the simulator generations
+// move but the target generation must not — the saved state IS the
+// live state.
+func (t *Target) reanchor(mutated bool) {
+	if mutated {
+		t.gen++
+	}
+	for _, inst := range t.order {
+		inst.genBase = inst.sim.Gen()
+		inst.sim.ClearDirty()
+	}
+	t.anchorSeq++
 }
 
 // InjectFaults arms a deterministic fault schedule on the target's
@@ -472,6 +530,10 @@ func (t *Target) Advance(n uint64) error {
 // becomes the failover anchor (last consistent state) and the op
 // journal restarts from it.
 func (t *Target) Save() (State, error) {
+	// Fold pending mutations into the generation before the backend
+	// runs, so they are not conflated with the scan rotation's
+	// transient (net-identity) bit movement absorbed by reanchor.
+	t.Generation()
 	var st State
 	err := t.linkOp("save", nil, func() error {
 		var err error
@@ -484,6 +546,7 @@ func (t *Target) Save() (State, error) {
 	t.lastGood = st.Clone()
 	t.journal = nil
 	t.journalFull = false
+	t.reanchor(false)
 	return st, nil
 }
 
@@ -502,7 +565,37 @@ func (t *Target) Restore(s State) error {
 	t.lastGood = s.Clone()
 	t.journal = nil
 	t.journalFull = false
+	t.reanchor(true)
 	return nil
+}
+
+// RestoreDelta loads a previously saved state by writing back only
+// the state elements dirtied since the last anchor (Save, Restore or
+// Reset), charging the incremental-restore cost instead of the full
+// freeze+copy. It returns (false, nil) — caller must fall back to
+// Restore — when the target has no physical delta path: scan-chain
+// and readback FPGAs always move the whole fabric, and a target with
+// an armed fault injector or standby must go through the journaled
+// full path so failover replay stays exact.
+//
+// Correctness precondition (checked by the snapshot manager, not
+// here): s must be the state captured at the current AnchorSeq —
+// every clean element already holds its value from s.
+func (t *Target) RestoreDelta(s State) (bool, error) {
+	if t.kind != KindSimulator || t.scan || t.faults != nil || t.standby != nil {
+		return false, nil
+	}
+	if err := t.validateState(s); err != nil {
+		return true, err
+	}
+	if err := t.linkOp("restore-delta", nil, func() error { return t.applyDelta(s) }); err != nil {
+		return true, err
+	}
+	t.lastGood = s.Clone()
+	t.journal = nil
+	t.journalFull = false
+	t.reanchor(true)
+	return true, nil
 }
 
 // Reset performs a warm reset: every peripheral returns to its
@@ -515,6 +608,7 @@ func (t *Target) Reset() error {
 	t.lastGood = t.powerOn.Clone()
 	t.journal = nil
 	t.journalFull = false
+	t.reanchor(true)
 	return nil
 }
 
@@ -639,6 +733,7 @@ func (t *Target) saveBackend() (State, error) {
 		st = t.snapshotRaw()
 	}
 	t.stats.Snapshots++
+	t.stats.SnapshotBytes += uint64(t.StateBits()+7) / 8
 	t.stats.SnapshotTime += t.clock.Now() - before
 	return st, nil
 }
@@ -700,6 +795,32 @@ func (t *Target) applyState(s State) error {
 		}
 	}
 	t.stats.Restores++
+	t.stats.SnapshotBytes += uint64(t.StateBits()+7) / 8
+	t.stats.SnapshotTime += t.clock.Now() - before
+	return nil
+}
+
+// applyDelta writes back only the dirty state elements from s,
+// charging the incremental cost. Callers must have validated s and
+// guaranteed the anchor precondition (see RestoreDelta).
+func (t *Target) applyDelta(s State) error {
+	before := t.clock.Now()
+	var bits uint
+	for _, inst := range t.order {
+		hw := s[inst.cfg.Name]
+		if hw == nil {
+			hw = &sim.HWState{}
+		}
+		n, err := inst.sim.RestoreDirty(hw)
+		if err != nil {
+			return integrityf("restore-delta "+inst.cfg.Name, "%v", err)
+		}
+		bits += n
+	}
+	t.clock.Advance(t.costs.DeltaCost(bits))
+	t.stats.Restores++
+	t.stats.DeltaRestores++
+	t.stats.SnapshotBytes += uint64(bits+7) / 8
 	t.stats.SnapshotTime += t.clock.Now() - before
 	return nil
 }

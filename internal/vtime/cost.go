@@ -22,6 +22,13 @@ const (
 	SimSnapshotFixed  = 20 * time.Millisecond // CRIU freeze+dump fixed cost
 	SimSnapshotPerBit = 2 * time.Nanosecond   // memory copy
 
+	// SimDeltaFixed is the fixed cost of an incremental restore on the
+	// simulator target: with the process kept resident, writing back
+	// only the dirty pages of the tracked state needs no CRIU
+	// freeze+dump, just a soft-dirty walk and copy (hundreds of µs,
+	// CRIU pre-dump/incremental scale).
+	SimDeltaFixed = 200 * time.Microsecond
+
 	FPGACycle          = 10 * time.Nanosecond
 	FPGAIORoundTrip    = 30 * time.Microsecond
 	FPGAScanClock      = 20 * time.Nanosecond // 50 MHz scan clock
@@ -66,6 +73,7 @@ func SimCosts() Costs {
 		IORoundTrip:    SimIORoundTrip,
 		SnapshotFixed:  SimSnapshotFixed,
 		SnapshotPerBit: SimSnapshotPerBit,
+		DeltaFixed:     SimDeltaFixed,
 	}
 }
 

@@ -46,6 +46,18 @@ type Costs struct {
 	SnapshotFixed time.Duration
 	// SnapshotPerBit is charged per state bit saved or restored.
 	SnapshotPerBit time.Duration
+	// DeltaFixed is the fixed part of an incremental (dirty-only)
+	// restore, when the target supports one. It replaces
+	// SnapshotFixed on that path: no full freeze/dump is needed when
+	// only the pages touched since the last anchor are written back.
+	// Zero means the target has no delta path.
+	DeltaFixed time.Duration
+}
+
+// DeltaCost returns the cost of an incremental restore writing back
+// `bits` dirty state bits.
+func (c Costs) DeltaCost(bits uint) time.Duration {
+	return c.DeltaFixed + time.Duration(bits)*c.SnapshotPerBit
 }
 
 // SnapshotCost returns the cost of saving or restoring `bits` state
