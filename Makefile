@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race bench-smoke bench-json
+.PHONY: check fmt vet build test race bench-smoke bench-json bench-scale
 
 # Full gate: formatting, static checks, build, tests, race detector on
 # the concurrency-sensitive packages.
@@ -22,7 +22,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/remote ./internal/target ./internal/core ./internal/snapshot
+	$(GO) test -race ./internal/remote ./internal/target ./internal/core ./internal/snapshot ./internal/solver ./internal/expr ./internal/symexec
 
 # bench-smoke runs every Benchmark* exactly once so benchmarks cannot
 # silently rot without anyone noticing.
@@ -33,3 +33,10 @@ bench-smoke:
 # recording BENCH_*.json trajectories across revisions.
 bench-json:
 	$(GO) run ./cmd/hsbench -json
+
+# bench-scale exercises the parallel exploration engine under the race
+# detector at 1 and 4 workers (E11 checks that both worker counts find
+# identical path counts and bug sets).
+bench-scale:
+	$(GO) run -race ./cmd/hsbench -workers 1 e11
+	$(GO) run -race ./cmd/hsbench -workers 4 e11

@@ -35,11 +35,12 @@ func main() {
 	readback := flag.Bool("readback", false, "use FPGA readback snapshots instead of the scan chain")
 	policy := flag.String("concretize", "one", "boundary concretization policy: one | all")
 	maxInstr := flag.Uint64("max-instructions", 2_000_000, "total instruction budget")
+	workers := flag.Int("workers", 1, "parallel exploration workers (0 = one per CPU)")
 	verbose := flag.Bool("v", false, "print per-path detail")
 	reportDir := flag.String("report", "", "write per-bug crash reports (test vector, model, hardware snapshot) to this directory")
 	flag.Parse()
 
-	code, err := run(periphs, asserts, *mode, *search, *fpga, *readback, *policy, *maxInstr, *verbose, *reportDir, flag.Args())
+	code, err := run(periphs, asserts, *mode, *search, *fpga, *readback, *policy, *maxInstr, *workers, *verbose, *reportDir, flag.Args())
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hardsnap:", err)
 		os.Exit(1)
@@ -104,7 +105,7 @@ func (a *assertFlag) Set(s string) error {
 }
 
 func run(periphs []target.PeriphConfig, asserts []target.HWAssertion, modeName, searchName string, fpga, readback bool,
-	policyName string, maxInstr uint64, verbose bool, reportDir string, args []string) (int, error) {
+	policyName string, maxInstr uint64, workers int, verbose bool, reportDir string, args []string) (int, error) {
 	if len(args) != 1 {
 		return 0, fmt.Errorf("usage: hardsnap [flags] firmware.s")
 	}
@@ -126,6 +127,12 @@ func run(periphs []target.PeriphConfig, asserts []target.HWAssertion, modeName, 
 	} else if policyName != "one" {
 		return 0, fmt.Errorf("unknown policy %q", policyName)
 	}
+	if workers < 0 {
+		return 0, fmt.Errorf("-workers must be >= 0, got %d", workers)
+	}
+	if workers == 0 {
+		workers = core.AutoWorkers()
+	}
 
 	analysis, err := core.Setup(core.SetupConfig{
 		Firmware:     string(src),
@@ -138,6 +145,7 @@ func run(periphs []target.PeriphConfig, asserts []target.HWAssertion, modeName, 
 			Mode:             mode,
 			Searcher:         searcher,
 			MaxInstructions:  maxInstr,
+			Workers:          workers,
 			KeepBugSnapshots: reportDir != "",
 		},
 	})
@@ -159,6 +167,17 @@ func run(periphs []target.PeriphConfig, asserts []target.HWAssertion, modeName, 
 	fmt.Printf("\npaths: %d  instructions: %d  context switches: %d  virtual time: %v\n",
 		len(rep.Finished), rep.Stats.Instructions, rep.Stats.ContextSwitches,
 		rep.VirtualTime.Round(time.Microsecond))
+	if len(rep.Workers) > 0 {
+		fmt.Printf("parallel: %d workers, seed phase %v, solver cache %.0f%% hit (%d/%d)\n",
+			len(rep.Workers), rep.SeedVirtualTime.Round(time.Microsecond),
+			100*rep.SolverCache.HitRate(), rep.SolverCache.Hits,
+			rep.SolverCache.Hits+rep.SolverCache.Misses)
+		for _, w := range rep.Workers {
+			fmt.Printf("  worker %d: %d subtree(s), %d path(s), %v, %d save(s), %d restore(s), %d B moved\n",
+				w.Worker, w.Subtrees, w.Paths, w.VirtualTime.Round(time.Microsecond),
+				w.HWSaves, w.HWRestores, w.BytesMoved)
+		}
+	}
 	if verbose {
 		for _, st := range rep.Finished {
 			fmt.Printf("  path %-4d %-14v pc=%#x steps=%d", st.ID, st.Status, st.PC, st.Steps)

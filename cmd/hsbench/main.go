@@ -1,5 +1,6 @@
 // Command hsbench regenerates the paper's evaluation tables and
-// figures (experiments E1-E8; see DESIGN.md for the experiment index).
+// figures (experiments E1-E11; see DESIGN.md for the experiment
+// index).
 //
 // Usage:
 //
@@ -22,14 +23,17 @@ func main() {
 	list := flag.Bool("list", false, "list experiments and exit")
 	jsonOut := flag.Bool("json", false,
 		"emit machine-readable metrics as a JSON array of {experiment, metric, value, unit}")
+	workers := flag.Int("workers", 0,
+		"cap the worker counts swept by the scaling experiment (E11); 0 keeps the default sweep")
 	flag.Parse()
-	if err := run(*list, *jsonOut, flag.Args()); err != nil {
+	if err := run(*list, *jsonOut, *workers, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "hsbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(list, jsonOut bool, args []string) error {
+func run(list, jsonOut bool, workers int, args []string) error {
+	bench.SetMaxWorkers(workers)
 	if list {
 		for _, e := range bench.All() {
 			fmt.Printf("%-4s %s\n", e.ID, e.Title)

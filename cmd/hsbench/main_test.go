@@ -3,26 +3,34 @@ package main
 import "testing"
 
 func TestRunList(t *testing.T) {
-	if err := run(true, false, nil); err != nil {
+	if err := run(true, false, 0, nil); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunSelected(t *testing.T) {
 	// E5 is the fastest experiment.
-	if err := run(false, false, []string{"e5"}); err != nil {
+	if err := run(false, false, 0, []string{"e5"}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunJSON(t *testing.T) {
-	if err := run(false, true, []string{"e5"}); err != nil {
+	if err := run(false, true, 0, []string{"e5"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunScaling(t *testing.T) {
+	// The scaling experiment capped at 2 workers, JSON mode: must emit
+	// worker and solver-cache metrics.
+	if err := run(false, true, 2, []string{"e11"}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunUnknown(t *testing.T) {
-	if err := run(false, false, []string{"e99"}); err == nil {
+	if err := run(false, false, 0, []string{"e99"}); err == nil {
 		t.Fatal("unknown experiment must fail")
 	}
 }

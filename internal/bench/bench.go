@@ -110,6 +110,7 @@ func All() []Experiment {
 		{"E8", "fuzzing throughput: snapshot reset vs reboot", E8},
 		{"E9", "ablation: state-selection heuristic vs context switches", E9},
 		{"E10", "fast-forwarding: native init vs fully symbolic", E10},
+		{"E11", "parallel exploration scaling: workers vs paths/sec and cache hit rate", E11},
 	}
 }
 

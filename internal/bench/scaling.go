@@ -1,0 +1,212 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"hardsnap/internal/core"
+	"hardsnap/internal/symexec"
+	"hardsnap/internal/target"
+)
+
+// maxWorkers caps the E11 worker sweep; cmd/hsbench lowers it via
+// SetMaxWorkers (-workers flag) so the experiment stays honest on
+// small machines and under -race.
+var maxWorkers = 8
+
+// SetMaxWorkers caps the worker counts the scaling experiment sweeps
+// (values <= 0 leave the default).
+func SetMaxWorkers(n int) {
+	if n > 0 {
+		maxWorkers = n
+	}
+}
+
+// scalingWorkload builds the E4-style exploration workload rebalanced
+// for parallel scaling: a short init prefix (the unavoidable serial
+// seed phase), k symbolic branches (2^k paths), then a per-path MMIO
+// work loop of the given weight, so the bulk of the exploration lives
+// in the subtrees the workers divide.
+func scalingWorkload(k, work int) string {
+	src := fmt.Sprintf(`
+_start:
+		addi r10, r0, 20
+init:
+		addi r10, r10, -1
+		bne r10, r0, init
+		li r8, 0x40000000
+		li r9, 0xAB
+		sw r9, 0(r8)       ; program the peripheral once
+		li r1, 0x100
+		addi r2, r0, %d
+		addi r3, r0, 1
+		ecall 1
+		addi r7, r0, 0
+`, k)
+	for i := 0; i < k; i++ {
+		src += fmt.Sprintf(`
+		lbu r4, %d(r1)
+		andi r4, r4, 1
+		beq r4, r0, skip%d
+		addi r7, r7, 1
+skip%d:
+`, i, i, i)
+	}
+	src += fmt.Sprintf(`
+		addi r10, r0, %d
+work:
+		sw r7, 0(r8)       ; per-path hardware interaction
+		lw r6, 0(r8)
+		addi r10, r10, -1
+		bne r10, r0, work
+		halt
+`, work)
+	return src
+}
+
+// crcScalingWorkload is the E8-style counterpart: symbolic input
+// bytes branch the tree, then every path streams its input through
+// the CRC engine repeatedly — I/O-bound per-path work on a stateful
+// peripheral.
+func crcScalingWorkload(k, rounds int) string {
+	src := fmt.Sprintf(`
+_start:
+		li r8, 0x40000000
+		addi r4, r0, 1
+		sw r4, 8(r8)       ; enable the CRC engine
+		li r1, 0x100
+		addi r2, r0, %d
+		addi r3, r0, 1
+		ecall 1
+		addi r7, r0, 0
+`, k)
+	for i := 0; i < k; i++ {
+		src += fmt.Sprintf(`
+		lbu r4, %d(r1)
+		andi r4, r4, 1
+		beq r4, r0, cskip%d
+		addi r7, r7, 1
+cskip%d:
+`, i, i, i)
+	}
+	src += fmt.Sprintf(`
+		addi r10, r0, %d
+feed:
+		lbu r4, 0(r1)
+		sw r4, 0(r8)       ; stream a byte into the CRC
+		addi r10, r10, -1
+		bne r10, r0, feed
+		lw r6, 4(r8)       ; read the digest (not branched on)
+		halt
+`, rounds)
+	return src
+}
+
+// e11Run runs one workload at one worker count.
+func e11Run(fw string, pc target.PeriphConfig, workers int) (*core.Report, error) {
+	a, err := core.Setup(core.SetupConfig{
+		Firmware:    fw,
+		Peripherals: []target.PeriphConfig{pc},
+		FPGA:        true,
+		Engine: core.Config{
+			Mode: core.ModeHardSnap,
+			// Seeded random keeps the frontier wide, so the seed phase
+			// reaches the fan-out width even at 8 workers (BFS would
+			// drain the tree serially first on these tree shapes).
+			Searcher:        symexec.NewRandom(1),
+			MaxInstructions: 5_000_000,
+			Workers:         workers,
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return a.Engine.Run()
+}
+
+func perWorkerBytes(rep *core.Report) string {
+	if len(rep.Workers) == 0 {
+		return "-"
+	}
+	cells := make([]string, len(rep.Workers))
+	for i, w := range rep.Workers {
+		cells[i] = fmt.Sprintf("%d", w.BytesMoved)
+	}
+	return strings.Join(cells, "/")
+}
+
+// E11 regenerates the parallel-exploration scaling study: paths per
+// virtual second and solver-cache hit rate as the worker count grows,
+// on an E4-style exploration workload and an E8-style CRC workload.
+// (The issue tracker filed this as E10; E10 was already taken by the
+// fast-forwarding study, so the scaling study is E11.)
+func E11() (*Table, error) {
+	t := &Table{
+		ID:    "E11",
+		Title: "parallel exploration scaling: sharded workers, shared snapshot store and solver cache",
+		Columns: []string{"workload", "workers", "paths", "virtual time", "paths/vsec",
+			"speedup", "cache hit", "per-worker snap bytes"},
+		Notes: []string{
+			"virtual time of a parallel run = serial seed phase + makespan of the deterministic subtree schedule",
+			"path counts and bug sets are checked identical at every worker count (determinism contract)",
+			"per-worker snapshot traffic comes from the virtual schedule, so it is reproducible run to run",
+			"super-linear points are real: splitting the tree also shrinks each worker's active set, so random scheduling thrashes between far fewer states and pays far less context-switch snapshot traffic than one wide serial frontier",
+		},
+	}
+	workloads := []struct {
+		name string
+		fw   string
+		pc   target.PeriphConfig
+	}{
+		{"explore(E4-style)", scalingWorkload(6, 40), target.PeriphConfig{Name: "g", Periph: "gpio"}},
+		{"crc(E8-style)", crcScalingWorkload(6, 30), target.PeriphConfig{Name: "crc0", Periph: "crc32"}},
+	}
+	sweep := []int{1, 2, 4, 8}
+	for _, wl := range workloads {
+		var base *core.Report
+		for _, w := range sweep {
+			if w > maxWorkers && w != 1 {
+				continue
+			}
+			rep, err := e11Run(wl.fw, wl.pc, w)
+			if err != nil {
+				return nil, fmt.Errorf("E11 %s workers=%d: %w", wl.name, w, err)
+			}
+			if w == 1 {
+				base = rep
+			} else {
+				if len(rep.Finished) != len(base.Finished) {
+					return nil, fmt.Errorf("E11 %s: %d workers found %d paths, 1 worker found %d",
+						wl.name, w, len(rep.Finished), len(base.Finished))
+				}
+				if len(rep.Bugs()) != len(base.Bugs()) {
+					return nil, fmt.Errorf("E11 %s: bug sets differ across worker counts", wl.name)
+				}
+			}
+			pathsPerSec := float64(len(rep.Finished)) / rep.VirtualTime.Seconds()
+			speedup := float64(base.VirtualTime) / float64(rep.VirtualTime)
+			hit := rep.SolverCache.HitRate()
+			t.AddRow(wl.name, fmt.Sprintf("%d", w), fmt.Sprintf("%d", len(rep.Finished)),
+				dur(rep.VirtualTime), fmt.Sprintf("%.0f", pathsPerSec),
+				fmt.Sprintf("%.2fx", speedup), fmt.Sprintf("%.0f%%", 100*hit),
+				perWorkerBytes(rep))
+			p := fmt.Sprintf("%s.workers%d.", wl.pc.Periph, w)
+			t.AddMetric(p+"virt_time", float64(rep.VirtualTime.Nanoseconds()), "ns")
+			t.AddMetric(p+"paths_per_vsec", pathsPerSec, "paths/s")
+			t.AddMetric(p+"speedup", speedup, "x")
+			t.AddMetric(p+"solver_cache_hit_rate", hit, "ratio")
+			t.AddMetric(p+"solver_cache_hits", float64(rep.SolverCache.Hits), "ops")
+			t.AddMetric(p+"solver_cache_misses", float64(rep.SolverCache.Misses), "ops")
+			t.AddMetric(p+"seed_vt", float64(rep.SeedVirtualTime.Nanoseconds()), "ns")
+			for _, wr := range rep.Workers {
+				wp := fmt.Sprintf("%sworker%d.", p, wr.Worker)
+				t.AddMetric(wp+"subtrees", float64(wr.Subtrees), "subtrees")
+				t.AddMetric(wp+"paths", float64(wr.Paths), "paths")
+				t.AddMetric(wp+"snapshot_bytes", float64(wr.BytesMoved), "bytes")
+				t.AddMetric(wp+"hw_saves", float64(wr.HWSaves), "ops")
+				t.AddMetric(wp+"hw_restores", float64(wr.HWRestores), "ops")
+			}
+		}
+	}
+	return t, nil
+}

@@ -26,10 +26,12 @@ package core
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"time"
 
 	"hardsnap/internal/bus"
 	"hardsnap/internal/snapshot"
+	"hardsnap/internal/solver"
 	"hardsnap/internal/symexec"
 	"hardsnap/internal/target"
 	"hardsnap/internal/vtime"
@@ -89,7 +91,22 @@ type Config struct {
 	// that terminated in a bug (abort / assertion failure), for crash
 	// reports and offline root-cause analysis.
 	KeepBugSnapshots bool
+	// Workers sets the exploration worker count. 1 (or 0) runs the
+	// classic serial loop; > 1 fans subtrees out to that many workers,
+	// each owning a spawned target clone and snapshot manager over the
+	// shared store (see parallel.go for the determinism contract).
+	// Use AutoWorkers() for a GOMAXPROCS-sized pool.
+	Workers int
+	// SolverCacheSize bounds the shared memoized solver cache in
+	// entries (0 = solver.DefaultCacheCapacity). The cache is always
+	// on: verdicts are deterministic, so memoization never changes
+	// results, only skips repeated identical queries.
+	SolverCacheSize int
 }
+
+// AutoWorkers returns the worker count a "use all CPUs" configuration
+// should ask for (GOMAXPROCS).
+func AutoWorkers() int { return runtime.GOMAXPROCS(0) }
 
 func (c *Config) setDefaults() {
 	if c.Mode == 0 {
@@ -106,6 +123,9 @@ func (c *Config) setDefaults() {
 	}
 	if c.CyclesPerInstruction == 0 {
 		c.CyclesPerInstruction = 1
+	}
+	if c.Workers <= 0 {
+		c.Workers = 1
 	}
 }
 
@@ -147,15 +167,50 @@ type SnapshotTraffic struct {
 	SnapshotTime time.Duration
 }
 
+// WorkerReport breaks one parallel worker's share of the run out of
+// the merged totals. The assignment of subtrees to workers is the
+// deterministic greedy schedule computed at merge time (see
+// parallel.go), not the racy physical claim order, so the same run
+// always produces the same per-worker rows.
+type WorkerReport struct {
+	// Worker is the worker index in [0, Config.Workers).
+	Worker int
+	// Subtrees is how many fan-out seeds this worker was assigned.
+	Subtrees int
+	// Paths counts the finished states produced by those subtrees.
+	Paths int
+	// VirtualTime is the worker's total subtree virtual time.
+	VirtualTime time.Duration
+	// Snapshot traffic that this worker's private target moved.
+	HWSaves       uint64
+	HWRestores    uint64
+	DeltaRestores uint64
+	BytesMoved    uint64
+	SnapshotTime  time.Duration
+}
+
 // Report is the outcome of a Run.
 type Report struct {
 	Finished []*symexec.State
 	Stats    Stats
-	// VirtualTime is the total virtual time consumed.
+	// VirtualTime is the total virtual time consumed. For parallel
+	// runs this is the seed-phase time plus the makespan of the
+	// deterministic worker schedule: the time an N-worker platform
+	// rack would have taken, not the sum over workers.
 	VirtualTime time.Duration
+	// SeedVirtualTime is the serial seed-phase prefix of VirtualTime
+	// (zero for serial runs).
+	SeedVirtualTime time.Duration
 	// Snapshots is the snapshot-traffic breakdown (zero without
-	// hardware attached).
+	// hardware attached). For parallel runs, hardware counters sum
+	// over the primary and every worker target, and Store reflects
+	// the shared store.
 	Snapshots SnapshotTraffic
+	// Workers is the per-worker breakdown (nil for serial runs).
+	Workers []WorkerReport
+	// SolverCache reports the memoized solver service: hits are
+	// queries some earlier identical path condition already paid for.
+	SolverCache solver.CacheStats
 }
 
 // Bugs returns the states that ended in an assertion failure or
@@ -226,22 +281,40 @@ type ioRecord struct {
 // software-only firmware; otherwise both must be set and the router's
 // ports must come from tgt.
 func New(cfg Config, exec *symexec.Executor, tgt *target.Target, router *bus.Router) (*Engine, error) {
+	return newEngine(cfg, exec, tgt, router, nil, nil)
+}
+
+// newEngine is New plus injection points for the parallel layer: a
+// shared snapshot store (cross-worker structural sharing) and a
+// pre-built snapshot manager (reused across one worker's subtrees so
+// generation-proven skips survive subtree boundaries).
+func newEngine(cfg Config, exec *symexec.Executor, tgt *target.Target, router *bus.Router,
+	snaps *snapshot.Store, snapman *SnapshotManager) (*Engine, error) {
 	cfg.setDefaults()
 	if (tgt == nil) != (router == nil) {
 		return nil, errors.New("core: target and router must be provided together")
+	}
+	if snaps == nil {
+		snaps = snapshot.NewStore()
 	}
 	e := &Engine{
 		cfg:    cfg,
 		exec:   exec,
 		tgt:    tgt,
 		router: router,
-		snaps:  snapshot.NewStore(),
+		snaps:  snaps,
 	}
 	if tgt != nil {
 		e.clock = tgt.Clock()
-		e.snapman = NewSnapshotManager(e.snaps, tgt, router)
+		if snapman == nil {
+			snapman = NewSnapshotManager(e.snaps, tgt, router)
+		}
+		e.snapman = snapman
 	} else {
 		e.clock = &vtime.Clock{}
+	}
+	if exec.Solver.Cache == nil {
+		exec.Solver.Cache = solver.NewCache(cfg.SolverCacheSize)
 	}
 	exec.SetMMIO(e)
 	return e, nil
@@ -477,100 +550,147 @@ func (e *Engine) finish(st *symexec.State) {
 	}
 }
 
-// Run executes the main loop of Algorithm 1 until the active set
-// drains or the instruction budget is exhausted.
+// Run executes Algorithm 1 until the active set drains or the
+// instruction budget is exhausted. With Config.Workers > 1 the run
+// fans out to the parallel engine after a serial seed phase (see
+// parallel.go).
 func (e *Engine) Run() (*Report, error) {
+	if e.cfg.Workers > 1 {
+		return e.runParallel()
+	}
 	start := e.clock.Now()
+	e.initActive()
+	if err := e.loop(nil); err != nil {
+		return nil, err
+	}
+	return e.finalize(start), nil
+}
+
+// initActive seeds the active set with the entry (or injected) state.
+func (e *Engine) initActive() {
 	init := e.initial
 	if init == nil {
 		init = e.exec.InitialState()
 	}
 	e.active = []*symexec.State{init}
+}
 
+// seedIOLog installs a recorded interaction log for a state (the
+// parallel layer transplants seed logs into worker engines for
+// record-replay mode).
+func (e *Engine) seedIOLog(id uint64, log []ioRecord) {
+	if e.ioLogs == nil {
+		e.ioLogs = make(map[uint64][]ioRecord)
+	}
+	e.ioLogs[id] = append([]ioRecord(nil), log...)
+}
+
+// loop runs scheduling iterations until the active set drains, the
+// instruction budget is exhausted, or stop returns true (checked
+// between iterations; nil means run to completion). The parallel seed
+// phase uses stop to pause at the fan-out width.
+func (e *Engine) loop(stop func() bool) error {
 	for len(e.active) > 0 && e.stats.Instructions < e.cfg.MaxInstructions {
-		st := e.selectNext()
-		if err := e.contextSwitch(st); err != nil {
-			return nil, err
+		if stop != nil && stop() {
+			return nil
 		}
-		e.previous = st
+		if err := e.step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
 
-		if err := e.exec.ServePendingInterrupt(st); err != nil {
-			st.Status = symexec.StatusFault
-			st.Err = err
-			e.finish(st)
+// step is one iteration of Algorithm 1's main loop: select, context
+// switch, execute one instruction, account forks, run peripherals,
+// deliver interrupts, check hardware properties.
+func (e *Engine) step() error {
+	st := e.selectNext()
+	if err := e.contextSwitch(st); err != nil {
+		return err
+	}
+	e.previous = st
+
+	if err := e.exec.ServePendingInterrupt(st); err != nil {
+		st.Status = symexec.StatusFault
+		st.Err = err
+		e.finish(st)
+		return nil
+	}
+
+	forks, err := e.exec.Step(st)
+	if err != nil {
+		return fmt.Errorf("core: step state %d: %w", st.ID, err)
+	}
+	e.stats.Instructions++
+	e.clock.Advance(vtime.VMInstruction)
+
+	// Fork bookkeeping: each new state receives its own private
+	// hardware snapshot taken now (the fork point), per Section
+	// IV-B.
+	for _, f := range forks {
+		switch {
+		case e.tgt != nil && (e.cfg.Mode == ModeHardSnap || e.cfg.Mode == ModeNaiveReboot):
+			// Capture dedups against the live content: forking off
+			// untouched hardware is a refcount++, not a second
+			// scan-out.
+			id, err := e.snapman.Capture()
+			if err != nil {
+				return fmt.Errorf("core: snapshot at fork: %w", err)
+			}
+			f.HWSnapshot = symexec.SnapshotID(id)
+		case e.tgt != nil && e.cfg.Mode == ModeRecordReplay:
+			// The child inherits the parent's interaction log.
+			if e.ioLogs == nil {
+				e.ioLogs = make(map[uint64][]ioRecord)
+			}
+			e.ioLogs[f.ID] = append([]ioRecord(nil), e.ioLogs[st.ID]...)
+		}
+		if len(e.active) >= e.cfg.MaxStates {
+			f.Status = symexec.StatusBudget
+			e.finished = append(e.finished, f)
 			continue
 		}
+		e.active = append(e.active, f)
+	}
 
-		forks, err := e.exec.Step(st)
+	// Let the peripherals run concurrently with software, then
+	// deliver any rising interrupts to the running state.
+	if e.tgt != nil && st.Status == symexec.StatusRunning {
+		if err := e.tgt.Advance(e.cfg.CyclesPerInstruction); err != nil {
+			return err
+		}
+		irqs, err := e.router.RisingIRQs()
 		if err != nil {
-			return nil, fmt.Errorf("core: step state %d: %w", st.ID, err)
+			return err
 		}
-		e.stats.Instructions++
-		e.clock.Advance(vtime.VMInstruction)
-
-		// Fork bookkeeping: each new state receives its own private
-		// hardware snapshot taken now (the fork point), per Section
-		// IV-B.
-		for _, f := range forks {
-			switch {
-			case e.tgt != nil && (e.cfg.Mode == ModeHardSnap || e.cfg.Mode == ModeNaiveReboot):
-				// Capture dedups against the live content: forking off
-				// untouched hardware is a refcount++, not a second
-				// scan-out.
-				id, err := e.snapman.Capture()
-				if err != nil {
-					return nil, fmt.Errorf("core: snapshot at fork: %w", err)
-				}
-				f.HWSnapshot = symexec.SnapshotID(id)
-			case e.tgt != nil && e.cfg.Mode == ModeRecordReplay:
-				// The child inherits the parent's interaction log.
-				if e.ioLogs == nil {
-					e.ioLogs = make(map[uint64][]ioRecord)
-				}
-				e.ioLogs[f.ID] = append([]ioRecord(nil), e.ioLogs[st.ID]...)
-			}
-			if len(e.active) >= e.cfg.MaxStates {
-				f.Status = symexec.StatusBudget
-				e.finished = append(e.finished, f)
-				continue
-			}
-			e.active = append(e.active, f)
-		}
-
-		// Let the peripherals run concurrently with software, then
-		// deliver any rising interrupts to the running state.
-		if e.tgt != nil && st.Status == symexec.StatusRunning {
-			if err := e.tgt.Advance(e.cfg.CyclesPerInstruction); err != nil {
-				return nil, err
-			}
-			irqs, err := e.router.RisingIRQs()
-			if err != nil {
-				return nil, err
-			}
-			for _, n := range irqs {
-				st.IRQPending |= 1 << uint(n)
-			}
-		}
-
-		// Hardware property violations terminate the path that caused
-		// them, carrying the violation detail and an input model.
-		if e.tgt != nil {
-			if violations := e.tgt.TakeViolations(); len(violations) > 0 && st.Status == symexec.StatusRunning {
-				st.Status = symexec.StatusAssertFail
-				st.Err = fmt.Errorf("core: %s", violations[0])
-				if model, ok := e.exec.ModelFor(st); ok {
-					st.Model = model
-				}
-				e.stats.HWViolations += len(violations)
-			}
-		}
-
-		if st.Status != symexec.StatusRunning {
-			e.finish(st)
+		for _, n := range irqs {
+			st.IRQPending |= 1 << uint(n)
 		}
 	}
 
-	// Budget exhausted: mark the rest.
+	// Hardware property violations terminate the path that caused
+	// them, carrying the violation detail and an input model.
+	if e.tgt != nil {
+		if violations := e.tgt.TakeViolations(); len(violations) > 0 && st.Status == symexec.StatusRunning {
+			st.Status = symexec.StatusAssertFail
+			st.Err = fmt.Errorf("core: %s", violations[0])
+			if model, ok := e.exec.ModelFor(st); ok {
+				st.Model = model
+			}
+			e.stats.HWViolations += len(violations)
+		}
+	}
+
+	if st.Status != symexec.StatusRunning {
+		e.finish(st)
+	}
+	return nil
+}
+
+// finalize marks budget-exhausted leftovers, releases their
+// snapshots, and assembles the report.
+func (e *Engine) finalize(start time.Duration) *Report {
 	for _, st := range e.active {
 		if st.Status == symexec.StatusRunning {
 			st.Status = symexec.StatusBudget
@@ -599,5 +719,8 @@ func (e *Engine) Run() (*Report, error) {
 			SnapshotTime:  ts.SnapshotTime,
 		}
 	}
-	return rep, nil
+	if e.exec.Solver.Cache != nil {
+		rep.SolverCache = e.exec.Solver.Cache.Stats()
+	}
+	return rep
 }

@@ -1,0 +1,414 @@
+// Parallel exploration: sharded workers with per-worker hardware
+// targets and a shared solver cache.
+//
+// A run with Config.Workers = N > 1 proceeds in three phases:
+//
+//  1. Seed. The serial loop of Algorithm 1 runs on the primary target
+//     under the global Searcher until the active set reaches the
+//     fan-out width (a few subtrees per worker, for load balance) or
+//     the tree drains first (in which case the result IS the serial
+//     result). This single-goroutine phase is the only place the
+//     global Searcher's Select is ever called, per its contract.
+//  2. Fan-out. Each surviving active state becomes a subtree seed.
+//     Every worker owns a spawned clone of the primary target (same
+//     power-on state, derived fault streams), its own bus router and
+//     SnapshotManager, and pulls seed indexes from a shared queue —
+//     work stealing: fast workers drain more subtrees. Per subtree,
+//     the worker builds a private engine around a spawned executor
+//     (shared concurrency-safe term Builder, shared memoized solver
+//     cache, private Solver, collision-free state-ID stripe) and a
+//     forked searcher, then runs the ordinary serial loop to
+//     completion. Hardware snapshots live in the one shared
+//     content-addressed store, so identical states forked by
+//     different workers still dedup structurally.
+//  3. Merge. Results are merged in seed order (not completion
+//     order), so reports are deterministic. Virtual time is
+//     seed-phase time plus the makespan of a greedy deterministic
+//     schedule of subtree times onto N virtual workers — the time an
+//     N-target rack takes, independent of the racy physical claim
+//     order. Per-worker traffic columns come from the same schedule.
+//
+// Determinism contract: for a fixed seed and a run that completes
+// within budget, an N-worker run produces the same bug set, path
+// count and per-path verdicts as the 1-worker run, in all four modes.
+// Two footnotes, both inherent rather than implementation choices:
+// ModeNaiveShared has no consistency story by design (it is the
+// paper's failure baseline); here every subtree starts from the
+// fan-out live hardware state, which makes parallel naive-shared runs
+// deterministic, but their divergence from the serial interleaving is
+// exactly the inconsistency the mode demonstrates. And when the
+// instruction budget binds, each subtree gets the remaining budget
+// independently, so a parallel run can retire more total instructions
+// than a serial one before stopping.
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"hardsnap/internal/bus"
+	"hardsnap/internal/snapshot"
+	"hardsnap/internal/symexec"
+	"hardsnap/internal/target"
+	"hardsnap/internal/vtime"
+)
+
+// subtreeIDStride separates the state-ID ranges of sibling subtrees:
+// subtree i allocates IDs from seedMax + (i+1)*stride. 2^32 states
+// per subtree is far above any reachable budget.
+const subtreeIDStride = uint64(1) << 32
+
+// seedsPerWorker controls the fan-out width: more subtrees than
+// workers so work stealing can balance uneven subtree sizes.
+const seedsPerWorker = 4
+
+func seedFanout(workers, maxStates int) int {
+	f := workers * seedsPerWorker
+	if f > maxStates {
+		f = maxStates
+	}
+	if f < workers {
+		f = workers
+	}
+	return f
+}
+
+// subtreeResult is what one completed subtree contributes to the
+// merge, with traffic counters already turned into per-subtree deltas.
+type subtreeResult struct {
+	rep      *Report
+	vt       time.Duration
+	tgt      target.Stats
+	man      SnapManagerStats
+	bugSnaps map[uint64]*snapshot.Record
+}
+
+func subTargetStats(after, before target.Stats) target.Stats {
+	return target.Stats{
+		Cycles:         after.Cycles - before.Cycles,
+		IOOps:          after.IOOps - before.IOOps,
+		Snapshots:      after.Snapshots - before.Snapshots,
+		Restores:       after.Restores - before.Restores,
+		SnapshotTime:   after.SnapshotTime - before.SnapshotTime,
+		SnapshotBytes:  after.SnapshotBytes - before.SnapshotBytes,
+		DeltaRestores:  after.DeltaRestores - before.DeltaRestores,
+		Retries:        after.Retries - before.Retries,
+		FaultsInjected: after.FaultsInjected - before.FaultsInjected,
+	}
+}
+
+func subManStats(after, before SnapManagerStats) SnapManagerStats {
+	return SnapManagerStats{
+		Saves:           after.Saves - before.Saves,
+		Restores:        after.Restores - before.Restores,
+		SavesSkipped:    after.SavesSkipped - before.SavesSkipped,
+		RestoresSkipped: after.RestoresSkipped - before.RestoresSkipped,
+		DeltaRestores:   after.DeltaRestores - before.DeltaRestores,
+	}
+}
+
+func addTargetStats(dst *target.Stats, s target.Stats) {
+	dst.Cycles += s.Cycles
+	dst.IOOps += s.IOOps
+	dst.Snapshots += s.Snapshots
+	dst.Restores += s.Restores
+	dst.SnapshotTime += s.SnapshotTime
+	dst.SnapshotBytes += s.SnapshotBytes
+	dst.DeltaRestores += s.DeltaRestores
+	dst.Retries += s.Retries
+	dst.FaultsInjected += s.FaultsInjected
+}
+
+func addStats(dst *Stats, s Stats) {
+	dst.Instructions += s.Instructions
+	dst.ContextSwitches += s.ContextSwitches
+	dst.Reboots += s.Reboots
+	dst.PathsCompleted += s.PathsCompleted
+	dst.ReplayedInstructions += s.ReplayedInstructions
+	dst.ReplayedIO += s.ReplayedIO
+	dst.ReplayDivergences += s.ReplayDivergences
+	dst.HWViolations += s.HWViolations
+}
+
+// runParallel is the Workers > 1 entry point (dispatched from Run).
+func (e *Engine) runParallel() (*Report, error) {
+	workers := e.cfg.Workers
+	start := e.clock.Now()
+	e.initActive()
+
+	fanout := seedFanout(workers, e.cfg.MaxStates)
+	if err := e.loop(func() bool { return len(e.active) >= fanout }); err != nil {
+		return nil, err
+	}
+	if len(e.active) == 0 || e.stats.Instructions >= e.cfg.MaxInstructions {
+		// The tree drained (or the budget died) before the fan-out
+		// width was reached: the serial result is the result.
+		return e.finalize(start), nil
+	}
+
+	// Make every seed self-contained. The live hardware still belongs
+	// to the last-scheduled state; in snapshotting modes its slot must
+	// be synced before anyone else restores over the hardware.
+	if e.tgt != nil && e.previous != nil &&
+		(e.cfg.Mode == ModeHardSnap || e.cfg.Mode == ModeNaiveReboot) {
+		if err := e.saveCurrent(e.previous); err != nil {
+			return nil, fmt.Errorf("core: fan-out sync: %w", err)
+		}
+	}
+	// Naive-shared has no per-state snapshots: capture the live state
+	// once (an honest one-time transfer charge) and seed every worker
+	// clone with it.
+	var liveHW target.State
+	var liveEdges []bool
+	if e.tgt != nil && e.cfg.Mode == ModeNaiveShared {
+		var err error
+		liveHW, err = e.tgt.Save()
+		if err != nil {
+			return nil, fmt.Errorf("core: fan-out save: %w", err)
+		}
+		liveEdges = e.router.IRQEdgeState()
+	}
+
+	seeds := e.active
+	e.active = nil
+	e.previous = nil
+	remaining := e.cfg.MaxInstructions - e.stats.Instructions
+	seedMaxID := e.exec.NextID()
+	seedVT := e.clock.Now() - start
+
+	// Fan out: a feeder pushes seed indexes in order, workers steal.
+	results := make([]*subtreeResult, len(seeds))
+	idxCh := make(chan int)
+	done := make(chan struct{})
+	var abortOnce sync.Once
+	abort := func() { abortOnce.Do(func() { close(done) }) }
+	go func() {
+		defer close(idxCh)
+		for i := range seeds {
+			select {
+			case idxCh <- i:
+			case <-done:
+				return
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			if err := e.runWorker(w, seeds, seedMaxID, remaining, liveHW, liveEdges, idxCh, done, results); err != nil {
+				errs[w] = err
+				abort()
+			}
+		}(w)
+	}
+	wg.Wait()
+	abort()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return e.merge(start, seedVT, workers, results), nil
+}
+
+// runWorker owns one worker's spawned target (clone of the primary:
+// same power-on state, derived fault stream) and drains subtree seeds
+// from the queue until it closes or a sibling aborts.
+func (e *Engine) runWorker(w int, seeds []*symexec.State, seedMaxID, budget uint64,
+	liveHW target.State, liveEdges []bool,
+	idxCh <-chan int, done <-chan struct{}, results []*subtreeResult) error {
+	var (
+		wtgt    *target.Target
+		wrouter *bus.Router
+		wsnaps  *SnapshotManager
+	)
+	if e.tgt != nil {
+		clock := &vtime.Clock{}
+		var err error
+		wtgt, err = e.tgt.Spawn(fmt.Sprintf("%s-w%d", e.tgt.Name(), w), clock, w)
+		if err != nil {
+			return fmt.Errorf("core: worker %d: %w", w, err)
+		}
+		regions := e.router.Regions()
+		for i := range regions {
+			port, err := wtgt.Port(regions[i].Name)
+			if err != nil {
+				return fmt.Errorf("core: worker %d: %w", w, err)
+			}
+			regions[i].Port = port
+		}
+		wrouter, err = bus.NewRouter(regions)
+		if err != nil {
+			return fmt.Errorf("core: worker %d: %w", w, err)
+		}
+		// One manager per worker, shared across its subtrees, so
+		// generation-proven skips survive subtree boundaries.
+		wsnaps = NewSnapshotManager(e.snaps, wtgt, wrouter)
+	}
+	for {
+		select {
+		case <-done:
+			return nil
+		case idx, ok := <-idxCh:
+			if !ok {
+				return nil
+			}
+			res, err := e.runSubtree(idx, seeds[idx], seedMaxID, budget, wtgt, wrouter, wsnaps, liveHW, liveEdges)
+			if err != nil {
+				return fmt.Errorf("core: worker %d, subtree %d: %w", w, idx, err)
+			}
+			results[idx] = res
+		}
+	}
+}
+
+// runSubtree explores one fan-out seed to completion on the worker's
+// private hardware and returns its contribution as deltas. Everything
+// that shapes the outcome is derived from the subtree index — forked
+// searcher stream, state-ID stripe, fault PRNG stream — never from
+// the physical worker or claim order, so a subtree's result is a pure
+// function of the seed and the run is schedule-independent.
+func (e *Engine) runSubtree(idx int, seed *symexec.State, seedMaxID, budget uint64,
+	wtgt *target.Target, wrouter *bus.Router, wsnaps *SnapshotManager,
+	liveHW target.State, liveEdges []bool) (*subtreeResult, error) {
+	wcfg := e.cfg
+	wcfg.Workers = 1
+	wcfg.MaxInstructions = budget
+	wcfg.Searcher = symexec.ForkSearcher(e.cfg.Searcher, int64(idx))
+	wexec := e.exec.Spawn(seedMaxID + uint64(idx+1)*subtreeIDStride)
+
+	if wtgt != nil {
+		// Re-arm fault injection with a per-subtree stream so fault
+		// sequences do not depend on which worker claimed the subtree.
+		if sched, ok := e.tgt.FaultSchedule(); ok {
+			wtgt.InjectFaults(sched.Derive(idx))
+		}
+	}
+
+	weng, err := newEngine(wcfg, wexec, wtgt, wrouter, e.snaps, wsnaps)
+	if err != nil {
+		return nil, err
+	}
+	if e.cfg.Mode == ModeRecordReplay && e.tgt != nil {
+		weng.seedIOLog(seed.ID, e.ioLogs[seed.ID])
+	}
+	if e.cfg.Mode == ModeNaiveShared && wtgt != nil {
+		// Every subtree starts from the fan-out live state, mimicking
+		// "everyone shares the hardware as of the fork".
+		if err := wtgt.AdoptState(liveHW); err != nil {
+			return nil, err
+		}
+		wrouter.ResetIRQEdges(liveEdges)
+	}
+	weng.SetInitialState(seed)
+
+	var beforeTgt target.Stats
+	var beforeMan SnapManagerStats
+	if wtgt != nil {
+		beforeTgt = wtgt.Stats()
+		beforeMan = wsnaps.Stats()
+	}
+	rep, err := weng.Run()
+	if err != nil {
+		return nil, err
+	}
+	res := &subtreeResult{rep: rep, vt: rep.VirtualTime, bugSnaps: weng.bugSnaps}
+	if wtgt != nil {
+		res.tgt = subTargetStats(wtgt.Stats(), beforeTgt)
+		res.man = subManStats(wsnaps.Stats(), beforeMan)
+	}
+	return res, nil
+}
+
+// merge combines the seed-phase prefix with every subtree result, in
+// seed order, and prices the run with a deterministic greedy schedule
+// (longest-prefix list scheduling: each subtree goes to the currently
+// least-loaded virtual worker, ties to the lowest index).
+func (e *Engine) merge(start, seedVT time.Duration, workers int, results []*subtreeResult) *Report {
+	rep := &Report{
+		Finished:        append([]*symexec.State(nil), e.finished...),
+		Stats:           e.stats,
+		SeedVirtualTime: seedVT,
+	}
+	wreps := make([]WorkerReport, workers)
+	loads := make([]time.Duration, workers)
+	for i := range wreps {
+		wreps[i].Worker = i
+	}
+	var manSum SnapManagerStats
+	var tgtSum target.Stats
+	for _, res := range results {
+		if res == nil {
+			continue
+		}
+		best := 0
+		for w := 1; w < workers; w++ {
+			if loads[w] < loads[best] {
+				best = w
+			}
+		}
+		loads[best] += res.vt
+		wr := &wreps[best]
+		wr.Subtrees++
+		wr.Paths += len(res.rep.Finished)
+		wr.VirtualTime += res.vt
+		wr.HWSaves += res.tgt.Snapshots
+		wr.HWRestores += res.tgt.Restores
+		wr.DeltaRestores += res.tgt.DeltaRestores
+		wr.BytesMoved += res.tgt.SnapshotBytes
+		wr.SnapshotTime += res.tgt.SnapshotTime
+
+		rep.Finished = append(rep.Finished, res.rep.Finished...)
+		addStats(&rep.Stats, res.rep.Stats)
+		manSum.Saves += res.man.Saves
+		manSum.Restores += res.man.Restores
+		manSum.SavesSkipped += res.man.SavesSkipped
+		manSum.RestoresSkipped += res.man.RestoresSkipped
+		manSum.DeltaRestores += res.man.DeltaRestores
+		addTargetStats(&tgtSum, res.tgt)
+		for id, snap := range res.bugSnaps {
+			if e.bugSnaps == nil {
+				e.bugSnaps = make(map[uint64]*snapshot.Record)
+			}
+			e.bugSnaps[id] = snap
+		}
+	}
+	makespan := time.Duration(0)
+	for _, l := range loads {
+		if l > makespan {
+			makespan = l
+		}
+	}
+	rep.VirtualTime = seedVT + makespan
+	rep.Workers = wreps
+
+	if e.tgt != nil {
+		ts := e.tgt.Stats() // primary target: seed-phase traffic
+		man := e.snapman.Stats()
+		rep.Snapshots = SnapshotTraffic{
+			Manager: SnapManagerStats{
+				Saves:           man.Saves + manSum.Saves,
+				Restores:        man.Restores + manSum.Restores,
+				SavesSkipped:    man.SavesSkipped + manSum.SavesSkipped,
+				RestoresSkipped: man.RestoresSkipped + manSum.RestoresSkipped,
+				DeltaRestores:   man.DeltaRestores + manSum.DeltaRestores,
+			},
+			Store:         e.snaps.Stats(),
+			HWSaves:       ts.Snapshots + tgtSum.Snapshots,
+			HWRestores:    ts.Restores + tgtSum.Restores,
+			DeltaRestores: ts.DeltaRestores + tgtSum.DeltaRestores,
+			BytesMoved:    ts.SnapshotBytes + tgtSum.SnapshotBytes,
+			SnapshotTime:  ts.SnapshotTime + tgtSum.SnapshotTime,
+		}
+	}
+	if e.exec.Solver.Cache != nil {
+		rep.SolverCache = e.exec.Solver.Cache.Stats()
+	}
+	e.finished = rep.Finished
+	return rep
+}

@@ -1,0 +1,256 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"hardsnap/internal/symexec"
+	"hardsnap/internal/target"
+)
+
+// scalingFirmware branches on six symbolic bits right away (64 paths,
+// so the active set outgrows the fan-out width and the parallel engine
+// really distributes subtrees), then does per-path MMIO work. The
+// software assertion fails on exactly one path (all six bits set).
+// MMIO reads never feed a branch or the assertion, so even
+// ModeNaiveShared reaches the same per-path verdicts.
+const scalingFirmware = `
+_start:
+		li r1, 0x100
+		addi r2, r0, 1
+		addi r3, r0, 1
+		ecall 1           ; make [0x100] symbolic
+		lbu r4, 0(r1)
+		li r8, 0x40000000
+		andi r5, r4, 1
+		beq r5, r0, b1
+		nop
+b1:
+		andi r5, r4, 2
+		beq r5, r0, b2
+		nop
+b2:
+		andi r5, r4, 4
+		beq r5, r0, b3
+		nop
+b3:
+		andi r5, r4, 8
+		beq r5, r0, b4
+		nop
+b4:
+		andi r5, r4, 16
+		beq r5, r0, b5
+		nop
+b5:
+		andi r5, r4, 32
+		beq r5, r0, work
+		nop
+work:
+		sw r4, 0(r8)      ; per-path MMIO traffic
+		lw r6, 0(r8)
+		addi r7, r0, 8
+loop:
+		sw r6, 0(r8)
+		addi r7, r7, -1
+		bne r7, r0, loop
+		andi r5, r4, 63
+		sltiu r1, r5, 63
+		ecall 2           ; fails iff all six bits are set
+		halt
+`
+
+// pathSignatures reduces a report to a schedule-independent summary:
+// the sorted multiset of (status, final PC) per finished path. State
+// IDs deliberately stay out — parallel runs stride them per subtree.
+func pathSignatures(rep *Report) []string {
+	sigs := make([]string, 0, len(rep.Finished))
+	for _, st := range rep.Finished {
+		sigs = append(sigs, fmt.Sprintf("%v@%#x", st.Status, st.PC))
+	}
+	sort.Strings(sigs)
+	return sigs
+}
+
+func bugSignatures(rep *Report) []string {
+	sigs := []string{}
+	for _, st := range rep.Bugs() {
+		sigs = append(sigs, fmt.Sprintf("%v@%#x", st.Status, st.PC))
+	}
+	sort.Strings(sigs)
+	return sigs
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestParallelDeterminism is the determinism contract as a table: in
+// all four modes, with both a fan-out-guaranteed searcher (BFS) and a
+// seeded random searcher at three seeds, a 4-worker run must report
+// the same path count, per-path verdicts and bug set as a 1-worker
+// run of the same configuration.
+func TestParallelDeterminism(t *testing.T) {
+	modes := []struct {
+		name string
+		mode Mode
+	}{
+		{"hardsnap", ModeHardSnap},
+		{"naive-reboot", ModeNaiveReboot},
+		{"naive-shared", ModeNaiveShared},
+		{"record-replay", ModeRecordReplay},
+	}
+	searchers := []struct {
+		name string
+		make func() symexec.Searcher
+	}{
+		{"bfs", func() symexec.Searcher { return symexec.BFS{} }},
+		{"random-1", func() symexec.Searcher { return symexec.NewRandom(1) }},
+		{"random-7", func() symexec.Searcher { return symexec.NewRandom(7) }},
+		{"random-13", func() symexec.Searcher { return symexec.NewRandom(13) }},
+	}
+	for _, m := range modes {
+		for _, s := range searchers {
+			t.Run(m.name+"/"+s.name, func(t *testing.T) {
+				setup := func(workers int) SetupConfig {
+					return SetupConfig{
+						Firmware:    scalingFirmware,
+						Peripherals: []target.PeriphConfig{{Name: "gpio0", Periph: "gpio"}},
+						Engine: Config{
+							Mode:            m.mode,
+							Searcher:        s.make(),
+							MaxInstructions: 1_000_000,
+							Workers:         workers,
+						},
+					}
+				}
+				_, serial := run(t, setup(1))
+				_, par := run(t, setup(4))
+
+				// 64 feasible paths plus the infeasible sibling the
+				// failing assertion forks off.
+				if len(serial.Finished) != 65 {
+					t.Fatalf("serial paths: %d, want 65", len(serial.Finished))
+				}
+				if len(par.Finished) != len(serial.Finished) {
+					t.Fatalf("path count: %d workers=4 vs %d workers=1",
+						len(par.Finished), len(serial.Finished))
+				}
+				if sp, pp := pathSignatures(serial), pathSignatures(par); !equalStrings(sp, pp) {
+					t.Fatalf("path verdicts diverge:\nserial: %v\nparallel: %v", sp, pp)
+				}
+				if sb, pb := bugSignatures(serial), bugSignatures(par); !equalStrings(sb, pb) {
+					t.Fatalf("bug sets diverge:\nserial: %v\nparallel: %v", sb, pb)
+				}
+				if len(serial.Bugs()) != 1 {
+					t.Fatalf("serial bugs: %d, want 1", len(serial.Bugs()))
+				}
+				if serial.Stats.PathsCompleted != par.Stats.PathsCompleted {
+					t.Fatalf("paths completed: serial %d, parallel %d",
+						serial.Stats.PathsCompleted, par.Stats.PathsCompleted)
+				}
+				if s.name == "bfs" {
+					// BFS grows the active set to 32 > fan-out width, so
+					// this row must have actually used the workers.
+					if len(par.Workers) != 4 {
+						t.Fatalf("parallel run did not fan out: %+v", par.Workers)
+					}
+					subtrees := 0
+					for _, w := range par.Workers {
+						subtrees += w.Subtrees
+					}
+					if subtrees == 0 {
+						t.Fatalf("no subtrees distributed: %+v", par.Workers)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestParallelSoftwareOnly: the worker layer must also run without any
+// hardware target attached (pure symbolic execution).
+func TestParallelSoftwareOnly(t *testing.T) {
+	const fw = `
+_start:
+		li r1, 0x100
+		addi r2, r0, 1
+		addi r3, r0, 1
+		ecall 1
+		lbu r4, 0(r1)
+		andi r5, r4, 1
+		beq r5, r0, b1
+		nop
+b1:
+		andi r5, r4, 2
+		beq r5, r0, b2
+		nop
+b2:
+		andi r5, r4, 4
+		beq r5, r0, b3
+		nop
+b3:
+		andi r5, r4, 8
+		beq r5, r0, b4
+		nop
+b4:
+		andi r5, r4, 16
+		beq r5, r0, done
+		nop
+done:
+		andi r5, r4, 31
+		sltiu r1, r5, 31
+		ecall 2
+		halt
+`
+	setup := func(workers int) SetupConfig {
+		return SetupConfig{
+			Firmware: fw,
+			Engine: Config{
+				Searcher: symexec.BFS{},
+				Workers:  workers,
+			},
+		}
+	}
+	_, serial := run(t, setup(1))
+	_, par := run(t, setup(4))
+	if len(par.Finished) != len(serial.Finished) {
+		t.Fatalf("path count: %d vs %d", len(par.Finished), len(serial.Finished))
+	}
+	if sp, pp := pathSignatures(serial), pathSignatures(par); !equalStrings(sp, pp) {
+		t.Fatalf("verdicts diverge:\nserial: %v\nparallel: %v", sp, pp)
+	}
+}
+
+// TestParallelSolverCacheShared: the memoized solver service is shared
+// across workers, so a parallel run must report cache activity and the
+// hit rate must be sane.
+func TestParallelSolverCacheShared(t *testing.T) {
+	_, rep := run(t, SetupConfig{
+		Firmware:    scalingFirmware,
+		Peripherals: []target.PeriphConfig{{Name: "gpio0", Periph: "gpio"}},
+		Engine: Config{
+			Mode:     ModeHardSnap,
+			Searcher: symexec.BFS{},
+			Workers:  4,
+		},
+	})
+	cs := rep.SolverCache
+	if cs.Hits+cs.Misses == 0 {
+		t.Fatalf("no solver cache traffic recorded: %+v", cs)
+	}
+	if cs.Entries == 0 {
+		t.Fatalf("no cache entries stored: %+v", cs)
+	}
+	if r := cs.HitRate(); r < 0 || r > 1 {
+		t.Fatalf("hit rate out of range: %v", r)
+	}
+}

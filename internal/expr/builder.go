@@ -3,32 +3,52 @@ package expr
 import (
 	"fmt"
 	"math/bits"
+	"sync"
 )
 
-// Builder creates, deduplicates and simplifies terms. A Builder is not
-// safe for concurrent use; the symbolic executor owns one per engine.
+// builderShards is the number of independently locked intern-table
+// shards. Sharding by term hash keeps concurrent workers from
+// serializing on a single mutex while still guaranteeing that
+// structurally equal terms intern to the same pointer.
+const builderShards = 16
+
+// Builder creates, deduplicates and simplifies terms. A Builder is
+// safe for concurrent use: the intern table is lock-striped by term
+// hash, so parallel exploration workers may share one Builder and rely
+// on pointer equality for structural equality across workers (the
+// property the shared solver cache is keyed on).
 type Builder struct {
+	shards [builderShards]internShard
+	varMu  sync.Mutex
+	vars   map[string]*Term
+}
+
+type internShard struct {
+	mu    sync.Mutex
 	table map[uint64][]*Term
-	vars  map[string]*Term
 }
 
 // NewBuilder returns an empty Builder.
 func NewBuilder() *Builder {
-	return &Builder{
-		table: make(map[uint64][]*Term),
-		vars:  make(map[string]*Term),
+	b := &Builder{vars: make(map[string]*Term)}
+	for i := range b.shards {
+		b.shards[i].table = make(map[uint64][]*Term)
 	}
+	return b
 }
 
 func (b *Builder) intern(t *Term) *Term {
 	h := t.computeHash()
 	t.hash = h
-	for _, c := range b.table[h] {
+	s := &b.shards[h%builderShards]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, c := range s.table[h] {
 		if c.equalShallow(t) {
 			return c
 		}
 	}
-	b.table[h] = append(b.table[h], t)
+	s.table[h] = append(s.table[h], t)
 	return t
 }
 
@@ -90,14 +110,21 @@ func (b *Builder) Bool(v bool) *Term {
 // name, so a width clash is a programming error.
 func (b *Builder) Var(name string, w uint) *Term {
 	cw := checkWidth(w)
+	b.varMu.Lock()
 	if v, ok := b.vars[name]; ok {
+		b.varMu.Unlock()
 		if v.width != cw {
 			panic(fmt.Sprintf("expr: variable %q redeclared with width %d (was %d)", name, w, v.width))
 		}
 		return v
 	}
+	b.varMu.Unlock()
+	// Interning dedups, so two racing declarations of the same
+	// variable resolve to the same pointer before either publishes it.
 	v := b.intern(&Term{op: OpVar, width: cw, name: name})
+	b.varMu.Lock()
 	b.vars[name] = v
+	b.varMu.Unlock()
 	return v
 }
 
@@ -514,8 +541,13 @@ func (b *Builder) OrBool(x, y *Term) *Term { return b.Or(x, y) }
 // tests and diagnostics.
 func (b *Builder) NumTerms() int {
 	n := 0
-	for _, bucket := range b.table {
-		n += len(bucket)
+	for i := range b.shards {
+		s := &b.shards[i]
+		s.mu.Lock()
+		for _, bucket := range s.table {
+			n += len(bucket)
+		}
+		s.mu.Unlock()
 	}
 	return n
 }

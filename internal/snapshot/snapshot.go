@@ -26,6 +26,7 @@ import (
 	"hash/crc32"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"hardsnap/internal/sim"
 	"hardsnap/internal/target"
@@ -197,23 +198,74 @@ type Stats struct {
 	BytesMaterialized uint64
 }
 
+// idStripeCount is the number of independently locked ID-table
+// stripes. IDs are dense and monotonically allocated, so id %
+// idStripeCount spreads concurrent workers evenly.
+const idStripeCount = 16
+
+type idStripe struct {
+	mu  sync.RWMutex
+	ids map[ID]Digest
+}
+
 // Store holds snapshots. The zero value is not usable; call NewStore.
-// Safe for concurrent use.
+//
+// The store is safe for concurrent use by many exploration workers:
+// the ID table is lock-striped, the content tables (entries + intern
+// pool) sit behind one RWMutex, and all cumulative counters are
+// atomics, so Put/Get/Release from sibling workers contend only when
+// they touch the same stripe or mutate content. Digests are computed
+// outside every lock. Ownership contract: each ID belongs to exactly
+// one state (and therefore one worker at a time); concurrent
+// Update/Release of the *same* ID is a caller bug, as it always was.
 type Store struct {
-	mu      sync.Mutex
-	next    ID
-	ids     map[ID]Digest
+	next    atomic.Uint64
+	stripes [idStripeCount]idStripe
+
+	// cmu guards entries, pool, and their refcounts (the two tables
+	// are linked: an entry holds references into the pool).
+	cmu     sync.RWMutex
 	entries map[Digest]*entry
 	pool    map[Digest]*poolEntry
-	stats   Stats
+
+	puts              atomic.Uint64
+	gets              atomic.Uint64
+	releases          atomic.Uint64
+	dedupHits         atomic.Uint64
+	periphStored      atomic.Uint64
+	periphShared      atomic.Uint64
+	bytesStored       atomic.Uint64
+	bytesShared       atomic.Uint64
+	bytesMaterialized atomic.Uint64
+	live              atomic.Int64
+	peakLive          atomic.Int64
 }
 
 // NewStore returns an empty store.
 func NewStore() *Store {
-	return &Store{
-		ids:     make(map[ID]Digest),
+	s := &Store{
 		entries: make(map[Digest]*entry),
 		pool:    make(map[Digest]*poolEntry),
+	}
+	for i := range s.stripes {
+		s.stripes[i].ids = make(map[ID]Digest)
+	}
+	return s
+}
+
+func (s *Store) stripe(id ID) *idStripe {
+	return &s.stripes[uint64(id)%idStripeCount]
+}
+
+// bumpLive increments the live-reference count and maintains the
+// high-water mark with a CAS loop.
+func (s *Store) bumpLive() {
+	l := s.live.Add(1)
+	for {
+		p := s.peakLive.Load()
+		if l <= p || s.peakLive.CompareAndSwap(p, l) {
+			return
+		}
 	}
 }
 
@@ -222,17 +274,18 @@ func NewStore() *Store {
 // increment, no copy). The caller keeps ownership of rec; the store
 // never aliases caller memory.
 func (s *Store) Put(rec Record) ID {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	d := DigestRecord(&rec)
+	s.cmu.Lock()
 	s.attach(d, &rec)
-	s.next++
-	s.ids[s.next] = d
-	s.stats.Puts++
-	if len(s.ids) > s.stats.PeakLive {
-		s.stats.PeakLive = len(s.ids)
-	}
-	return s.next
+	s.cmu.Unlock()
+	id := ID(s.next.Add(1))
+	st := s.stripe(id)
+	st.mu.Lock()
+	st.ids[id] = d
+	st.mu.Unlock()
+	s.puts.Add(1)
+	s.bumpLive()
+	return id
 }
 
 // Update re-points an existing ID at new content (UpdateState of
@@ -243,23 +296,29 @@ func (s *Store) Update(id ID, rec Record) error {
 	if id == 0 {
 		return fmt.Errorf("snapshot: update of the zero (no-snapshot) id")
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	old, ok := s.ids[id]
+	d := DigestRecord(&rec)
+	st := s.stripe(id)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	old, ok := st.ids[id]
 	if !ok {
 		return fmt.Errorf("snapshot: update of unknown id %d", id)
 	}
-	d := DigestRecord(&rec)
 	if d == old {
 		// Content unchanged: the whole update is a no-op.
-		s.stats.DedupHits++
-		s.stats.BytesShared += s.entries[old].bytes
+		s.cmu.RLock()
+		bytes := s.entries[old].bytes
+		s.cmu.RUnlock()
+		s.dedupHits.Add(1)
+		s.bytesShared.Add(bytes)
 		return nil
 	}
+	s.cmu.Lock()
 	s.attach(d, &rec)
 	s.detach(old)
-	s.ids[id] = d
-	s.stats.Puts++
+	s.cmu.Unlock()
+	st.ids[id] = d
+	s.puts.Add(1)
 	return nil
 }
 
@@ -272,25 +331,33 @@ func (s *Store) UpdateToDigest(id ID, d Digest) bool {
 	if id == 0 {
 		return false
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	old, ok := s.ids[id]
+	st := s.stripe(id)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	old, ok := st.ids[id]
 	if !ok {
 		return false
 	}
+	s.cmu.Lock()
 	ent, ok := s.entries[d]
 	if !ok {
+		s.cmu.Unlock()
 		return false
 	}
-	s.stats.DedupHits++
-	s.stats.BytesShared += ent.bytes
-	if old == d {
+	bytes := ent.bytes
+	same := old == d
+	if !same {
+		ent.refs++
+		s.detach(old)
+	}
+	s.cmu.Unlock()
+	s.dedupHits.Add(1)
+	s.bytesShared.Add(bytes)
+	if same {
 		return true
 	}
-	ent.refs++
-	s.detach(old)
-	s.ids[id] = d
-	s.stats.Puts++
+	st.ids[id] = d
+	s.puts.Add(1)
 	return true
 }
 
@@ -302,15 +369,21 @@ func (s *Store) Get(id ID) (*Record, bool) {
 	if id == 0 {
 		return nil, false
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	d, ok := s.ids[id]
+	st := s.stripe(id)
+	st.mu.RLock()
+	d, ok := st.ids[id]
+	st.mu.RUnlock()
 	if !ok {
 		return nil, false
 	}
+	// The entry cannot die between the two locks: this ID still holds
+	// a reference, and the ID's owner is the only goroutine allowed to
+	// Update/Release it.
+	s.cmu.RLock()
 	ent := s.entries[d]
-	s.stats.Gets++
-	s.stats.BytesMaterialized += ent.bytes
+	s.cmu.RUnlock()
+	s.gets.Add(1)
+	s.bytesMaterialized.Add(ent.bytes)
 	return ent.rec, true
 }
 
@@ -320,37 +393,46 @@ func (s *Store) Release(id ID) {
 	if id == 0 {
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	d, ok := s.ids[id]
+	st := s.stripe(id)
+	st.mu.Lock()
+	d, ok := st.ids[id]
+	if ok {
+		delete(st.ids, id)
+	}
+	st.mu.Unlock()
 	if !ok {
 		return
 	}
-	delete(s.ids, id)
+	s.cmu.Lock()
 	s.detach(d)
-	s.stats.Releases++
+	s.cmu.Unlock()
+	s.releases.Add(1)
+	s.live.Add(-1)
 }
 
 // Adopt returns a new ID referencing already-stored content, or false
 // if no record with that digest is live. This is the fork fast path:
 // a child state adopts the parent's snapshot for a refcount++.
 func (s *Store) Adopt(d Digest) (ID, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.cmu.Lock()
 	ent, ok := s.entries[d]
 	if !ok {
+		s.cmu.Unlock()
 		return 0, false
 	}
 	ent.refs++
-	s.next++
-	s.ids[s.next] = d
-	s.stats.Puts++
-	s.stats.DedupHits++
-	s.stats.BytesShared += ent.bytes
-	if len(s.ids) > s.stats.PeakLive {
-		s.stats.PeakLive = len(s.ids)
-	}
-	return s.next, true
+	bytes := ent.bytes
+	s.cmu.Unlock()
+	id := ID(s.next.Add(1))
+	st := s.stripe(id)
+	st.mu.Lock()
+	st.ids[id] = d
+	st.mu.Unlock()
+	s.puts.Add(1)
+	s.dedupHits.Add(1)
+	s.bytesShared.Add(bytes)
+	s.bumpLive()
+	return id, true
 }
 
 // DigestOf returns the content address an ID currently points at.
@@ -358,17 +440,18 @@ func (s *Store) DigestOf(id ID) (Digest, bool) {
 	if id == 0 {
 		return Digest{}, false
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	d, ok := s.ids[id]
+	st := s.stripe(id)
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	d, ok := st.ids[id]
 	return d, ok
 }
 
 // RecordByDigest returns the live record with the given content
 // address, if any. The record is shared: callers MUST NOT mutate it.
 func (s *Store) RecordByDigest(d Digest) (*Record, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.cmu.RLock()
+	defer s.cmu.RUnlock()
 	ent, ok := s.entries[d]
 	if !ok {
 		return nil, false
@@ -378,34 +461,41 @@ func (s *Store) RecordByDigest(d Digest) (*Record, bool) {
 
 // Live returns the number of live snapshot references.
 func (s *Store) Live() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.ids)
+	return int(s.live.Load())
 }
 
 // Entries returns the number of distinct stored records (≤ Live when
 // dedup collapsed references).
 func (s *Store) Entries() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.cmu.RLock()
+	defer s.cmu.RUnlock()
 	return len(s.entries)
 }
 
 // Stats returns a copy of the cumulative counters.
 func (s *Store) Stats() Stats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.stats
+	return Stats{
+		Puts:              s.puts.Load(),
+		Gets:              s.gets.Load(),
+		Releases:          s.releases.Load(),
+		PeakLive:          int(s.peakLive.Load()),
+		DedupHits:         s.dedupHits.Load(),
+		PeriphStored:      s.periphStored.Load(),
+		PeriphShared:      s.periphShared.Load(),
+		BytesStored:       s.bytesStored.Load(),
+		BytesShared:       s.bytesShared.Load(),
+		BytesMaterialized: s.bytesMaterialized.Load(),
+	}
 }
 
 // attach resolves d to a live entry, creating one from rec (with
 // per-peripheral interning) if needed, and takes a reference. Caller
-// holds the lock.
+// holds cmu for writing.
 func (s *Store) attach(d Digest, rec *Record) {
 	if ent, ok := s.entries[d]; ok {
 		ent.refs++
-		s.stats.DedupHits++
-		s.stats.BytesShared += ent.bytes
+		s.dedupHits.Add(1)
+		s.bytesShared.Add(ent.bytes)
 		return
 	}
 	names := make([]string, 0, len(rec.HW))
@@ -421,13 +511,13 @@ func (s *Store) attach(d Digest, rec *Record) {
 		pe, ok := s.pool[pd]
 		if ok {
 			pe.refs++
-			s.stats.PeriphShared++
-			s.stats.BytesShared += hwBytes(pe.hw)
+			s.periphShared.Add(1)
+			s.bytesShared.Add(hwBytes(pe.hw))
 		} else {
 			pe = &poolEntry{hw: cloneHW(rec.HW[name]), refs: 1}
 			s.pool[pd] = pe
-			s.stats.PeriphStored++
-			s.stats.BytesStored += hwBytes(pe.hw)
+			s.periphStored.Add(1)
+			s.bytesStored.Add(hwBytes(pe.hw))
 		}
 		hw[name] = pe.hw
 		periphs = append(periphs, pd)
@@ -444,7 +534,7 @@ func (s *Store) attach(d Digest, rec *Record) {
 
 // detach drops one reference from the entry at d, freeing it and its
 // pooled peripheral states when the last reference goes. Caller holds
-// the lock.
+// cmu for writing.
 func (s *Store) detach(d Digest) {
 	ent, ok := s.entries[d]
 	if !ok {

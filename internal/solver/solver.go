@@ -39,6 +39,12 @@ type Solver struct {
 	// MaxConflicts bounds the CDCL search; <= 0 means unlimited.
 	MaxConflicts int64
 
+	// Cache, when non-nil, memoizes definite verdicts across queries
+	// (and, when shared, across solvers — see Cache). The Solver
+	// itself remains single-goroutine; only the Cache is safe to
+	// share.
+	Cache *Cache
+
 	// Stats accumulates across queries.
 	Stats Stats
 }
@@ -48,6 +54,7 @@ type Stats struct {
 	Queries      int64
 	SatAnswers   int64
 	UnsatAnswers int64
+	CacheHits    int64
 	Conflicts    int64
 	Propagations int64
 }
@@ -85,6 +92,21 @@ func (s *Solver) Check(constraints []*expr.Term) (Result, expr.Assignment, error
 		return Sat, expr.Assignment{}, nil
 	}
 
+	var key CacheKey
+	if s.Cache != nil {
+		key = s.Cache.Key(constraints)
+		if res, model, ok := s.Cache.Lookup(key); ok {
+			s.Stats.CacheHits++
+			switch res {
+			case Sat:
+				s.Stats.SatAnswers++
+			case Unsat:
+				s.Stats.UnsatAnswers++
+			}
+			return res, model, nil
+		}
+	}
+
 	core := newSAT()
 	if s.MaxConflicts > 0 {
 		core.maxConflicts = s.MaxConflicts
@@ -94,6 +116,9 @@ func (s *Solver) Check(constraints []*expr.Term) (Result, expr.Assignment, error
 		if v, ok := c.Const(); ok {
 			if v == 0 {
 				s.Stats.UnsatAnswers++
+				if s.Cache != nil {
+					s.Cache.Store(key, Unsat, nil)
+				}
 				return Unsat, nil, nil
 			}
 			continue
@@ -106,9 +131,16 @@ func (s *Solver) Check(constraints []*expr.Term) (Result, expr.Assignment, error
 	switch res {
 	case satSat:
 		s.Stats.SatAnswers++
-		return Sat, bl.model(), nil
+		model := bl.model()
+		if s.Cache != nil {
+			s.Cache.Store(key, Sat, model)
+		}
+		return Sat, model, nil
 	case satUnsat:
 		s.Stats.UnsatAnswers++
+		if s.Cache != nil {
+			s.Cache.Store(key, Unsat, nil)
+		}
 		return Unsat, nil, nil
 	default:
 		return Unknown, nil, ErrBudget

@@ -101,6 +101,31 @@ func normalizeVMConfig(c vm.Config) vm.Config {
 // Config returns the executor's normalized configuration.
 func (e *Executor) Config() Config { return e.cfg }
 
+// NextID returns the last state ID this executor allocated; new
+// states get strictly larger IDs.
+func (e *Executor) NextID() uint64 { return e.nextID }
+
+// Spawn returns a worker executor for parallel subtree exploration.
+// The spawn shares the parent's term Builder (concurrency-safe, so
+// pointer equality keeps meaning structural equality across workers),
+// the read-only program image, and the parent solver's memo Cache —
+// but owns a private Solver (solvers are single-goroutine) and
+// allocates state IDs from idBase upward, so sibling workers can fork
+// freely without ID collisions. The MMIO handler is left nil: each
+// worker engine injects its own hardware boundary.
+func (e *Executor) Spawn(idBase uint64) *Executor {
+	ne := &Executor{
+		B:      e.B,
+		Solver: solver.New(e.cfg.SolverConflicts),
+		cfg:    e.cfg,
+		image:  e.image,
+		prog:   e.prog,
+		nextID: idBase,
+	}
+	ne.Solver.Cache = e.Solver.Cache
+	return ne
+}
+
 // SetMMIO installs (or replaces) the hardware boundary handler; the
 // engine injects itself here after construction.
 func (e *Executor) SetMMIO(h MMIOHandler) { e.mmio = h }

@@ -5,12 +5,40 @@ import "math/rand"
 // Searcher picks the next state to execute from the active set
 // (KLEE's state selection heuristic, extended by the engine with
 // INCEPTION's interrupt-atomicity rule).
+//
+// Concurrency contract: Select is only ever called from a single
+// scheduling goroutine — the engine's main loop, which under parallel
+// exploration is the seed/merge goroutine. Stateful searchers
+// (RoundRobin, Random, Coverage) are NOT safe to share across
+// workers; the parallel engine gives every worker subtree its own
+// instance via Fork (see ForkableSearcher) instead of sharing hidden
+// PRNG or history state.
 type Searcher interface {
 	Name() string
 	// Select returns the index of the next state within active
 	// (non-empty). prev is the previously executed state (may be nil
 	// or no longer active).
 	Select(active []*State, prev *State) int
+}
+
+// ForkableSearcher is implemented by searchers that carry hidden
+// state (PRNGs, visit history, last-scheduled cursors). Fork returns
+// an independent instance for one worker subtree; stream is a small
+// deterministic subtree number, so forked PRNG streams are
+// reproducible and decorrelated. Stateless searchers need not
+// implement it.
+type ForkableSearcher interface {
+	Searcher
+	Fork(stream int64) Searcher
+}
+
+// ForkSearcher returns an independent per-subtree instance of s: its
+// Fork when s is stateful, s itself when it is stateless (DFS, BFS).
+func ForkSearcher(s Searcher, stream int64) Searcher {
+	if f, ok := s.(ForkableSearcher); ok {
+		return f.Fork(stream)
+	}
+	return s
 }
 
 // DFS always continues the most recently created state, minimizing
@@ -65,14 +93,19 @@ func (r *RoundRobin) Select(active []*State, prev *State) int {
 	return best
 }
 
+// Fork implements ForkableSearcher: the cursor is hidden state that
+// must not be shared across workers, so each subtree starts fresh.
+func (r *RoundRobin) Fork(stream int64) Searcher { return &RoundRobin{} }
+
 // Random picks uniformly with a deterministic seed.
 type Random struct {
-	rng *rand.Rand
+	seed int64
+	rng  *rand.Rand
 }
 
 // NewRandom builds a seeded random searcher.
 func NewRandom(seed int64) *Random {
-	return &Random{rng: rand.New(rand.NewSource(seed))}
+	return &Random{seed: seed, rng: rand.New(rand.NewSource(seed))}
 }
 
 // Name implements Searcher.
@@ -81,6 +114,18 @@ func (*Random) Name() string { return "random" }
 // Select implements Searcher.
 func (r *Random) Select(active []*State, prev *State) int {
 	return r.rng.Intn(len(active))
+}
+
+// seedMix spreads derived seeds across the 64-bit space (golden-ratio
+// increment), so subtree streams are decorrelated but reproducible.
+const seedMix = int64(-7046029254386353131)
+
+// Fork implements ForkableSearcher: a fresh PRNG whose seed is
+// derived from the parent seed and the subtree stream number. Two
+// runs with the same root seed fork identical streams, regardless of
+// how many Select calls the parent has already answered.
+func (r *Random) Fork(stream int64) Searcher {
+	return NewRandom(r.seed + (stream+1)*seedMix)
 }
 
 // Coverage prefers states whose program counter has not been visited
@@ -96,6 +141,10 @@ func NewCoverage() *Coverage {
 
 // Name implements Searcher.
 func (*Coverage) Name() string { return "coverage" }
+
+// Fork implements ForkableSearcher: the visited-PC set is hidden
+// state; each subtree tracks its own coverage.
+func (c *Coverage) Fork(stream int64) Searcher { return NewCoverage() }
 
 // Select implements Searcher.
 func (c *Coverage) Select(active []*State, prev *State) int {

@@ -1,0 +1,124 @@
+package target
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"hardsnap/internal/vtime"
+)
+
+func spawnParent(t *testing.T) *Target {
+	t.Helper()
+	tgt, err := NewSimulator("parent", &vtime.Clock{}, []PeriphConfig{
+		{Name: "g", Periph: "gpio"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tgt
+}
+
+func TestSpawnPowerOnIdentical(t *testing.T) {
+	parent := spawnParent(t)
+	// Dirty the parent so the clone cannot accidentally inherit live
+	// state: Spawn must come up at power-on, not at the parent's now.
+	port, err := parent.Port("g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := port.WriteReg(0, 0xAB); err != nil {
+		t.Fatal(err)
+	}
+	clone, err := parent.Spawn("w0", &vtime.Clock{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(clone.snapshotRaw(), parent.PowerOnState()) {
+		t.Fatal("spawned clone does not match parent power-on state")
+	}
+	// Clone is independent: writing it must not touch the parent.
+	cp, err := clone.Port("g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cp.WriteReg(0, 0x55); err != nil {
+		t.Fatal(err)
+	}
+	v, err := port.ReadReg(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0xAB {
+		t.Fatalf("parent state changed by clone write: %#x", v)
+	}
+}
+
+func TestSpawnAdoptState(t *testing.T) {
+	parent := spawnParent(t)
+	port, _ := parent.Port("g")
+	if err := port.WriteReg(0, 0x77); err != nil {
+		t.Fatal(err)
+	}
+	live, err := parent.Save()
+	if err != nil {
+		t.Fatal(err)
+	}
+	clone, err := parent.Spawn("w0", &vtime.Clock{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := clone.Clock().Now()
+	if err := clone.AdoptState(live); err != nil {
+		t.Fatal(err)
+	}
+	if clone.Clock().Now() != before {
+		t.Fatal("AdoptState must not charge virtual time")
+	}
+	cp, _ := clone.Port("g")
+	v, err := cp.ReadReg(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0x77 {
+		t.Fatalf("adopted state not applied: %#x", v)
+	}
+}
+
+// TestSpawnFaultStreams checks that sibling clones get decorrelated
+// but reproducible fault PRNG streams: same stream number → same
+// derived seed, different stream numbers → different seeds.
+func TestSpawnFaultStreams(t *testing.T) {
+	parent := spawnParent(t)
+	parent.InjectFaults(FaultSchedule{
+		Seed:          42,
+		LatencyJitter: 3 * time.Millisecond,
+	})
+	c0a, err := parent.Spawn("a", &vtime.Clock{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c0b, err := parent.Spawn("b", &vtime.Clock{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1, err := parent.Spawn("c", &vtime.Clock{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c0a.faults == nil || c1.faults == nil {
+		t.Fatal("clones must inherit fault injection")
+	}
+	if c0a.faults.sched.Seed != c0b.faults.sched.Seed {
+		t.Fatal("same stream must derive the same seed (reproducibility)")
+	}
+	if c0a.faults.sched.Seed == c1.faults.sched.Seed {
+		t.Fatal("distinct streams must derive distinct seeds")
+	}
+	if c0a.faults.sched.Seed == parent.faults.sched.Seed {
+		t.Fatal("clone must not reuse the parent's stream")
+	}
+	if c0a.faults.sched.LatencyJitter != parent.faults.sched.LatencyJitter {
+		t.Fatal("non-seed schedule fields must be inherited")
+	}
+}
