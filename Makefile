@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race bench-smoke bench-json bench-scale
+.PHONY: check fmt vet build test race bench-smoke bench-json bench-scale bench-remote
 
 # Full gate: formatting, static checks, build, tests, race detector on
 # the concurrency-sensitive packages.
@@ -21,6 +21,10 @@ build:
 test:
 	$(GO) test ./...
 
+# The race gate covers every concurrency-sensitive package, including
+# the v3 batching/pipelining layer (internal/remote: client send
+# window, async flushes and server session live on different
+# goroutines in every test that uses v3Pipe/TCP).
 race:
 	$(GO) test -race ./internal/remote ./internal/target ./internal/core ./internal/snapshot ./internal/solver ./internal/expr ./internal/symexec
 
@@ -40,3 +44,11 @@ bench-json:
 bench-scale:
 	$(GO) run -race ./cmd/hsbench -workers 1 e11
 	$(GO) run -race ./cmd/hsbench -workers 4 e11
+
+# bench-remote runs the remote-protocol latency experiment (E12) on a
+# zero-latency loopback and with 500µs one-way injected latency; the
+# experiment itself asserts the v3 round-trip reduction and the
+# wall-clock win over the one-op-per-frame v2 leg.
+bench-remote:
+	$(GO) run ./cmd/hsbench -latency 0 e12
+	$(GO) run ./cmd/hsbench -latency 500us e12

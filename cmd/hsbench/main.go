@@ -1,5 +1,5 @@
 // Command hsbench regenerates the paper's evaluation tables and
-// figures (experiments E1-E11; see DESIGN.md for the experiment
+// figures (experiments E1-E12; see DESIGN.md for the experiment
 // index).
 //
 // Usage:
@@ -8,6 +8,11 @@
 //	hsbench e1 e4      # run selected experiments
 //	hsbench -list      # list experiments
 //	hsbench -json e4   # machine-readable metrics (JSON array)
+//
+// Profiling: -cpuprofile and -memprofile write pprof profiles of the
+// selected experiments (inspect with `go tool pprof`). -latency sets
+// the injected one-way link latency of the remote-protocol experiment
+// (E12).
 package main
 
 import (
@@ -15,36 +20,59 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"time"
 
 	"hardsnap/internal/bench"
 )
 
+// runOpts carries the CLI configuration into run.
+type runOpts struct {
+	list       bool
+	jsonOut    bool
+	workers    int
+	latency    time.Duration
+	cpuProfile string
+	memProfile string
+	args       []string
+}
+
 func main() {
-	list := flag.Bool("list", false, "list experiments and exit")
-	jsonOut := flag.Bool("json", false,
+	var opts runOpts
+	flag.BoolVar(&opts.list, "list", false, "list experiments and exit")
+	flag.BoolVar(&opts.jsonOut, "json", false,
 		"emit machine-readable metrics as a JSON array of {experiment, metric, value, unit}")
-	workers := flag.Int("workers", 0,
+	flag.IntVar(&opts.workers, "workers", 0,
 		"cap the worker counts swept by the scaling experiment (E11); 0 keeps the default sweep")
+	flag.DurationVar(&opts.latency, "latency", -1,
+		"injected one-way link latency of the remote-protocol experiment (E12), e.g. 500us; negative keeps the default")
+	flag.StringVar(&opts.cpuProfile, "cpuprofile", "",
+		"write a CPU profile of the selected experiments to this file")
+	flag.StringVar(&opts.memProfile, "memprofile", "",
+		"write a heap profile (after the experiments complete) to this file")
 	flag.Parse()
-	if err := run(*list, *jsonOut, *workers, flag.Args()); err != nil {
+	opts.args = flag.Args()
+	if err := run(opts); err != nil {
 		fmt.Fprintln(os.Stderr, "hsbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(list, jsonOut bool, workers int, args []string) error {
-	bench.SetMaxWorkers(workers)
-	if list {
+func run(opts runOpts) error {
+	bench.SetMaxWorkers(opts.workers)
+	bench.SetRemoteLatency(opts.latency)
+	if opts.list {
 		for _, e := range bench.All() {
 			fmt.Printf("%-4s %s\n", e.ID, e.Title)
 		}
 		return nil
 	}
 	var selected []bench.Experiment
-	if len(args) == 0 {
+	if len(opts.args) == 0 {
 		selected = bench.All()
 	} else {
-		for _, id := range args {
+		for _, id := range opts.args {
 			e, ok := bench.Lookup(id)
 			if !ok {
 				return fmt.Errorf("unknown experiment %q (try -list)", id)
@@ -52,22 +80,44 @@ func run(list, jsonOut bool, workers int, args []string) error {
 			selected = append(selected, e)
 		}
 	}
+	if opts.cpuProfile != "" {
+		f, err := os.Create(opts.cpuProfile)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
 	metrics := []bench.Metric{}
 	for i, e := range selected {
-		if !jsonOut && i > 0 {
+		if !opts.jsonOut && i > 0 {
 			fmt.Println()
 		}
 		table, err := e.Run()
 		if err != nil {
 			return fmt.Errorf("%s: %w", e.ID, err)
 		}
-		if jsonOut {
+		if opts.jsonOut {
 			metrics = append(metrics, table.Metrics...)
 			continue
 		}
 		fmt.Print(table)
 	}
-	if jsonOut {
+	if opts.memProfile != "" {
+		f, err := os.Create(opts.memProfile)
+		if err != nil {
+			return fmt.Errorf("memprofile: %w", err)
+		}
+		defer f.Close()
+		runtime.GC() // report live allocations, not garbage
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			return fmt.Errorf("memprofile: %w", err)
+		}
+	}
+	if opts.jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		return enc.Encode(metrics)

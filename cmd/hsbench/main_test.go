@@ -1,22 +1,26 @@
 package main
 
-import "testing"
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
 
 func TestRunList(t *testing.T) {
-	if err := run(true, false, 0, nil); err != nil {
+	if err := run(runOpts{list: true, latency: -1}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunSelected(t *testing.T) {
 	// E5 is the fastest experiment.
-	if err := run(false, false, 0, []string{"e5"}); err != nil {
+	if err := run(runOpts{latency: -1, args: []string{"e5"}}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunJSON(t *testing.T) {
-	if err := run(false, true, 0, []string{"e5"}); err != nil {
+	if err := run(runOpts{jsonOut: true, latency: -1, args: []string{"e5"}}); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -24,13 +28,38 @@ func TestRunJSON(t *testing.T) {
 func TestRunScaling(t *testing.T) {
 	// The scaling experiment capped at 2 workers, JSON mode: must emit
 	// worker and solver-cache metrics.
-	if err := run(false, true, 2, []string{"e11"}); err != nil {
+	if err := run(runOpts{jsonOut: true, workers: 2, latency: -1, args: []string{"e11"}}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunUnknown(t *testing.T) {
-	if err := run(false, false, 0, []string{"e99"}); err == nil {
+	if err := run(runOpts{latency: -1, args: []string{"e99"}}); err == nil {
 		t.Fatal("unknown experiment must fail")
+	}
+}
+
+func TestRunProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	err := run(runOpts{
+		jsonOut:    true,
+		latency:    -1,
+		cpuProfile: cpu,
+		memProfile: mem,
+		args:       []string{"e5"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile %s not written: %v", p, err)
+		}
+		if st.Size() == 0 {
+			t.Fatalf("profile %s is empty", p)
+		}
 	}
 }

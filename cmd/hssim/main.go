@@ -4,6 +4,12 @@
 // (or any client of internal/remote) connects over TCP and performs
 // register reads/writes, IRQ sampling and clock advancement.
 //
+// Both protocol generations are served on the same port: v3 clients
+// (remote.Connect) get the full target surface — batched register
+// ops, pipelining, wire snapshots with digest negotiation and worker
+// spawning — while classic v2 clients (remote.NewClient) keep
+// speaking one-op-per-frame against the hosted peripheral.
+//
 // Usage:
 //
 //	hssim -periph uart -listen 127.0.0.1:7700
@@ -101,7 +107,8 @@ func serveOn(ln net.Listener, periphName, source, top string, fpga bool, sched t
 	}
 	fmt.Printf("hssim: hosting %s on %s (%s target, %d state bits)\n",
 		describe(cfg), ln.Addr(), tgt.Kind(), tgt.StateBits())
-	srv := &advPort{Port: port, tgt: tgt}
+	srv := remote.NewServer(tgt)
+	srv.SetLegacyPort(&advPort{Port: port, tgt: tgt})
 	var wrap func(net.Conn) net.Conn
 	if sched != (target.FaultSchedule{}) {
 		fmt.Printf("hssim: fault injection armed (seed %d, drop %.2f, corrupt %.2f, jitter %v)\n",
@@ -110,7 +117,7 @@ func serveOn(ln net.Listener, periphName, source, top string, fpga bool, sched t
 			return target.NewFaultConn(conn, sched)
 		}
 	}
-	return remote.ListenAndServeWith(ln, srv, wrap)
+	return srv.ListenAndServeWith(ln, wrap)
 }
 
 func describe(cfg target.PeriphConfig) string {

@@ -132,6 +132,58 @@ func TestServeWithFaultInjection(t *testing.T) {
 	<-done
 }
 
+func TestServeV3ClientFullSurface(t *testing.T) {
+	// The same port serves protocol v3: batched ops, snapshot
+	// save/restore over the wire, and telemetry mirrors.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- serveOn(ln, "gpio", "", "", false, target.FaultSchedule{}) }()
+
+	conn, err := net.DialTimeout("tcp", ln.Addr().String(), 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := remote.Connect(conn, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	port, err := c.Port("dev0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := port.WriteReg(0, 0xBEEF); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Advance(4); err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.Save()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := port.WriteReg(0, 0x1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Restore(st); err != nil {
+		t.Fatal(err)
+	}
+	v, err := port.ReadReg(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0xBEEF {
+		t.Fatalf("restored readback %#x, want 0xBEEF", v)
+	}
+	conn.Close()
+	ln.Close()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestRunValidation(t *testing.T) {
 	if err := run("", "", "", "127.0.0.1:0", false, target.FaultSchedule{}); err == nil {
 		t.Fatal("missing -periph/-source must fail")

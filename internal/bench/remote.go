@@ -1,0 +1,272 @@
+package bench
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"hardsnap/internal/core"
+	"hardsnap/internal/remote"
+	"hardsnap/internal/symexec"
+	"hardsnap/internal/target"
+	"hardsnap/internal/vtime"
+)
+
+// remoteLatency is the injected one-way link latency of E12's
+// high-latency sweep point (the paper's USB-debugger regime);
+// cmd/hsbench overrides it via SetRemoteLatency (-latency flag).
+var remoteLatency = 500 * time.Microsecond
+
+// SetRemoteLatency sets the injected one-way link latency of the
+// remote-protocol experiment's slow leg (values < 0 leave the
+// default; 0 collapses the sweep to the loopback point).
+func SetRemoteLatency(d time.Duration) {
+	if d >= 0 {
+		remoteLatency = d
+	}
+}
+
+// e12Firmware is a small exploration workload with enough MMIO and
+// context-switch traffic to expose the wire protocol: k symbolic
+// branches fan out 2^k paths, and every path runs a write-heavy
+// driver loop against the remote peripheral — the register-programming
+// pattern (burst of stores, occasional status read) that batching is
+// built for. v2 pays one round trip per store; v3 coalesces each
+// burst into one frame and answers the read from the same exchange.
+func e12Firmware() string {
+	src := `
+_start:
+		li r8, 0x40000000
+		li r1, 0x100
+		addi r2, r0, 3
+		addi r3, r0, 1
+		ecall 1
+		addi r7, r0, 0
+`
+	for i := 0; i < 3; i++ {
+		src += fmt.Sprintf(`
+		lbu r4, %d(r1)
+		andi r4, r4, 1
+		beq r4, r0, skip%d
+		addi r7, r7, 1
+skip%d:
+`, i, i, i)
+	}
+	src += `
+		addi r10, r0, 8
+work:
+		sw r7, 0(r8)       ; program the peripheral: burst of stores
+		sw r10, 0(r8)
+		sw r7, 0(r8)
+		sw r10, 0(r8)
+		sw r7, 0(r8)
+		sw r10, 0(r8)
+		addi r10, r10, -1
+		bne r10, r0, work
+		lw r6, 0(r8)       ; one status read per path
+		halt
+`
+	return src
+}
+
+func e12Periphs() []target.PeriphConfig {
+	return []target.PeriphConfig{{Name: "g", Periph: "gpio"}}
+}
+
+// e12Result is one leg of the comparison.
+type e12Result struct {
+	rep        *core.Report
+	wall       time.Duration
+	wire       remote.ClientStats
+	retransmit uint64
+}
+
+// e12Local runs the workload against an in-process simulator — the
+// zero-wire control leg.
+func e12Local() (*e12Result, error) {
+	a, err := core.Setup(core.SetupConfig{
+		Firmware:    e12Firmware(),
+		Peripherals: e12Periphs(),
+		Engine: core.Config{
+			Mode:            core.ModeHardSnap,
+			Searcher:        symexec.DFS{},
+			MaxInstructions: 2_000_000,
+			Workers:         1,
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	rep, err := a.Engine.Run()
+	if err != nil {
+		return nil, err
+	}
+	return &e12Result{rep: rep, wall: time.Since(start)}, nil
+}
+
+// e12Remote runs the same workload with the simulator hosted behind
+// the v3 server on a localhost TCP socket, both directions of the
+// link delayed by the given one-way latency. legacy selects the
+// protocol-v2 cost model (one op per frame, no mirrors, no digest
+// negotiation) as the before side of the comparison.
+func e12Remote(latency time.Duration, legacy bool) (*e12Result, error) {
+	root, err := target.NewSimulator("sim0", &vtime.Clock{}, e12Periphs())
+	if err != nil {
+		return nil, err
+	}
+	srv := remote.NewServer(root)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	defer ln.Close()
+	go func() {
+		_ = srv.ListenAndServeWith(ln, func(c net.Conn) net.Conn {
+			return remote.NewLatencyConn(c, latency)
+		})
+	}()
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		return nil, err
+	}
+	client, err := remote.Connect(remote.NewLatencyConn(conn, latency), nil)
+	if err != nil {
+		return nil, err
+	}
+	defer client.Close()
+	client.Legacy = legacy
+
+	a, err := core.Setup(core.SetupConfig{
+		Firmware:    e12Firmware(),
+		Peripherals: e12Periphs(),
+		Target:      client,
+		Engine: core.Config{
+			Mode:            core.ModeHardSnap,
+			Searcher:        symexec.DFS{},
+			MaxInstructions: 2_000_000,
+			Workers:         1,
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	rep, err := a.Engine.Run()
+	if err != nil {
+		return nil, err
+	}
+	ws := client.WireStats()
+	return &e12Result{
+		rep:        rep,
+		wall:       time.Since(start),
+		wire:       ws,
+		retransmit: ws.Retransmits,
+	}, nil
+}
+
+// E12 regenerates the remote-protocol study: the same exploration run
+// over an in-process target (control), the batched+pipelined v3
+// protocol, and a v2-equivalent one-op-per-frame baseline, at zero
+// injected latency and at the configured high-latency point. The
+// analysis results must be identical on every leg — the protocol may
+// only change how fast hardware is reached, never what the engine
+// concludes.
+func E12() (*Table, error) {
+	t := &Table{
+		ID:    "E12",
+		Title: "remote-protocol latency: batched/pipelined v3 vs one-op-per-frame v2",
+		Columns: []string{"leg", "one-way latency", "frames", "retransmits",
+			"state bytes", "paths", "bugs", "virtual time", "wall clock"},
+		Notes: []string{
+			"frames ≈ wire round trips: v2 pays one per register op, IRQ sample and snapshot chunk; v3 coalesces each engine step into one batch frame and piggybacks IRQ/generation/clock mirrors on every response",
+			"state bytes count snapshot payload actually moved; v3's digest negotiation skips chunks the peer already holds, v2 re-transfers full state every save/restore",
+			"path counts and bug sets are checked identical on every leg (the protocol must not change analysis results)",
+			"wall clock on the latency legs is dominated by round trips, so the frame ratio predicts the speedup",
+		},
+	}
+
+	local, err := e12Local()
+	if err != nil {
+		return nil, fmt.Errorf("E12 local: %w", err)
+	}
+	paths, bugs := len(local.rep.Finished), len(local.rep.Bugs())
+
+	addRow := func(leg string, lat time.Duration, r *e12Result) {
+		latCell := "-"
+		if r.wire.Frames > 0 || lat > 0 {
+			latCell = lat.String()
+		}
+		t.AddRow(leg, latCell,
+			fmt.Sprintf("%d", r.wire.Frames),
+			fmt.Sprintf("%d", r.retransmit),
+			fmt.Sprintf("%d", r.wire.StateBytesSent+r.wire.StateBytesReceived),
+			fmt.Sprintf("%d", len(r.rep.Finished)),
+			fmt.Sprintf("%d", len(r.rep.Bugs())),
+			dur(r.rep.VirtualTime), r.wall.Round(time.Microsecond).String())
+	}
+	addRow("local", 0, local)
+
+	check := func(leg string, r *e12Result) error {
+		if len(r.rep.Finished) != paths || len(r.rep.Bugs()) != bugs {
+			return fmt.Errorf("E12 %s: found %d paths/%d bugs, local found %d/%d",
+				leg, len(r.rep.Finished), len(r.rep.Bugs()), paths, bugs)
+		}
+		return nil
+	}
+
+	sweep := []time.Duration{0}
+	if remoteLatency > 0 {
+		sweep = append(sweep, remoteLatency)
+	}
+	for _, lat := range sweep {
+		legacy, err := e12Remote(lat, true)
+		if err != nil {
+			return nil, fmt.Errorf("E12 v2 latency=%v: %w", lat, err)
+		}
+		if err := check("v2", legacy); err != nil {
+			return nil, err
+		}
+		v3, err := e12Remote(lat, false)
+		if err != nil {
+			return nil, fmt.Errorf("E12 v3 latency=%v: %w", lat, err)
+		}
+		if err := check("v3", v3); err != nil {
+			return nil, err
+		}
+		addRow("remote-v2", lat, legacy)
+		addRow("remote-v3", lat, v3)
+
+		ratio := float64(legacy.wire.Frames) / float64(max(v3.wire.Frames, 1))
+		speedup := float64(legacy.wall) / float64(max(v3.wall, 1))
+		stateRatio := float64(legacy.wire.StateBytesSent+legacy.wire.StateBytesReceived) /
+			float64(max(v3.wire.StateBytesSent+v3.wire.StateBytesReceived, 1))
+		if ratio < 5 {
+			return nil, fmt.Errorf("E12 latency=%v: v3 must cut round trips ≥5x, got %.1fx (%d vs %d frames)",
+				lat, ratio, legacy.wire.Frames, v3.wire.Frames)
+		}
+		// On the high-latency leg round trips dominate wall clock, so
+		// the batching win must be visible in real time too. The
+		// zero-latency point is loopback-noise bound and not asserted.
+		if lat >= 100*time.Microsecond && v3.wall >= legacy.wall {
+			return nil, fmt.Errorf("E12 latency=%v: v3 wall clock %v not better than v2 %v",
+				lat, v3.wall, legacy.wall)
+		}
+		p := fmt.Sprintf("lat%dus.", lat.Microseconds())
+		t.AddMetric(p+"v2_frames", float64(legacy.wire.Frames), "frames")
+		t.AddMetric(p+"v3_frames", float64(v3.wire.Frames), "frames")
+		t.AddMetric(p+"frame_reduction", ratio, "x")
+		t.AddMetric(p+"v2_state_bytes",
+			float64(legacy.wire.StateBytesSent+legacy.wire.StateBytesReceived), "bytes")
+		t.AddMetric(p+"v3_state_bytes",
+			float64(v3.wire.StateBytesSent+v3.wire.StateBytesReceived), "bytes")
+		t.AddMetric(p+"state_byte_reduction", stateRatio, "x")
+		t.AddMetric(p+"v2_wall", float64(legacy.wall.Nanoseconds()), "ns")
+		t.AddMetric(p+"v3_wall", float64(v3.wall.Nanoseconds()), "ns")
+		t.AddMetric(p+"wall_speedup", speedup, "x")
+		t.AddMetric(p+"v3_chunks_skipped", float64(v3.wire.ChunksSkipped), "chunks")
+	}
+	t.AddMetric("paths", float64(paths), "paths")
+	t.AddMetric("bugs", float64(bugs), "bugs")
+	return t, nil
+}

@@ -55,6 +55,15 @@ type Port interface {
 	IRQLevel() (bool, error)
 }
 
+// Flusher is the optional coalescing surface of a Port: ports backed
+// by a batching transport (the remote protocol's vectored frames)
+// queue writes and clock advances, and Flush forces everything queued
+// onto the hardware. Ports without buffering simply don't implement
+// it.
+type Flusher interface {
+	Flush() error
+}
+
 // Region maps an address range onto a peripheral port.
 type Region struct {
 	Name string
@@ -134,6 +143,21 @@ func (r *Router) WriteMMIO(addr uint32, size int, val uint32) error {
 		return fmt.Errorf("%w (%#x)", ErrUnmapped, addr)
 	}
 	return reg.Port.WriteReg(addr-reg.Base, val)
+}
+
+// Flush drains every region port that buffers operations (see
+// Flusher). Buffering ports flush themselves before answering reads,
+// so callers rarely need this; the engine uses it as an explicit
+// barrier before reading final clocks and statistics.
+func (r *Router) Flush() error {
+	for i := range r.regions {
+		if f, ok := r.regions[i].Port.(Flusher); ok {
+			if err := f.Flush(); err != nil {
+				return fmt.Errorf("bus: flush of %s: %w", r.regions[i].Name, err)
+			}
+		}
+	}
+	return nil
 }
 
 // RisingIRQs samples every region's interrupt line and returns the CPU

@@ -240,7 +240,7 @@ func (r *Report) CountStatus(s symexec.Status) int {
 type Engine struct {
 	cfg     Config
 	exec    *symexec.Executor
-	tgt     *target.Target
+	tgt     target.Interface
 	router  *bus.Router
 	snaps   *snapshot.Store
 	snapman *SnapshotManager
@@ -277,10 +277,12 @@ type ioRecord struct {
 	cyclesBefore uint64
 }
 
-// New builds an engine. tgt and router may both be nil for
+// New builds an engine. tgt is any execution vehicle implementing
+// target.Interface — an in-process *target.Target or a remote
+// protocol-v3 client. tgt and router may both be nil for
 // software-only firmware; otherwise both must be set and the router's
 // ports must come from tgt.
-func New(cfg Config, exec *symexec.Executor, tgt *target.Target, router *bus.Router) (*Engine, error) {
+func New(cfg Config, exec *symexec.Executor, tgt target.Interface, router *bus.Router) (*Engine, error) {
 	return newEngine(cfg, exec, tgt, router, nil, nil)
 }
 
@@ -288,9 +290,14 @@ func New(cfg Config, exec *symexec.Executor, tgt *target.Target, router *bus.Rou
 // shared snapshot store (cross-worker structural sharing) and a
 // pre-built snapshot manager (reused across one worker's subtrees so
 // generation-proven skips survive subtree boundaries).
-func newEngine(cfg Config, exec *symexec.Executor, tgt *target.Target, router *bus.Router,
+func newEngine(cfg Config, exec *symexec.Executor, tgt target.Interface, router *bus.Router,
 	snaps *snapshot.Store, snapman *SnapshotManager) (*Engine, error) {
 	cfg.setDefaults()
+	// Normalize a typed-nil *target.Target handed in through the
+	// interface, so every `tgt != nil` guard below stays honest.
+	if t, ok := tgt.(*target.Target); ok && t == nil {
+		tgt = nil
+	}
 	if (tgt == nil) != (router == nil) {
 		return nil, errors.New("core: target and router must be provided together")
 	}
@@ -691,6 +698,13 @@ func (e *Engine) step() error {
 // finalize marks budget-exhausted leftovers, releases their
 // snapshots, and assembles the report.
 func (e *Engine) finalize(start time.Duration) *Report {
+	if e.router != nil {
+		// Drain any coalescing ports so the clock and the target
+		// counters below reflect every queued operation. A flush
+		// failure here cannot change the verdicts (the run already
+		// completed); it only leaves the final counters short.
+		_ = e.router.Flush()
+	}
 	for _, st := range e.active {
 		if st.Status == symexec.StatusRunning {
 			st.Status = symexec.StatusBudget

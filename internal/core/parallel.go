@@ -223,14 +223,14 @@ func (e *Engine) runWorker(w int, seeds []*symexec.State, seedMaxID, budget uint
 	liveHW target.State, liveEdges []bool,
 	idxCh <-chan int, done <-chan struct{}, results []*subtreeResult) error {
 	var (
-		wtgt    *target.Target
+		wtgt    target.Interface
 		wrouter *bus.Router
 		wsnaps  *SnapshotManager
 	)
 	if e.tgt != nil {
 		clock := &vtime.Clock{}
 		var err error
-		wtgt, err = e.tgt.Spawn(fmt.Sprintf("%s-w%d", e.tgt.Name(), w), clock, w)
+		wtgt, err = e.tgt.SpawnWorker(fmt.Sprintf("%s-w%d", e.tgt.Name(), w), clock, w)
 		if err != nil {
 			return fmt.Errorf("core: worker %d: %w", w, err)
 		}
@@ -274,7 +274,7 @@ func (e *Engine) runWorker(w int, seeds []*symexec.State, seedMaxID, budget uint
 // the physical worker or claim order, so a subtree's result is a pure
 // function of the seed and the run is schedule-independent.
 func (e *Engine) runSubtree(idx int, seed *symexec.State, seedMaxID, budget uint64,
-	wtgt *target.Target, wrouter *bus.Router, wsnaps *SnapshotManager,
+	wtgt target.Interface, wrouter *bus.Router, wsnaps *SnapshotManager,
 	liveHW target.State, liveEdges []bool) (*subtreeResult, error) {
 	wcfg := e.cfg
 	wcfg.Workers = 1

@@ -24,6 +24,12 @@ type SetupConfig struct {
 	// Peripherals are placed at MMIOBase + i*PeriphRegionSize with
 	// IRQ line i.
 	Peripherals []target.PeriphConfig
+	// Target, when set, is a pre-built execution vehicle — typically a
+	// remote.TargetClient — used instead of constructing a local
+	// simulator/FPGA. Peripherals then only lay out the bus regions
+	// and must name ports the target exposes, in the target's index
+	// order. HWAssertions are unsupported in this mode.
+	Target target.Interface
 	// FPGA selects the FPGA target instead of the simulator.
 	FPGA bool
 	// Readback selects the readback snapshot method on the FPGA.
@@ -71,15 +77,24 @@ func SetupProgram(cfg SetupConfig, prog *asm.Program) (*Analysis, error) {
 
 	var tgt *target.Target
 	var router *bus.Router
-	if len(cfg.Peripherals) > 0 {
+	if cfg.Target != nil || len(cfg.Peripherals) > 0 {
 		var err error
-		if cfg.FPGA {
-			tgt, err = target.NewFPGA("fpga0", clock, cfg.Peripherals, cfg.Readback)
+		vehicle := cfg.Target
+		if vehicle == nil {
+			if cfg.FPGA {
+				tgt, err = target.NewFPGA("fpga0", clock, cfg.Peripherals, cfg.Readback)
+			} else {
+				tgt, err = target.NewSimulator("sim0", clock, cfg.Peripherals)
+			}
+			if err != nil {
+				return nil, err
+			}
+			vehicle = tgt
 		} else {
-			tgt, err = target.NewSimulator("sim0", clock, cfg.Peripherals)
-		}
-		if err != nil {
-			return nil, err
+			if len(cfg.HWAssertions) > 0 {
+				return nil, fmt.Errorf("core: hardware assertions require a local target")
+			}
+			clock = vehicle.Clock()
 		}
 		exec0, err := symexec.New(cfg.Exec, prog, nil)
 		if err != nil {
@@ -88,7 +103,7 @@ func SetupProgram(cfg SetupConfig, prog *asm.Program) (*Analysis, error) {
 		mmioBase := exec0.Config().VM.MMIOBase
 		regions := make([]bus.Region, 0, len(cfg.Peripherals))
 		for i, pc := range cfg.Peripherals {
-			port, err := tgt.Port(pc.Name)
+			port, err := vehicle.Port(pc.Name)
 			if err != nil {
 				return nil, err
 			}
@@ -109,7 +124,7 @@ func SetupProgram(cfg SetupConfig, prog *asm.Program) (*Analysis, error) {
 				return nil, err
 			}
 		}
-		eng, err := New(cfg.Engine, exec0, tgt, router)
+		eng, err := New(cfg.Engine, exec0, vehicle, router)
 		if err != nil {
 			return nil, err
 		}

@@ -32,7 +32,7 @@ import (
 //     the whole fabric).
 type SnapshotManager struct {
 	store  *snapshot.Store
-	tgt    *target.Target
+	tgt    target.Interface
 	router *bus.Router
 
 	// live tracks what the hardware currently holds: the digest of
@@ -68,8 +68,11 @@ type SnapManagerStats struct {
 }
 
 // NewSnapshotManager builds a manager over the given store, target
-// and interrupt router.
-func NewSnapshotManager(store *snapshot.Store, tgt *target.Target, router *bus.Router) *SnapshotManager {
+// and interrupt router. The target may be remote: generation-proven
+// skips and digest checks run entirely client-side against the
+// piggybacked counters, and delta restores negotiate only the dirty
+// peripheral chunks over the wire.
+func NewSnapshotManager(store *snapshot.Store, tgt target.Interface, router *bus.Router) *SnapshotManager {
 	return &SnapshotManager{store: store, tgt: tgt, router: router}
 }
 

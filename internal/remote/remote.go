@@ -276,6 +276,52 @@ func errorClass(err error) target.ErrorClass {
 	return target.Fatal
 }
 
+// handleV2 executes one v2 request frame against a port and builds
+// the response frame. Shared between the classic single-port Serve
+// loop and the v3 Server's legacy-compatibility path.
+func handleV2(req [reqLen]byte, port bus.Port) [respLen]byte {
+	var resp [respLen]byte
+	var out uint32
+	var status byte = statusOK
+	if crc8(req[:reqLen-1]) != req[reqLen-1] {
+		status = statusBadFrame
+	} else {
+		offset := binary.LittleEndian.Uint32(req[1:5])
+		value := binary.LittleEndian.Uint32(req[5:9])
+		var opErr error
+		switch req[0] {
+		case opRead:
+			out, opErr = port.ReadReg(offset)
+		case opWrite:
+			opErr = port.WriteReg(offset, value)
+		case opIRQ:
+			level, err := port.IRQLevel()
+			if level {
+				out = 1
+			}
+			opErr = err
+		case opAdvance:
+			if adv, ok := port.(Advancer); ok {
+				opErr = adv.Advance(uint64(value))
+			} else {
+				opErr = fmt.Errorf("target does not support advance")
+			}
+		case opPing:
+			out = value
+		default:
+			opErr = fmt.Errorf("unknown opcode %d", req[0])
+		}
+		if opErr != nil {
+			status = statusErr
+			out = uint32(errorClass(opErr))
+		}
+	}
+	resp[0] = status
+	binary.LittleEndian.PutUint32(resp[1:5], out)
+	resp[respLen-1] = crc8(resp[:respLen-1])
+	return resp
+}
+
 // Serve answers protocol requests against the given port until the
 // connection closes. A clean close (EOF between frames, or a closed
 // connection) returns nil; a genuine link failure — including a
@@ -283,7 +329,6 @@ func errorClass(err error) target.ErrorClass {
 // being masked as a clean shutdown.
 func Serve(conn io.ReadWriter, port bus.Port) error {
 	var req [reqLen]byte
-	var resp [respLen]byte
 	for {
 		if _, err := io.ReadFull(conn, req[:]); err != nil {
 			switch {
@@ -297,44 +342,7 @@ func Serve(conn io.ReadWriter, port bus.Port) error {
 				return fmt.Errorf("remote: read request: %w", err)
 			}
 		}
-		var out uint32
-		var status byte = statusOK
-		if crc8(req[:reqLen-1]) != req[reqLen-1] {
-			status = statusBadFrame
-		} else {
-			offset := binary.LittleEndian.Uint32(req[1:5])
-			value := binary.LittleEndian.Uint32(req[5:9])
-			var opErr error
-			switch req[0] {
-			case opRead:
-				out, opErr = port.ReadReg(offset)
-			case opWrite:
-				opErr = port.WriteReg(offset, value)
-			case opIRQ:
-				level, err := port.IRQLevel()
-				if level {
-					out = 1
-				}
-				opErr = err
-			case opAdvance:
-				if adv, ok := port.(Advancer); ok {
-					opErr = adv.Advance(uint64(value))
-				} else {
-					opErr = fmt.Errorf("target does not support advance")
-				}
-			case opPing:
-				out = value
-			default:
-				opErr = fmt.Errorf("unknown opcode %d", req[0])
-			}
-			if opErr != nil {
-				status = statusErr
-				out = uint32(errorClass(opErr))
-			}
-		}
-		resp[0] = status
-		binary.LittleEndian.PutUint32(resp[1:5], out)
-		resp[respLen-1] = crc8(resp[:respLen-1])
+		resp := handleV2(req, port)
 		if _, err := conn.Write(resp[:]); err != nil {
 			return fmt.Errorf("remote: write response: %w", err)
 		}

@@ -1,0 +1,1225 @@
+package remote
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hardsnap/internal/bus"
+	"hardsnap/internal/sim"
+	"hardsnap/internal/snapshot"
+	"hardsnap/internal/target"
+	"hardsnap/internal/vtime"
+)
+
+// ClientStats is a snapshot of a client's wire-level counters. Frames
+// counts transmitted request frames — each is one wire round trip —
+// which is the quantity v3's batching attacks; Retransmits counts
+// go-back-N window replays after faults; ChunksSkipped counts
+// peripheral state chunks digest negotiation kept off the wire.
+type ClientStats struct {
+	Frames             uint64
+	Retransmits        uint64
+	Ops                uint64
+	StateBytesSent     uint64
+	StateBytesReceived uint64
+	ChunksSkipped      uint64
+}
+
+// wireStats is the atomic backing store, shared between a root client
+// and the workers it spawns so a benchmark reads one total.
+type wireStats struct {
+	frames        atomic.Uint64
+	retransmits   atomic.Uint64
+	ops           atomic.Uint64
+	bytesSent     atomic.Uint64
+	bytesReceived atomic.Uint64
+	chunksSkipped atomic.Uint64
+}
+
+func (w *wireStats) snapshot() ClientStats {
+	return ClientStats{
+		Frames:             w.frames.Load(),
+		Retransmits:        w.retransmits.Load(),
+		Ops:                w.ops.Load(),
+		StateBytesSent:     w.bytesSent.Load(),
+		StateBytesReceived: w.bytesReceived.Load(),
+		ChunksSkipped:      w.chunksSkipped.Load(),
+	}
+}
+
+// chunkCache maps content digests to peripheral states the client has
+// already seen, shared across spawned workers.
+type chunkCache struct {
+	mu sync.Mutex
+	m  map[snapshot.Digest]*sim.HWState
+}
+
+func newChunkCache() *chunkCache {
+	return &chunkCache{m: make(map[snapshot.Digest]*sim.HWState)}
+}
+
+func (cc *chunkCache) get(d snapshot.Digest) (*sim.HWState, bool) {
+	cc.mu.Lock()
+	hw, ok := cc.m[d]
+	cc.mu.Unlock()
+	return hw, ok
+}
+
+func (cc *chunkCache) put(d snapshot.Digest, hw *sim.HWState) {
+	cc.mu.Lock()
+	if _, ok := cc.m[d]; !ok {
+		cc.m[d] = hw
+	}
+	cc.mu.Unlock()
+}
+
+// sentFrame is one unacknowledged v3 request. background marks the
+// batch frames flushed from the op queue, whose per-op errors are
+// deferred to the flush result rather than any single caller.
+type sentFrame struct {
+	kind       byte
+	seq        uint32
+	payload    []byte
+	background bool
+
+	done bool
+	body []byte
+	err  error
+}
+
+// TargetClient speaks protocol v3 and exposes the remote target
+// behind the full target.Interface, so the engine — scheduler,
+// snapshot manager, parallel worker fan-out — runs against remote
+// hardware unchanged.
+//
+// The client is the batching layer: register writes, clock advances
+// and resets queue locally and cross the wire as one vectored frame
+// when something forces a flush (a read, an IRQ sample with a dirty
+// queue, a snapshot boundary). Errors of queued ops surface at that
+// flush. Response telemetry (generation, anchor sequence, virtual
+// clock, IRQ levels, pending violation count) is mirrored client-side
+// so the engine's bookkeeping reads cost no round trips.
+//
+// Like the v2 client it is not safe for concurrent use; the VM
+// serializes hardware access. Workers spawned via SpawnWorker get
+// their own connection and session and may run concurrently with the
+// parent.
+type TargetClient struct {
+	conn  io.ReadWriter
+	clock *vtime.Clock
+
+	// Timeout, MaxRetries, Backoff, BackoffMax, Dial mirror the v2
+	// client's per-transaction reliability knobs; Dial (when set)
+	// re-establishes the link and re-attaches the session after a
+	// transport error.
+	Timeout    time.Duration
+	MaxRetries int
+	Backoff    time.Duration
+	BackoffMax time.Duration
+	Dial       func() (net.Conn, error)
+	// Legacy degrades the client to protocol-v2 behavior over v3
+	// frames — one op per frame, no mirrors, no digest negotiation,
+	// full state transfers — as the baseline leg of latency
+	// experiments.
+	Legacy bool
+	// MaxBatch caps ops per frame; MaxInflight caps pipelined frames.
+	MaxBatch    int
+	MaxInflight int
+
+	token     uint32
+	name      string
+	kind      string
+	stateBits uint
+	periphs   []string
+	pidx      map[string]int
+
+	nextSeq     uint32
+	inflight    []*sentFrame
+	queue       []batchOp
+	deferredErr error
+
+	// irqMask has bit i set iff peripheral i can ever drive its IRQ
+	// line (from the hello handshake); cleared bits answer IRQ polls
+	// locally as constant-low. hasAssertions gates TakeViolations the
+	// same way: an assertion-free target can never produce one.
+	irqMask       uint64
+	hasAssertions bool
+
+	// Mirrors of the piggybacked response telemetry.
+	gen        uint64
+	genPoison  uint64
+	anchorSeq  uint64
+	lastNow    time.Duration
+	irqBits    uint64
+	irqValid   bool
+	pending    uint32
+	statsCache target.Stats
+
+	store  *snapshot.Store
+	chunks *chunkCache
+	wire   *wireStats
+}
+
+var _ target.Interface = (*TargetClient)(nil)
+
+// Connect performs the v3 hello handshake over conn and returns a
+// client whose virtual clock mirror is clock (a fresh clock is used
+// when nil).
+func Connect(conn io.ReadWriter, clock *vtime.Clock) (*TargetClient, error) {
+	if clock == nil {
+		clock = &vtime.Clock{}
+	}
+	c := &TargetClient{
+		conn:        conn,
+		clock:       clock,
+		MaxBatch:    64,
+		MaxInflight: 8,
+		chunks:      newChunkCache(),
+		wire:        &wireStats{},
+	}
+	info, err := c.handshake(kHello, 0)
+	if err != nil {
+		return nil, err
+	}
+	c.applyInfo(info)
+	return c, nil
+}
+
+func (c *TargetClient) applyInfo(info helloInfo) {
+	c.token = info.Token
+	c.name = info.Name
+	c.kind = info.Kind
+	c.stateBits = info.StateBits
+	c.periphs = info.Periphs
+	c.irqMask = info.IRQMask
+	c.hasAssertions = info.HasAssertions
+	c.pidx = make(map[string]int, len(info.Periphs))
+	for i, name := range info.Periphs {
+		c.pidx[name] = i
+	}
+	c.nextSeq = info.LastApplied
+}
+
+// BindStore lets digest negotiation satisfy snapshot transfers from a
+// content-addressed store the client side already holds (the engine's
+// snapshot store), in addition to the client's own chunk cache.
+func (c *TargetClient) BindStore(s *snapshot.Store) { c.store = s }
+
+// WireStats snapshots the wire-level counters (shared with spawned
+// workers).
+func (c *TargetClient) WireStats() ClientStats { return c.wire.snapshot() }
+
+// Close closes the underlying connection when it supports it.
+func (c *TargetClient) Close() error {
+	if cl, ok := c.conn.(io.Closer); ok {
+		return cl.Close()
+	}
+	return nil
+}
+
+// --- wire engine ---------------------------------------------------
+
+func (c *TargetClient) setDeadline() func() {
+	if d, ok := c.conn.(deadliner); ok && c.Timeout > 0 {
+		_ = d.SetDeadline(time.Now().Add(c.Timeout))
+		return func() { _ = d.SetDeadline(time.Time{}) }
+	}
+	return func() {}
+}
+
+func (c *TargetClient) xmit(f *sentFrame) error {
+	restore := c.setDeadline()
+	defer restore()
+	if err := writeFrame(c.conn, f.kind, f.seq, f.payload); err != nil {
+		return &transportError{fmt.Errorf("remote: send frame %d: %w", f.seq, err)}
+	}
+	c.wire.frames.Add(1)
+	return nil
+}
+
+// handshake sends an unsequenced kHello/kAttach and reads its
+// response.
+func (c *TargetClient) handshake(kind byte, token uint32) (helloInfo, error) {
+	restore := c.setDeadline()
+	defer restore()
+	payload, err := gobEncode(helloReq{Magic: helloMagic, Token: token})
+	if err != nil {
+		return helloInfo{}, err
+	}
+	if err := writeFrame(c.conn, kind, 0, payload); err != nil {
+		return helloInfo{}, &transportError{fmt.Errorf("remote: hello: %w", err)}
+	}
+	c.wire.frames.Add(1)
+	rkind, _, rp, err := readFrame(c.conn)
+	if err != nil {
+		return helloInfo{}, &transportError{fmt.Errorf("remote: hello response: %w", err)}
+	}
+	if rkind != kResp {
+		return helloInfo{}, &transportError{fmt.Errorf("remote: hello answered by frame kind %#x", rkind)}
+	}
+	m, body, err := decodeMeta(rp)
+	if err != nil {
+		return helloInfo{}, &transportError{err}
+	}
+	if m.status != vstatusOK {
+		if m.status == vstatusErr {
+			return helloInfo{}, decodeWireErr(body)
+		}
+		return helloInfo{}, &transportError{fmt.Errorf("remote: hello rejected (status %d)", m.status)}
+	}
+	var info helloInfo
+	if err := gobDecode(body, &info); err != nil {
+		return helloInfo{}, &transportError{fmt.Errorf("remote: hello info: %w", err)}
+	}
+	c.consume(m)
+	return info, nil
+}
+
+// consume folds a response's piggybacked telemetry into the client
+// mirrors. The virtual clock advances by the server-side delta, so
+// locally charged time (symbolic execution costs) stacks on top
+// exactly as it does against an in-process target.
+func (c *TargetClient) consume(m respMeta) {
+	c.gen = m.gen
+	c.anchorSeq = m.anchorSeq
+	c.pending = m.pending
+	c.statsCache.Cycles = m.cycles
+	if m.flags&1 != 0 {
+		c.irqBits = m.irqBits
+		c.irqValid = true
+	} else {
+		c.irqValid = false
+	}
+	now := time.Duration(m.serverNow)
+	if d := now - c.lastNow; d > 0 {
+		c.clock.Advance(d)
+	}
+	c.lastNow = now
+}
+
+func decodeWireErr(body []byte) error {
+	if len(body) < 1 {
+		return &target.Error{Class: target.Fatal, Op: "remote",
+			Err: errors.New("malformed error response")}
+	}
+	class := target.ErrorClass(body[0])
+	switch class {
+	case target.Transient, target.Fatal, target.Integrity:
+	default:
+		class = target.Fatal
+	}
+	return &target.Error{Class: class, Op: "remote", Err: errors.New(string(body[1:]))}
+}
+
+// errProtoRetry marks a server rejection (vstatusBadFrame /
+// vstatusOutOfOrder) that is cured by retransmitting the go-back-N
+// window as a unit.
+var errProtoRetry = &target.Error{Class: target.Transient, Op: "remote",
+	Err: errors.New("server rejected frame; window retransmit needed")}
+
+// recoverLink redials, re-attaches the session and retransmits every
+// in-flight frame. The server's duplicate suppression guarantees
+// frames that were already applied are not applied again; their
+// cached responses replay instead.
+func (c *TargetClient) recoverLink() error {
+	if c.Dial == nil {
+		return &transportError{errors.New("remote: link lost and no Dial configured")}
+	}
+	conn, err := c.Dial()
+	if err != nil {
+		return &transportError{fmt.Errorf("remote: redial: %w", err)}
+	}
+	c.conn = conn
+	if _, err := c.handshake(kAttach, c.token); err != nil {
+		return err
+	}
+	return c.retransmitAll()
+}
+
+func (c *TargetClient) retransmitAll() error {
+	for _, f := range c.inflight {
+		if err := c.xmit(f); err != nil {
+			return err
+		}
+		c.wire.retransmits.Add(1)
+	}
+	return nil
+}
+
+func (c *TargetClient) backoffs() (time.Duration, time.Duration) {
+	backoff := c.Backoff
+	if backoff <= 0 {
+		backoff = 200 * time.Microsecond
+	}
+	backoffMax := c.BackoffMax
+	if backoffMax <= 0 {
+		backoffMax = 50 * time.Millisecond
+	}
+	return backoff, backoffMax
+}
+
+// recoverRetry drives recoverLink under the retry budget after a
+// send-side transport failure.
+func (c *TargetClient) recoverRetry(lastErr error) error {
+	backoff, backoffMax := c.backoffs()
+	for attempt := 1; attempt <= c.MaxRetries; attempt++ {
+		time.Sleep(backoff)
+		if backoff < backoffMax {
+			backoff = min(backoff*2, backoffMax)
+		}
+		if err := c.recoverLink(); err == nil {
+			return nil
+		} else {
+			lastErr = err
+		}
+	}
+	var te *transportError
+	if errors.As(lastErr, &te) {
+		return &target.Error{Class: target.Transient, Op: "remote", Err: te.err}
+	}
+	return lastErr
+}
+
+// sendSeq transmits a sequenced frame, draining the pipeline when the
+// window is full.
+func (c *TargetClient) sendSeq(kind byte, payload []byte, background bool) (*sentFrame, error) {
+	maxInflight := c.MaxInflight
+	if maxInflight <= 0 {
+		maxInflight = 1
+	}
+	for len(c.inflight) >= maxInflight {
+		if err := c.drainOne(); err != nil {
+			return nil, err
+		}
+	}
+	c.nextSeq++
+	f := &sentFrame{kind: kind, seq: c.nextSeq, payload: payload, background: background}
+	c.inflight = append(c.inflight, f)
+	if err := c.xmit(f); err != nil {
+		if rerr := c.recoverRetry(err); rerr != nil {
+			return nil, rerr
+		}
+	}
+	return f, nil
+}
+
+// drainOne consumes one response from the pipeline, absorbing
+// transient faults with backoff, redial and go-back-N window
+// retransmission.
+func (c *TargetClient) drainOne() error {
+	backoff, backoffMax := c.backoffs()
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			time.Sleep(backoff)
+			if backoff < backoffMax {
+				backoff = min(backoff*2, backoffMax)
+			}
+			var te *transportError
+			if errors.As(lastErr, &te) && c.Dial != nil {
+				if err := c.recoverLink(); err != nil {
+					lastErr = err
+					if attempt >= c.MaxRetries {
+						break
+					}
+					continue
+				}
+			} else if err := c.retransmitAll(); err != nil {
+				lastErr = err
+				if attempt >= c.MaxRetries {
+					break
+				}
+				continue
+			}
+		}
+		err := c.readOne()
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		if !retryable(err) {
+			return err
+		}
+		if attempt >= c.MaxRetries {
+			break
+		}
+	}
+	var te *transportError
+	if errors.As(lastErr, &te) {
+		return &target.Error{Class: target.Transient, Op: "remote", Err: te.err}
+	}
+	return lastErr
+}
+
+// readOne reads responses until the head-of-window frame is resolved.
+// Responses for sequence numbers other than the head are either stale
+// artifacts of a superseded transmission (ignored) or evidence of
+// desynchronization (transport error).
+func (c *TargetClient) readOne() error {
+	if len(c.inflight) == 0 {
+		return nil
+	}
+	head := c.inflight[0]
+	for {
+		restore := c.setDeadline()
+		kind, seq, payload, err := readFrame(c.conn)
+		restore()
+		switch {
+		case err == nil:
+		case errors.Is(err, errPayloadCRC):
+			// The response was corrupted in flight; retransmitting the
+			// window makes the server replay it from the cache.
+			return errProtoRetry
+		default:
+			return &transportError{fmt.Errorf("remote: receive: %w", err)}
+		}
+		if kind != kResp {
+			return &transportError{fmt.Errorf("remote: unexpected frame kind %#x", kind)}
+		}
+		m, body, err := decodeMeta(payload)
+		if err != nil {
+			return &transportError{err}
+		}
+		if seq != head.seq {
+			if seq < head.seq || m.status == vstatusBadFrame || m.status == vstatusOutOfOrder {
+				// Stale: a response to a transmission this window
+				// already superseded.
+				continue
+			}
+			return &transportError{fmt.Errorf("remote: response for frame %d while %d heads the window", seq, head.seq)}
+		}
+		if m.status == vstatusBadFrame || m.status == vstatusOutOfOrder {
+			return errProtoRetry
+		}
+		c.consume(m)
+		c.inflight = c.inflight[1:]
+		head.done = true
+		head.body = body
+		switch {
+		case m.status == vstatusErr:
+			head.err = decodeWireErr(body)
+		case head.kind == kBatch:
+			head.err = checkBatchErr(body)
+		}
+		if head.background && head.err != nil && c.deferredErr == nil {
+			c.deferredErr = head.err
+		}
+		return nil
+	}
+}
+
+// checkBatchErr surfaces the first failed op of a batch response.
+func checkBatchErr(body []byte) error {
+	status, _, err := decodeBatchResults(body)
+	if err != nil {
+		return &target.Error{Class: target.Transient, Op: "remote", Err: err}
+	}
+	for _, st := range status {
+		if st == opStatusOK || st == opSkipped {
+			continue
+		}
+		class := target.ErrorClass(st)
+		switch class {
+		case target.Transient, target.Fatal, target.Integrity:
+		default:
+			class = target.Fatal
+		}
+		return &target.Error{Class: class, Op: "remote",
+			Err: errors.New("batched operation failed on target")}
+	}
+	return nil
+}
+
+func (c *TargetClient) enqueue(op batchOp) {
+	c.queue = append(c.queue, op)
+}
+
+func (c *TargetClient) maxBatch() int {
+	if c.MaxBatch <= 0 || c.MaxBatch > 0xFFFF {
+		return 64
+	}
+	return c.MaxBatch
+}
+
+// sendQueued packs the op queue into pipelined batch frames. When
+// capture is set the last frame is marked foreground and returned
+// (with the index of its last op) so the caller can decode a result
+// from it.
+func (c *TargetClient) sendQueued(capture bool) (*sentFrame, int, error) {
+	var capFrame *sentFrame
+	capIdx := 0
+	for len(c.queue) > 0 {
+		n := min(len(c.queue), c.maxBatch())
+		ops := c.queue[:n:n]
+		c.queue = c.queue[n:]
+		last := len(c.queue) == 0
+		f, err := c.sendSeq(kBatch, encodeBatch(ops), !(capture && last))
+		if err != nil {
+			c.queue = nil
+			return nil, 0, err
+		}
+		c.wire.ops.Add(uint64(n))
+		if capture && last {
+			capFrame = f
+			capIdx = n - 1
+		}
+	}
+	return capFrame, capIdx, nil
+}
+
+// asyncFlush ships the op queue without waiting for responses: frames
+// pipeline up to MaxInflight deep (sendSeq blocks on a full window),
+// which is what hides link latency under bursts of queued writes and
+// advances. Response errors are deferred to the next synchronous
+// flush, exactly like the queued ops' own errors.
+func (c *TargetClient) asyncFlush() error {
+	_, _, err := c.sendQueued(false)
+	if err != nil {
+		c.deferredErr = nil
+	}
+	return err
+}
+
+// flush drains the op queue and the pipeline, surfacing any deferred
+// error from queued ops.
+func (c *TargetClient) flush() error {
+	_, err := c.flushCapture(false)
+	return err
+}
+
+// flushCapture is flush, optionally returning the result value of the
+// last queued op (reads and IRQ samples coalesce into the flush frame
+// instead of paying their own round trip).
+func (c *TargetClient) flushCapture(capture bool) (uint64, error) {
+	capFrame, capIdx, err := c.sendQueued(capture)
+	if err != nil {
+		c.deferredErr = nil
+		return 0, err
+	}
+	for len(c.inflight) > 0 {
+		if err := c.drainOne(); err != nil {
+			c.deferredErr = nil
+			return 0, err
+		}
+	}
+	err = c.deferredErr
+	c.deferredErr = nil
+	if capFrame != nil {
+		if capFrame.err != nil {
+			return 0, capFrame.err
+		}
+		_, values, derr := decodeBatchResults(capFrame.body)
+		if derr != nil {
+			return 0, &target.Error{Class: target.Transient, Op: "remote", Err: derr}
+		}
+		return values[capIdx], err
+	}
+	return 0, err
+}
+
+// mirrorsFresh reports whether the telemetry mirrors reflect every
+// operation issued so far.
+func (c *TargetClient) mirrorsFresh() bool {
+	return len(c.queue) == 0 && len(c.inflight) == 0
+}
+
+// stashErr preserves an error produced on a path that cannot return
+// one; the next flush surfaces it.
+func (c *TargetClient) stashErr(err error) {
+	if c.deferredErr == nil {
+		c.deferredErr = err
+	}
+}
+
+// roundTrip flushes pending work, sends one control frame and waits
+// for its response body.
+func (c *TargetClient) roundTrip(kind byte, payload []byte) ([]byte, error) {
+	if err := c.flush(); err != nil {
+		return nil, err
+	}
+	f, err := c.sendSeq(kind, payload, false)
+	if err != nil {
+		return nil, err
+	}
+	for !f.done {
+		if err := c.drainOne(); err != nil {
+			return nil, err
+		}
+	}
+	if f.err != nil {
+		return nil, f.err
+	}
+	return f.body, nil
+}
+
+// --- register port ---------------------------------------------------
+
+// clientPort projects one remote peripheral as a bus.Port. Writes are
+// deferred into the batch queue (their errors surface at the next
+// flush); reads coalesce into the flushed frame so a step's worth of
+// bus traffic costs one round trip.
+type clientPort struct {
+	c   *TargetClient
+	idx byte
+}
+
+var (
+	_ bus.Port    = (*clientPort)(nil)
+	_ bus.Flusher = (*clientPort)(nil)
+)
+
+func (p *clientPort) ReadReg(offset uint32) (uint32, error) {
+	p.c.enqueue(batchOp{op: bRead, periph: p.idx, offset: offset})
+	v, err := p.c.flushCapture(true)
+	return uint32(v), err
+}
+
+func (p *clientPort) WriteReg(offset uint32, v uint32) error {
+	p.c.enqueue(batchOp{op: bWrite, periph: p.idx, offset: offset, value: uint64(v)})
+	if p.c.Legacy {
+		return p.c.flush()
+	}
+	if len(p.c.queue) >= p.c.maxBatch() {
+		// Ship the full batch without waiting: frames pipeline up to
+		// MaxInflight deep, so write bursts overlap link latency.
+		return p.c.asyncFlush()
+	}
+	return nil
+}
+
+func (p *clientPort) IRQLevel() (bool, error) {
+	c := p.c
+	if !c.Legacy {
+		// A statically constant-low line needs no wire traffic at
+		// all — not even a flush of queued work.
+		if c.irqMask&(1<<uint(p.idx)) == 0 {
+			return false, nil
+		}
+		if !c.mirrorsFresh() {
+			if err := c.flush(); err != nil {
+				return false, err
+			}
+		}
+		if c.irqValid {
+			return c.irqBits&(1<<uint(p.idx)) != 0, nil
+		}
+	}
+	c.enqueue(batchOp{op: bIRQ, periph: p.idx})
+	v, err := c.flushCapture(true)
+	return v != 0, err
+}
+
+// Flush implements bus.Flusher: the router's explicit barrier before
+// final clock and statistics reads.
+func (p *clientPort) Flush() error { return p.c.flush() }
+
+// Port returns the bus.Port for a peripheral by name.
+func (c *TargetClient) Port(name string) (bus.Port, error) {
+	i, ok := c.pidx[name]
+	if !ok {
+		return nil, fmt.Errorf("remote: no peripheral %q on target %s", name, c.name)
+	}
+	return &clientPort{c: c, idx: byte(i)}, nil
+}
+
+// --- target.Interface ------------------------------------------------
+
+// Name reports the remote target's name.
+func (c *TargetClient) Name() string { return c.name }
+
+// Kind reports the remote target's kind ("sim" or "fpga").
+func (c *TargetClient) Kind() string { return c.kind }
+
+// Clock returns the client-side mirror of the target's virtual clock.
+func (c *TargetClient) Clock() *vtime.Clock { return c.clock }
+
+// StateBits reports the architectural state size of the design.
+func (c *TargetClient) StateBits() uint { return c.stateBits }
+
+// Peripherals lists the remote peripheral names in index order.
+func (c *TargetClient) Peripherals() []string {
+	return append([]string(nil), c.periphs...)
+}
+
+// Stats fetches the remote counters; on a link failure the last
+// mirrored values are returned (statistics are advisory).
+func (c *TargetClient) Stats() target.Stats {
+	body, err := c.roundTrip(kStats, nil)
+	if err != nil {
+		c.stashErr(err)
+		return c.statsCache
+	}
+	var st target.Stats
+	if err := gobDecode(body, &st); err == nil {
+		c.statsCache = st
+	}
+	return c.statsCache
+}
+
+// Advance queues n hardware clock cycles; the advance crosses the
+// wire inside the next flushed batch frame.
+func (c *TargetClient) Advance(n uint64) error {
+	// Adjacent advances coalesce into one op: with nothing queued
+	// between them, no observer can distinguish Advance(a);Advance(b)
+	// from Advance(a+b), so per-instruction clocking collapses into
+	// one wire op per burst.
+	if last := len(c.queue) - 1; !c.Legacy && last >= 0 && c.queue[last].op == bAdvance {
+		c.queue[last].value += n
+		return nil
+	}
+	c.enqueue(batchOp{op: bAdvance, value: n})
+	if c.Legacy {
+		return c.flush()
+	}
+	if len(c.queue) >= c.maxBatch() {
+		return c.asyncFlush()
+	}
+	return nil
+}
+
+// Reset returns the remote design to its power-on state.
+func (c *TargetClient) Reset() error {
+	c.enqueue(batchOp{op: bReset})
+	return c.flush()
+}
+
+// Ping verifies the link end to end through a batched echo.
+func (c *TargetClient) Ping() error {
+	c.enqueue(batchOp{op: bPing, value: pingMagic})
+	v, err := c.flushCapture(true)
+	if err != nil {
+		return err
+	}
+	if v != pingMagic {
+		return &target.Error{Class: target.Transient, Op: "remote",
+			Err: fmt.Errorf("bad ping echo %#x", v)}
+	}
+	return nil
+}
+
+// Generation mirrors the remote mutation generation. In legacy mode
+// the counter moves on every call, which disables all generation-
+// proven snapshot skips — the honest protocol-v2 cost model.
+func (c *TargetClient) Generation() uint64 {
+	if c.Legacy {
+		c.genPoison++
+		return c.gen + c.genPoison
+	}
+	if !c.mirrorsFresh() {
+		if err := c.flush(); err != nil {
+			// Poisoning the generation makes every skip proof fail
+			// until the link recovers, which is the safe direction.
+			c.stashErr(err)
+			c.genPoison++
+		}
+	}
+	return c.gen + c.genPoison
+}
+
+// AnchorSeq mirrors the remote dirty-tracking anchor sequence.
+func (c *TargetClient) AnchorSeq() uint64 {
+	if !c.mirrorsFresh() {
+		if err := c.flush(); err != nil {
+			c.stashErr(err)
+			return ^uint64(0)
+		}
+	}
+	return c.anchorSeq
+}
+
+// TakeViolations drains accumulated hardware property violations.
+// When the piggybacked pending count is zero — the overwhelmingly
+// common case — no round trip happens.
+func (c *TargetClient) TakeViolations() []target.Violation {
+	// Without registered hardware assertions the target can never
+	// produce a violation: answer locally, without even flushing.
+	if !c.Legacy && !c.hasAssertions {
+		return nil
+	}
+	if !c.mirrorsFresh() {
+		if err := c.flush(); err != nil {
+			c.stashErr(err)
+			return nil
+		}
+	}
+	if !c.Legacy && c.pending == 0 {
+		return nil
+	}
+	body, err := c.roundTrip(kViolations, nil)
+	if err != nil {
+		c.stashErr(err)
+		return nil
+	}
+	var vs []target.Violation
+	if err := gobDecode(body, &vs); err != nil {
+		c.stashErr(&target.Error{Class: target.Transient, Op: "remote", Err: err})
+		return nil
+	}
+	return vs
+}
+
+// InjectFaults is a no-op on a remote target: link faults are the
+// transport's domain (wrap the connection, e.g. target.NewFaultConn).
+func (c *TargetClient) InjectFaults(target.FaultSchedule) {}
+
+// FaultSchedule reports that no client-side schedule is active.
+func (c *TargetClient) FaultSchedule() (target.FaultSchedule, bool) {
+	return target.FaultSchedule{}, false
+}
+
+// SetRetryPolicy maps the target-layer retry policy onto the wire
+// client's knobs.
+func (c *TargetClient) SetRetryPolicy(p target.RetryPolicy) {
+	if p.MaxRetries > 0 {
+		c.MaxRetries = p.MaxRetries
+	}
+	if p.Backoff > 0 {
+		c.Backoff = p.Backoff
+	}
+	if p.MaxBackoff > 0 {
+		c.BackoffMax = p.MaxBackoff
+	}
+}
+
+// --- snapshot transfer ----------------------------------------------
+
+// lookupChunk finds a peripheral state by content digest in the
+// client cache or the bound snapshot store.
+func (c *TargetClient) lookupChunk(d snapshot.Digest) (*sim.HWState, bool) {
+	if hw, ok := c.chunks.get(d); ok {
+		return hw, true
+	}
+	if c.store != nil {
+		if hw, ok := c.store.PeriphByDigest(d); ok {
+			return hw, true
+		}
+	}
+	return nil, false
+}
+
+// Save captures the remote state. The server answers with content
+// digests; only chunks neither the client cache nor the bound store
+// already holds are fetched, so a save of previously seen content
+// moves zero state bytes.
+func (c *TargetClient) Save() (target.State, error) {
+	body, err := c.roundTrip(kSave, nil)
+	if err != nil {
+		return nil, err
+	}
+	var offer saveOffer
+	if err := gobDecode(body, &offer); err != nil {
+		return nil, &target.Error{Class: target.Transient, Op: "remote", Err: err}
+	}
+	if c.Legacy {
+		return c.fetchAll(offer.Entries)
+	}
+	st := make(target.State, len(offer.Entries))
+	var missing [][32]byte
+	seen := make(map[snapshot.Digest]bool)
+	for _, e := range offer.Entries {
+		d := snapshot.Digest(e.Digest)
+		if hw, ok := c.lookupChunk(d); ok {
+			st[e.Name] = hw
+			c.wire.chunksSkipped.Add(1)
+			continue
+		}
+		if !seen[d] {
+			seen[d] = true
+			missing = append(missing, e.Digest)
+		}
+	}
+	if len(missing) > 0 {
+		if err := c.fetchInto(missing); err != nil {
+			return nil, err
+		}
+		for _, e := range offer.Entries {
+			if st[e.Name] != nil {
+				continue
+			}
+			hw, ok := c.lookupChunk(snapshot.Digest(e.Digest))
+			if !ok {
+				return nil, &target.Error{Class: target.Integrity, Op: "remote",
+					Err: fmt.Errorf("server did not return chunk for %s", e.Name)}
+			}
+			st[e.Name] = hw
+		}
+	}
+	return st, nil
+}
+
+// fetchInto transfers the named chunks into the client cache,
+// verifying each against its content digest.
+func (c *TargetClient) fetchInto(digests [][32]byte) error {
+	payload, err := gobEncode(fetchReq{Digests: digests})
+	if err != nil {
+		return err
+	}
+	body, err := c.roundTrip(kFetch, payload)
+	if err != nil {
+		return err
+	}
+	var resp fetchResp
+	if err := gobDecode(body, &resp); err != nil {
+		return &target.Error{Class: target.Transient, Op: "remote", Err: err}
+	}
+	for _, ch := range resp.Chunks {
+		hw := &sim.HWState{}
+		if err := gobDecode(ch.Data, hw); err != nil {
+			return &target.Error{Class: target.Integrity, Op: "remote",
+				Err: fmt.Errorf("fetched chunk %x: %v", ch.Digest[:8], err)}
+		}
+		if got := snapshot.HWDigest(hw); got != snapshot.Digest(ch.Digest) {
+			return &target.Error{Class: target.Integrity, Op: "remote",
+				Err: fmt.Errorf("fetched chunk digest mismatch (%x != %x)", got[:8], ch.Digest[:8])}
+		}
+		c.wire.bytesReceived.Add(uint64(len(ch.Data)))
+		c.chunks.put(ch.Digest, hw)
+	}
+	return nil
+}
+
+// fetchAll is the legacy save path: every chunk crosses the wire in
+// its own stop-and-wait frame, cache or no cache.
+func (c *TargetClient) fetchAll(entries []chunkRef) (target.State, error) {
+	st := make(target.State, len(entries))
+	for _, e := range entries {
+		payload, err := gobEncode(fetchReq{Digests: [][32]byte{e.Digest}})
+		if err != nil {
+			return nil, err
+		}
+		body, err := c.roundTrip(kFetch, payload)
+		if err != nil {
+			return nil, err
+		}
+		var resp fetchResp
+		if err := gobDecode(body, &resp); err != nil {
+			return nil, &target.Error{Class: target.Transient, Op: "remote", Err: err}
+		}
+		if len(resp.Chunks) != 1 {
+			return nil, &target.Error{Class: target.Integrity, Op: "remote",
+				Err: fmt.Errorf("expected 1 chunk, got %d", len(resp.Chunks))}
+		}
+		hw := &sim.HWState{}
+		if err := gobDecode(resp.Chunks[0].Data, hw); err != nil {
+			return nil, &target.Error{Class: target.Integrity, Op: "remote", Err: err}
+		}
+		c.wire.bytesReceived.Add(uint64(len(resp.Chunks[0].Data)))
+		c.chunks.put(e.Digest, hw)
+		st[e.Name] = hw
+	}
+	return st, nil
+}
+
+// stateEntries names a state's chunks by content digest in a
+// deterministic order, caching the chunks locally (the state is about
+// to be live on both ends).
+func (c *TargetClient) stateEntries(s target.State) ([]chunkRef, map[snapshot.Digest]*sim.HWState) {
+	names := make([]string, 0, len(s))
+	for name := range s {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	entries := make([]chunkRef, 0, len(names))
+	byDigest := make(map[snapshot.Digest]*sim.HWState, len(names))
+	for _, name := range names {
+		hw := s[name]
+		if hw == nil {
+			hw = &sim.HWState{}
+		}
+		d := snapshot.HWDigest(hw)
+		c.chunks.put(d, hw)
+		byDigest[d] = hw
+		entries = append(entries, chunkRef{Name: name, Digest: d})
+	}
+	return entries, byDigest
+}
+
+// applyRemote drives the digest-negotiated restore conversation: the
+// client offers the state by content address, the server lists the
+// chunks it lacks, and only those cross the wire (none, when the
+// server has seen the content before).
+func (c *TargetClient) applyRemote(s target.State, mode byte) (restoreResp, error) {
+	if err := c.flush(); err != nil {
+		return restoreResp{}, err
+	}
+	entries, byDigest := c.stateEntries(s)
+	if c.Legacy {
+		return c.applyLegacy(entries, byDigest, mode)
+	}
+	payload, err := gobEncode(restoreReq{Mode: mode, Entries: entries})
+	if err != nil {
+		return restoreResp{}, err
+	}
+	body, err := c.roundTrip(kRestore, payload)
+	if err != nil {
+		return restoreResp{}, err
+	}
+	var resp restoreResp
+	if err := gobDecode(body, &resp); err != nil {
+		return restoreResp{}, &target.Error{Class: target.Transient, Op: "remote", Err: err}
+	}
+	c.wire.chunksSkipped.Add(uint64(len(entries) - len(resp.Missing)))
+	if len(resp.Missing) == 0 {
+		return resp, nil
+	}
+	push := pushReq{Mode: mode, Entries: entries}
+	var sent uint64
+	for _, d := range resp.Missing {
+		hw, ok := byDigest[d]
+		if !ok {
+			return restoreResp{}, &target.Error{Class: target.Integrity, Op: "remote",
+				Err: fmt.Errorf("server asked for unknown chunk %x", d[:8])}
+		}
+		data, err := gobEncode(hw)
+		if err != nil {
+			return restoreResp{}, err
+		}
+		sent += uint64(len(data))
+		push.Chunks = append(push.Chunks, wireChunk{Digest: d, Data: data})
+	}
+	payload, err = gobEncode(push)
+	if err != nil {
+		return restoreResp{}, err
+	}
+	body, err = c.roundTrip(kPush, payload)
+	if err != nil {
+		return restoreResp{}, err
+	}
+	c.wire.bytesSent.Add(sent)
+	resp = restoreResp{}
+	if err := gobDecode(body, &resp); err != nil {
+		return restoreResp{}, &target.Error{Class: target.Transient, Op: "remote", Err: err}
+	}
+	return resp, nil
+}
+
+// applyLegacy pushes every chunk in its own frame, then applies — the
+// v2-era full-transfer cost.
+func (c *TargetClient) applyLegacy(entries []chunkRef, byDigest map[snapshot.Digest]*sim.HWState, mode byte) (restoreResp, error) {
+	for _, e := range entries {
+		data, err := gobEncode(byDigest[e.Digest])
+		if err != nil {
+			return restoreResp{}, err
+		}
+		payload, err := gobEncode(pushReq{Mode: mode, Chunks: []wireChunk{{Digest: e.Digest, Data: data}}})
+		if err != nil {
+			return restoreResp{}, err
+		}
+		if _, err := c.roundTrip(kPush, payload); err != nil {
+			return restoreResp{}, err
+		}
+		c.wire.bytesSent.Add(uint64(len(data)))
+	}
+	payload, err := gobEncode(restoreReq{Mode: mode, Entries: entries})
+	if err != nil {
+		return restoreResp{}, err
+	}
+	body, err := c.roundTrip(kRestore, payload)
+	if err != nil {
+		return restoreResp{}, err
+	}
+	var resp restoreResp
+	if err := gobDecode(body, &resp); err != nil {
+		return restoreResp{}, &target.Error{Class: target.Transient, Op: "remote", Err: err}
+	}
+	return resp, nil
+}
+
+// Restore loads a full state into the remote hardware.
+func (c *TargetClient) Restore(s target.State) error {
+	resp, err := c.applyRemote(s, modeRestore)
+	if err != nil {
+		return err
+	}
+	if !resp.Applied {
+		return &target.Error{Class: target.Integrity, Op: "remote",
+			Err: errors.New("server did not apply restore")}
+	}
+	return nil
+}
+
+// RestoreDelta asks the server to serve the restore from its dirty
+// tracking; (false, nil) means no incremental path existed and the
+// caller falls back to Restore — which then moves zero bytes, since
+// the negotiation just populated both chunk caches.
+func (c *TargetClient) RestoreDelta(s target.State) (bool, error) {
+	if c.Legacy {
+		return false, nil
+	}
+	resp, err := c.applyRemote(s, modeDelta)
+	if err != nil {
+		return false, err
+	}
+	return resp.DidDelta, nil
+}
+
+// AdoptState rebases the remote target's power-on state (worker
+// subtree adoption).
+func (c *TargetClient) AdoptState(s target.State) error {
+	resp, err := c.applyRemote(s, modeAdopt)
+	if err != nil {
+		return err
+	}
+	if !resp.Applied {
+		return &target.Error{Class: target.Integrity, Op: "remote",
+			Err: errors.New("server did not adopt state")}
+	}
+	return nil
+}
+
+// SpawnWorker clones the remote target server-side and connects a new
+// client (over its own connection, so workers run concurrently) to
+// the clone's session. Requires Dial.
+func (c *TargetClient) SpawnWorker(name string, clock *vtime.Clock, stream int) (target.Interface, error) {
+	if c.Dial == nil {
+		return nil, &target.Error{Class: target.Fatal, Op: "remote",
+			Err: errors.New("SpawnWorker requires a Dial function")}
+	}
+	payload, err := gobEncode(spawnReq{Name: name, Stream: stream})
+	if err != nil {
+		return nil, err
+	}
+	body, err := c.roundTrip(kSpawn, payload)
+	if err != nil {
+		return nil, err
+	}
+	var info helloInfo
+	if err := gobDecode(body, &info); err != nil {
+		return nil, &target.Error{Class: target.Transient, Op: "remote", Err: err}
+	}
+	conn, err := c.Dial()
+	if err != nil {
+		return nil, &target.Error{Class: target.Transient, Op: "remote",
+			Err: fmt.Errorf("spawn dial: %w", err)}
+	}
+	if clock == nil {
+		clock = &vtime.Clock{}
+	}
+	w := &TargetClient{
+		conn:        conn,
+		clock:       clock,
+		Timeout:     c.Timeout,
+		MaxRetries:  c.MaxRetries,
+		Backoff:     c.Backoff,
+		BackoffMax:  c.BackoffMax,
+		Dial:        c.Dial,
+		Legacy:      c.Legacy,
+		MaxBatch:    c.MaxBatch,
+		MaxInflight: c.MaxInflight,
+		store:       c.store,
+		chunks:      c.chunks,
+		wire:        c.wire,
+	}
+	winfo, err := w.handshake(kAttach, info.Token)
+	if err != nil {
+		return nil, err
+	}
+	w.applyInfo(winfo)
+	return w, nil
+}

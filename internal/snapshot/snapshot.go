@@ -80,6 +80,12 @@ func DigestRecord(rec *Record) Digest {
 	return d
 }
 
+// HWDigest content-addresses one peripheral's state: the per-chunk
+// digest the store's intern pool is keyed by. The remote protocol's
+// digest negotiation uses the same addresses, so a chunk the store
+// already interned never crosses the wire again.
+func HWDigest(hw *sim.HWState) Digest { return digestHW(hw) }
+
 // digestHW content-addresses one peripheral's state.
 func digestHW(hw *sim.HWState) Digest {
 	h := sha256.New()
@@ -445,6 +451,21 @@ func (s *Store) DigestOf(id ID) (Digest, bool) {
 	defer st.mu.RUnlock()
 	d, ok := st.ids[id]
 	return d, ok
+}
+
+// PeriphByDigest returns the interned peripheral state with the given
+// content address (see HWDigest), if any record still references it.
+// The state is shared: callers MUST NOT mutate it. The remote client
+// uses this to satisfy digest-negotiated snapshot transfers from
+// content the store already holds.
+func (s *Store) PeriphByDigest(d Digest) (*sim.HWState, bool) {
+	s.cmu.RLock()
+	defer s.cmu.RUnlock()
+	pe, ok := s.pool[d]
+	if !ok {
+		return nil, false
+	}
+	return pe.hw, true
 }
 
 // RecordByDigest returns the live record with the given content

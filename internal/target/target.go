@@ -143,6 +143,11 @@ type periphInst struct {
 	cfg    PeriphConfig
 	design *rtl.Design
 	sim    *sim.Simulator
+	// irqWired reports whether the block can ever drive its irq
+	// output (static corpus metadata; custom sources are
+	// conservatively assumed wired). Remote clients use it to answer
+	// IRQ polls for constant-low lines without a round trip.
+	irqWired bool
 	// layout maps scan-chain bit positions to named state (scan-mode
 	// FPGA only).
 	layout  []scanchain.BitRef
@@ -248,6 +253,7 @@ func buildPeriph(cfg PeriphConfig, instrument bool) (*periphInst, error) {
 		top     string
 		err     error
 	)
+	irqWired := true
 	if cfg.Source != "" {
 		top = cfg.Top
 		if top == "" {
@@ -260,6 +266,7 @@ func buildPeriph(cfg PeriphConfig, instrument bool) (*periphInst, error) {
 			return nil, fmt.Errorf("peripheral %s: unknown kind %q", cfg.Name, cfg.Periph)
 		}
 		top = spec.Top
+		irqWired = spec.HasIRQ
 		d, reports, err = periph.Build(cfg.Periph, cfg.Params, instrument)
 	}
 	if err != nil {
@@ -269,7 +276,7 @@ func buildPeriph(cfg PeriphConfig, instrument bool) (*periphInst, error) {
 	if err != nil {
 		return nil, err
 	}
-	inst := &periphInst{cfg: cfg, design: d, sim: s}
+	inst := &periphInst{cfg: cfg, design: d, sim: s, irqWired: irqWired}
 	// Power-on reset pulse: registers with non-zero reset values
 	// (baud divisors, state machines) come up initialized, exactly
 	// like the physical platform asserting its reset line at boot.
@@ -321,6 +328,17 @@ func (t *Target) StateBits() uint {
 		n += inst.design.StateBits()
 	}
 	return n
+}
+
+// Peripherals returns the hosted peripheral instance names in build
+// order: the stable index space the remote protocol's batch frames
+// and IRQ bitmaps address peripherals by.
+func (t *Target) Peripherals() []string {
+	names := make([]string, len(t.order))
+	for i, inst := range t.order {
+		names[i] = inst.cfg.Name
+	}
+	return names
 }
 
 // Generation returns the target-level mutation generation. It folds
@@ -517,6 +535,32 @@ func (t *Target) irqLevel(name string) (bool, error) {
 		return nil
 	})
 	return level, err
+}
+
+// HasAssertions reports whether any hardware assertion is registered.
+// A target without assertions can never produce violations, so a
+// remote client may answer TakeViolations locally without a round
+// trip (assertions must be registered before the target is served).
+func (t *Target) HasAssertions() bool {
+	for _, inst := range t.order {
+		if len(inst.asserts) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// IRQWired reports whether the named peripheral can ever drive its
+// interrupt line. False means the line is statically constant-low
+// (corpus metadata: the module's irq output is tied to 1'b0), so a
+// remote client may answer IRQ polls for it locally, without a wire
+// round trip. Unknown names report wired, the conservative answer.
+func (t *Target) IRQWired(name string) bool {
+	inst, ok := t.periphs[name]
+	if !ok {
+		return true
+	}
+	return inst.irqWired
 }
 
 // Advance runs every hosted peripheral n clock cycles.
