@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race bench-smoke bench-json bench-scale bench-remote
+.PHONY: check fmt vet build test race bench-smoke bench-json bench-scale bench-remote bench-solver
 
 # Full gate: formatting, static checks, build, tests, race detector on
 # the concurrency-sensitive packages.
@@ -52,3 +52,10 @@ bench-scale:
 bench-remote:
 	$(GO) run ./cmd/hsbench -latency 0 e12
 	$(GO) run ./cmd/hsbench -latency 500us e12
+
+# bench-solver A/B-tests the solver optimization stack (E13): the
+# experiment itself gates on identical paths/bugs/virtual times with
+# the stack on vs off and on a >=2x SAT-effort reduction on the
+# exploration workloads.
+bench-solver:
+	$(GO) run ./cmd/hsbench -json e13

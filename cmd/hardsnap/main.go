@@ -36,11 +36,12 @@ func main() {
 	policy := flag.String("concretize", "one", "boundary concretization policy: one | all")
 	maxInstr := flag.Uint64("max-instructions", 2_000_000, "total instruction budget")
 	workers := flag.Int("workers", 1, "parallel exploration workers (0 = one per CPU)")
+	solverOpt := flag.String("solver-opt", "on", "solver query-optimization stack (rewrite/slice/reuse/incremental): on | off")
 	verbose := flag.Bool("v", false, "print per-path detail")
 	reportDir := flag.String("report", "", "write per-bug crash reports (test vector, model, hardware snapshot) to this directory")
 	flag.Parse()
 
-	code, err := run(periphs, asserts, *mode, *search, *fpga, *readback, *policy, *maxInstr, *workers, *verbose, *reportDir, flag.Args())
+	code, err := run(periphs, asserts, *mode, *search, *fpga, *readback, *policy, *maxInstr, *workers, *solverOpt, *verbose, *reportDir, flag.Args())
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hardsnap:", err)
 		os.Exit(1)
@@ -105,7 +106,7 @@ func (a *assertFlag) Set(s string) error {
 }
 
 func run(periphs []target.PeriphConfig, asserts []target.HWAssertion, modeName, searchName string, fpga, readback bool,
-	policyName string, maxInstr uint64, workers int, verbose bool, reportDir string, args []string) (int, error) {
+	policyName string, maxInstr uint64, workers int, solverOpt string, verbose bool, reportDir string, args []string) (int, error) {
 	if len(args) != 1 {
 		return 0, fmt.Errorf("usage: hardsnap [flags] firmware.s")
 	}
@@ -133,6 +134,9 @@ func run(periphs []target.PeriphConfig, asserts []target.HWAssertion, modeName, 
 	if workers == 0 {
 		workers = core.AutoWorkers()
 	}
+	if solverOpt != "on" && solverOpt != "off" {
+		return 0, fmt.Errorf("-solver-opt must be on or off, got %q", solverOpt)
+	}
 
 	analysis, err := core.Setup(core.SetupConfig{
 		Firmware:     string(src),
@@ -140,7 +144,7 @@ func run(periphs []target.PeriphConfig, asserts []target.HWAssertion, modeName, 
 		FPGA:         fpga,
 		Readback:     readback,
 		HWAssertions: asserts,
-		Exec:         symexec.Config{Policy: pol},
+		Exec:         symexec.Config{Policy: pol, DisableSolverOpt: solverOpt == "off"},
 		Engine: core.Config{
 			Mode:             mode,
 			Searcher:         searcher,
@@ -167,6 +171,10 @@ func run(periphs []target.PeriphConfig, asserts []target.HWAssertion, modeName, 
 	fmt.Printf("\npaths: %d  instructions: %d  context switches: %d  virtual time: %v\n",
 		len(rep.Finished), rep.Stats.Instructions, rep.Stats.ContextSwitches,
 		rep.VirtualTime.Round(time.Microsecond))
+	fmt.Printf("solver: %d queries in %v  (sliced %d, model hits %d, rewrites %d, incremental reuses %d, unknowns %d)\n",
+		rep.Solver.Queries, time.Duration(rep.Solver.WallNS).Round(time.Microsecond),
+		rep.Solver.Sliced, rep.Solver.ModelHits, rep.Solver.Rewrites,
+		rep.Solver.IncrementalReuses, rep.Exec.SolverUnknowns)
 	if len(rep.Workers) > 0 {
 		fmt.Printf("parallel: %d workers, seed phase %v, solver cache %.0f%% hit (%d/%d)\n",
 			len(rep.Workers), rep.SeedVirtualTime.Round(time.Microsecond),

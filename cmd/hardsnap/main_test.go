@@ -27,7 +27,7 @@ ok:
 	if err := os.WriteFile(src, []byte(fw), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	code, err := run(nil, nil, "hardsnap", "dfs", false, false, "one", 100000, 1, true, t.TempDir(), []string{src})
+	code, err := run(nil, nil, "hardsnap", "dfs", false, false, "one", 100000, 1, "on", true, t.TempDir(), []string{src})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -37,7 +37,7 @@ ok:
 	// With hardware attached and every mode.
 	for _, mode := range []string{"hardsnap", "naive-reboot", "naive-shared", "record-replay"} {
 		code, err = run([]target.PeriphConfig{{Name: "g", Periph: "gpio"}}, nil,
-			mode, "bfs", true, false, "all", 100000, 4, false, "", []string{src})
+			mode, "bfs", true, false, "all", 100000, 4, "off", false, "", []string{src})
 		if err != nil {
 			t.Fatalf("mode %s: %v", mode, err)
 		}
@@ -48,20 +48,23 @@ ok:
 }
 
 func TestRunValidation(t *testing.T) {
-	if _, err := run(nil, nil, "hardsnap", "dfs", false, false, "one", 0, 1, false, "", nil); err == nil {
+	if _, err := run(nil, nil, "hardsnap", "dfs", false, false, "one", 0, 1, "on", false, "", nil); err == nil {
 		t.Fatal("missing firmware must fail")
 	}
 	dir := t.TempDir()
 	src := filepath.Join(dir, "f.s")
 	os.WriteFile(src, []byte("halt"), 0o644)
-	if _, err := run(nil, nil, "bogus", "dfs", false, false, "one", 0, 1, false, "", []string{src}); err == nil {
+	if _, err := run(nil, nil, "bogus", "dfs", false, false, "one", 0, 1, "on", false, "", []string{src}); err == nil {
 		t.Fatal("bad mode must fail")
 	}
-	if _, err := run(nil, nil, "hardsnap", "bogus", false, false, "one", 0, 1, false, "", []string{src}); err == nil {
+	if _, err := run(nil, nil, "hardsnap", "bogus", false, false, "one", 0, 1, "on", false, "", []string{src}); err == nil {
 		t.Fatal("bad searcher must fail")
 	}
-	if _, err := run(nil, nil, "hardsnap", "dfs", false, false, "bogus", 0, 1, false, "", []string{src}); err == nil {
+	if _, err := run(nil, nil, "hardsnap", "dfs", false, false, "bogus", 0, 1, "on", false, "", []string{src}); err == nil {
 		t.Fatal("bad policy must fail")
+	}
+	if _, err := run(nil, nil, "hardsnap", "dfs", false, false, "one", 0, 1, "bogus", false, "", []string{src}); err == nil {
+		t.Fatal("bad solver-opt must fail")
 	}
 }
 

@@ -198,6 +198,12 @@ func E11() (*Table, error) {
 			t.AddMetric(p+"solver_cache_hits", float64(rep.SolverCache.Hits), "ops")
 			t.AddMetric(p+"solver_cache_misses", float64(rep.SolverCache.Misses), "ops")
 			t.AddMetric(p+"seed_vt", float64(rep.SeedVirtualTime.Nanoseconds()), "ns")
+			t.AddMetric(p+"solver_queries", float64(rep.Solver.Queries), "queries")
+			t.AddMetric(p+"solver_wall_ns", float64(rep.Solver.WallNS), "ns")
+			t.AddMetric(p+"solver_sliced", float64(rep.Solver.Sliced), "slices")
+			t.AddMetric(p+"solver_model_hits", float64(rep.Solver.ModelHits), "ops")
+			t.AddMetric(p+"solver_rewrites", float64(rep.Solver.Rewrites), "ops")
+			t.AddMetric(p+"solver_incremental_reuses", float64(rep.Solver.IncrementalReuses), "ops")
 			for _, wr := range rep.Workers {
 				wp := fmt.Sprintf("%sworker%d.", p, wr.Worker)
 				t.AddMetric(wp+"subtrees", float64(wr.Subtrees), "subtrees")

@@ -1,0 +1,233 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"hardsnap/internal/core"
+	"hardsnap/internal/symexec"
+	"hardsnap/internal/target"
+)
+
+// magicAbortFirmware: k symbolic input bytes folded into a running sum
+// that is matched against cumulative magic values, aborting on a full
+// match. Gives E13 a leg with a non-empty bug set, and — because every
+// level's constraint shares the earlier bytes through the sum — path
+// conditions form one growing slice, which is the shape the
+// incremental context's guard reuse exists for.
+func magicAbortFirmware(k int) string {
+	src := fmt.Sprintf(`
+_start:
+		li r8, 0x40000000
+		li r1, 0x100
+		addi r2, r0, %d
+		addi r3, r0, 1
+		ecall 1
+		addi r7, r0, 0
+`, k)
+	sum := 0
+	for i := 0; i < k; i++ {
+		sum += 0x41 + i
+		src += fmt.Sprintf(`
+		lbu r4, %d(r1)
+		add r7, r7, r4
+		addi r5, r0, %d
+		bne r7, r5, out
+		sw r4, 0(r8)       ; per-level hardware interaction
+`, i, sum)
+	}
+	src += `
+		ecall 4            ; magic matched: report the bug
+out:
+		halt
+`
+	return src
+}
+
+// thresholdFirmware: k symbolic bytes folded into a running sum with an
+// unsigned-compare branch per level. Inequalities on growing sums can
+// be neither concretized nor decoupled by the rewriter, so every
+// query's path condition is one growing slice — the shape that
+// exercises the incremental context's guard reuse.
+func thresholdFirmware(k int) string {
+	src := fmt.Sprintf(`
+_start:
+		li r8, 0x40000000
+		li r1, 0x100
+		addi r2, r0, %d
+		addi r3, r0, 1
+		ecall 1
+		addi r7, r0, 0
+`, k)
+	for i := 0; i < k; i++ {
+		src += fmt.Sprintf(`
+		lbu r4, %d(r1)
+		add r7, r7, r4
+		addi r5, r0, %d
+		bltu r7, r5, tok%d
+		halt
+tok%d:
+		sw r5, 0(r8)       ; per-level hardware interaction (concrete:
+		                   ; storing r7 would concretize the sum)
+`, i, 128*(i+1), i, i)
+	}
+	src += `
+		halt
+`
+	return src
+}
+
+// e13Run runs one workload with the optimization stack on or off and
+// reports the run plus its host wall-clock time.
+func e13Run(fw string, pc target.PeriphConfig, workers int, optOff bool) (*core.Report, time.Duration, error) {
+	a, err := core.Setup(core.SetupConfig{
+		Firmware:    fw,
+		Peripherals: []target.PeriphConfig{pc},
+		FPGA:        true,
+		Exec:        symexec.Config{DisableSolverOpt: optOff},
+		Engine: core.Config{
+			Mode:            core.ModeHardSnap,
+			Searcher:        symexec.NewRandom(1),
+			MaxInstructions: 5_000_000,
+			Workers:         workers,
+		},
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	start := time.Now()
+	rep, err := a.Engine.Run()
+	return rep, time.Since(start), err
+}
+
+// pathSignature is a deterministic fingerprint of a run's path set:
+// one (status, PC, steps) triple per finished state, sorted.
+func pathSignature(rep *core.Report) []string {
+	sigs := make([]string, 0, len(rep.Finished))
+	for _, st := range rep.Finished {
+		sigs = append(sigs, fmt.Sprintf("%v@%#x+%d", st.Status, st.PC, st.Steps))
+	}
+	sort.Strings(sigs)
+	return sigs
+}
+
+func sameSignature(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// E13 A/B-tests the solver's query-optimization stack (canonicalizing
+// rewrite, independence slicing, counterexample reuse, incremental
+// assumption-based SAT) against plain whole-query solving on the
+// E4/E8/E11-style workloads. The identity gate requires byte-identical
+// path signatures, bug counts and virtual times — the stack must change
+// solver effort, never exploration — and the effort gate requires at
+// least a 2x reduction in SAT conflicts+propagations on the
+// exploration workloads.
+func E13() (*Table, error) {
+	t := &Table{
+		ID:    "E13",
+		Title: "solver optimization stack: plain vs rewrite+slice+reuse+incremental",
+		Columns: []string{"workload", "workers", "stack", "paths", "conflicts+props",
+			"solver wall", "sliced", "model hits", "rewrites", "incr reuse", "effort"},
+		Notes: []string{
+			"identity gate: path signatures, bug sets and virtual times are identical with the stack on and off",
+			"effort = (conflicts+propagations off) / (conflicts+propagations on); host wall times are informational (virtual time is unchanged by construction)",
+		},
+	}
+	legs := []struct {
+		name    string
+		slug    string // metric-key prefix (leg names collide on periph kind)
+		fw      string
+		pc      target.PeriphConfig
+		workers int
+		gate    bool // enforce the >=2x effort gate
+	}{
+		{"explore(E4-style)", "explore", scalingWorkload(6, 40), target.PeriphConfig{Name: "g", Periph: "gpio"}, 1, true},
+		{"explore(E4-style)", "explore", scalingWorkload(6, 40), target.PeriphConfig{Name: "g", Periph: "gpio"}, 4, true},
+		{"crc(E8-style)", "crc", crcScalingWorkload(6, 30), target.PeriphConfig{Name: "crc0", Periph: "crc32"}, 1, false},
+		{"magic-abort", "magic", magicAbortFirmware(4), target.PeriphConfig{Name: "g", Periph: "gpio"}, 1, false},
+		{"threshold-chain", "threshold", thresholdFirmware(5), target.PeriphConfig{Name: "g", Periph: "gpio"}, 1, false},
+	}
+	for _, leg := range legs {
+		off, offWall, err := e13Run(leg.fw, leg.pc, leg.workers, true)
+		if err != nil {
+			return nil, fmt.Errorf("E13 %s workers=%d off: %w", leg.name, leg.workers, err)
+		}
+		on, onWall, err := e13Run(leg.fw, leg.pc, leg.workers, false)
+		if err != nil {
+			return nil, fmt.Errorf("E13 %s workers=%d on: %w", leg.name, leg.workers, err)
+		}
+
+		// Identity gate: the stack may only change solver effort.
+		if !sameSignature(pathSignature(off), pathSignature(on)) {
+			return nil, fmt.Errorf("E13 %s workers=%d: path signatures differ with stack on vs off",
+				leg.name, leg.workers)
+		}
+		if len(off.Bugs()) != len(on.Bugs()) {
+			return nil, fmt.Errorf("E13 %s workers=%d: bug sets differ (%d vs %d)",
+				leg.name, leg.workers, len(off.Bugs()), len(on.Bugs()))
+		}
+		if off.VirtualTime != on.VirtualTime {
+			return nil, fmt.Errorf("E13 %s workers=%d: virtual times differ (%v vs %v)",
+				leg.name, leg.workers, off.VirtualTime, on.VirtualTime)
+		}
+
+		effortOff := off.Solver.Conflicts + off.Solver.Propagations
+		effortOn := on.Solver.Conflicts + on.Solver.Propagations
+		effort := float64(effortOff) / float64(max64(effortOn, 1))
+		if leg.gate && effort < 2 {
+			return nil, fmt.Errorf("E13 %s workers=%d: effort reduction %.2fx < 2x (off %d, on %d)",
+				leg.name, leg.workers, effort, effortOff, effortOn)
+		}
+
+		addLeg := func(label string, rep *core.Report, wall time.Duration, ratio string) {
+			t.AddRow(leg.name, fmt.Sprintf("%d", leg.workers), label,
+				fmt.Sprintf("%d", len(rep.Finished)),
+				fmt.Sprintf("%d", rep.Solver.Conflicts+rep.Solver.Propagations),
+				dur(time.Duration(rep.Solver.WallNS)),
+				fmt.Sprintf("%d", rep.Solver.Sliced),
+				fmt.Sprintf("%d", rep.Solver.ModelHits),
+				fmt.Sprintf("%d", rep.Solver.Rewrites),
+				fmt.Sprintf("%d", rep.Solver.IncrementalReuses),
+				ratio)
+			p := fmt.Sprintf("%s.workers%d.%s.", leg.slug, leg.workers, label)
+			t.AddMetric(p+"conflicts", float64(rep.Solver.Conflicts), "ops")
+			t.AddMetric(p+"propagations", float64(rep.Solver.Propagations), "ops")
+			t.AddMetric(p+"queries", float64(rep.Solver.Queries), "queries")
+			t.AddMetric(p+"cache_hits", float64(rep.Solver.CacheHits), "ops")
+			t.AddMetric(p+"sliced", float64(rep.Solver.Sliced), "slices")
+			t.AddMetric(p+"model_hits", float64(rep.Solver.ModelHits), "ops")
+			t.AddMetric(p+"unsat_core_hits", float64(rep.Solver.UnsatCoreHits), "ops")
+			t.AddMetric(p+"rewrites", float64(rep.Solver.Rewrites), "ops")
+			t.AddMetric(p+"incremental_reuses", float64(rep.Solver.IncrementalReuses), "ops")
+			t.AddMetric(p+"solver_wall_ns", float64(rep.Solver.WallNS), "ns")
+			t.AddMetric(p+"solver_unknowns", float64(rep.Exec.SolverUnknowns), "queries")
+			t.AddMetric(p+"wall_ns", float64(wall.Nanoseconds()), "ns")
+			if wall > 0 {
+				t.AddMetric(p+"paths_per_sec", float64(len(rep.Finished))/wall.Seconds(), "paths/s")
+			}
+			if wall > 0 {
+				t.AddMetric(p+"solver_wall_share", float64(rep.Solver.WallNS)/float64(wall.Nanoseconds()), "ratio")
+			}
+		}
+		addLeg("off", off, offWall, "1.0x")
+		addLeg("on", on, onWall, fmt.Sprintf("%.1fx", effort))
+	}
+	return t, nil
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

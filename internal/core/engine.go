@@ -211,6 +211,13 @@ type Report struct {
 	// SolverCache reports the memoized solver service: hits are
 	// queries some earlier identical path condition already paid for.
 	SolverCache solver.CacheStats
+	// Exec is the symbolic executor's activity (instructions, forks,
+	// solver calls, undecided queries), summed over all workers.
+	Exec symexec.Stats
+	// Solver is the constraint solver's effort and per-optimization-
+	// stage counters (slices, model hits, rewrites, incremental
+	// reuses), summed over all workers.
+	Solver solver.Stats
 }
 
 // Bugs returns the states that ended in an assertion failure or
@@ -720,6 +727,8 @@ func (e *Engine) finalize(start time.Duration) *Report {
 		Finished:    e.finished,
 		Stats:       e.stats,
 		VirtualTime: e.clock.Now() - start,
+		Exec:        e.exec.Stats,
+		Solver:      e.exec.Solver.Stats,
 	}
 	if e.tgt != nil {
 		ts := e.tgt.Stats()

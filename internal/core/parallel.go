@@ -334,6 +334,10 @@ func (e *Engine) merge(start, seedVT time.Duration, workers int, results []*subt
 		Finished:        append([]*symexec.State(nil), e.finished...),
 		Stats:           e.stats,
 		SeedVirtualTime: seedVT,
+		// Seed phase ran on the primary executor; subtree executors are
+		// spawned fresh, so their report stats are pure deltas.
+		Exec:   e.exec.Stats,
+		Solver: e.exec.Solver.Stats,
 	}
 	wreps := make([]WorkerReport, workers)
 	loads := make([]time.Duration, workers)
@@ -365,6 +369,8 @@ func (e *Engine) merge(start, seedVT time.Duration, workers int, results []*subt
 
 		rep.Finished = append(rep.Finished, res.rep.Finished...)
 		addStats(&rep.Stats, res.rep.Stats)
+		rep.Exec.Add(res.rep.Exec)
+		rep.Solver.Add(res.rep.Solver)
 		manSum.Saves += res.man.Saves
 		manSum.Restores += res.man.Restores
 		manSum.SavesSkipped += res.man.SavesSkipped

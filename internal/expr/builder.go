@@ -21,6 +21,9 @@ type Builder struct {
 	shards [builderShards]internShard
 	varMu  sync.Mutex
 	vars   map[string]*Term
+	// varSets memoizes, per interned term, the name-sorted set of
+	// variables reachable from it (see VarSet).
+	varSets sync.Map // map[*Term][]*Term
 }
 
 type internShard struct {
@@ -154,6 +157,10 @@ func (b *Builder) Add(x, y *Term) *Term {
 	if x.IsConst() {
 		x, y = y, x
 	}
+	// Fold add chains: (x + c1) + c2 = x + (c1 + c2).
+	if y.IsConst() && x.op == OpAdd && x.args[1].IsConst() {
+		return b.Add(x.args[0], b.Const(x.args[1].val+y.val, x.Width()))
+	}
 	return b.binary(OpAdd, x, y, x.width)
 }
 
@@ -168,6 +175,10 @@ func (b *Builder) Sub(x, y *Term) *Term {
 	}
 	if x == y {
 		return b.Const(0, x.Width())
+	}
+	// Canonicalize x - c to x + (-c) so constant-offset chains fold.
+	if y.IsConst() {
+		return b.Add(x, b.Const(-y.val, x.Width()))
 	}
 	return b.binary(OpSub, x, y, x.width)
 }
@@ -188,6 +199,12 @@ func (b *Builder) Mul(x, y *Term) *Term {
 		case 1:
 			return x
 		}
+		// Strength-reduce multiplication by a power of two to a
+		// shift; the blaster's shifter is far cheaper than its
+		// shift-and-add multiplier.
+		if y.val&(y.val-1) == 0 {
+			return b.Shl(x, b.Const(uint64(bits.TrailingZeros64(y.val)), x.Width()))
+		}
 	}
 	return b.binary(OpMul, x, y, x.width)
 }
@@ -205,6 +222,10 @@ func (b *Builder) UDiv(x, y *Term) *Term {
 	if y.IsConst() && y.val == 1 {
 		return x
 	}
+	// Strength-reduce division by a power of two to a logical shift.
+	if y.IsConst() && y.val&(y.val-1) == 0 {
+		return b.Lshr(x, b.Const(uint64(bits.TrailingZeros64(y.val)), x.Width()))
+	}
 	return b.binary(OpUDiv, x, y, x.width)
 }
 
@@ -216,6 +237,10 @@ func (b *Builder) URem(x, y *Term) *Term {
 			return x
 		}
 		return b.Const(x.val%y.val, x.Width())
+	}
+	// Strength-reduce modulo by a power of two to a mask.
+	if y.IsConst() && y.val != 0 && y.val&(y.val-1) == 0 {
+		return b.And(x, b.Const(y.val-1, x.Width()))
 	}
 	return b.binary(OpURem, x, y, x.width)
 }
@@ -235,6 +260,14 @@ func (b *Builder) And(x, y *Term) *Term {
 		}
 		if y.val == Mask(x.Width()) {
 			return x
+		}
+		// Narrow through a zero extension when the mask fits the
+		// original width: and(zext(x), c) = zext(and(x, c)). This is
+		// the `andi` pattern on byte-loaded symbolic inputs and
+		// shrinks every downstream blast from the extended width to
+		// the source width.
+		if x.op == OpZExt && y.val&^Mask(x.args[0].Width()) == 0 {
+			return b.ZExt(b.And(x.args[0], b.Const(y.val, x.args[0].Width())), x.Width())
 		}
 	}
 	if x == y {
@@ -259,6 +292,9 @@ func (b *Builder) Or(x, y *Term) *Term {
 		if y.val == Mask(x.Width()) {
 			return y
 		}
+		if x.op == OpZExt && y.val&^Mask(x.args[0].Width()) == 0 {
+			return b.ZExt(b.Or(x.args[0], b.Const(y.val, x.args[0].Width())), x.Width())
+		}
 	}
 	if x == y {
 		return x
@@ -278,6 +314,9 @@ func (b *Builder) Xor(x, y *Term) *Term {
 	if y.IsConst() && y.val == 0 {
 		return x
 	}
+	if y.IsConst() && x.op == OpZExt && y.val&^Mask(x.args[0].Width()) == 0 {
+		return b.ZExt(b.Xor(x.args[0], b.Const(y.val, x.args[0].Width())), x.Width())
+	}
 	if x == y {
 		return b.Const(0, x.Width())
 	}
@@ -291,6 +330,21 @@ func (b *Builder) Not(x *Term) *Term {
 	}
 	if x.op == OpNot {
 		return x.args[0]
+	}
+	// Negated comparisons flip to the dual comparison so bound
+	// constraints stay in a canonical form the solver's interval
+	// tightening can read.
+	if x.width == 1 {
+		switch x.op {
+		case OpUlt:
+			return b.Ule(x.args[1], x.args[0])
+		case OpUle:
+			return b.Ult(x.args[1], x.args[0])
+		case OpSlt:
+			return b.Sle(x.args[1], x.args[0])
+		case OpSle:
+			return b.Slt(x.args[1], x.args[0])
+		}
 	}
 	return b.intern(&Term{op: OpNot, width: x.width, args: []*Term{x}})
 }
@@ -365,6 +419,44 @@ func (b *Builder) Eq(x, y *Term) *Term {
 	if x.IsConst() {
 		x, y = y, x
 	}
+	if y.IsConst() {
+		// Boolean equality collapses to the operand or its negation.
+		if x.width == 1 {
+			if y.val == 1 {
+				return x
+			}
+			return b.Not(x)
+		}
+		switch x.op {
+		case OpAdd:
+			// (x + c1) = c2  ⇔  x = c2 - c1
+			if x.args[1].IsConst() {
+				return b.Eq(x.args[0], b.Const(y.val-x.args[1].val, x.Width()))
+			}
+		case OpXor:
+			// (x ^ c1) = c2  ⇔  x = c1 ^ c2
+			if x.args[1].IsConst() {
+				return b.Eq(x.args[0], b.Const(x.args[1].val^y.val, x.Width()))
+			}
+		case OpNot:
+			return b.Eq(x.args[0], b.Const(^y.val, x.Width()))
+		case OpNeg:
+			return b.Eq(x.args[0], b.Const(-y.val, x.Width()))
+		case OpZExt:
+			// zext(x) = c is false when c overflows x, else narrows.
+			if y.val&^Mask(x.args[0].Width()) != 0 {
+				return b.Bool(false)
+			}
+			return b.Eq(x.args[0], b.Const(y.val, x.args[0].Width()))
+		case OpConcat:
+			// Split per part; each half usually touches fewer
+			// variables, which feeds independence slicing.
+			hi, lo := x.args[0], x.args[1]
+			return b.And(
+				b.Eq(hi, b.Const(y.val>>lo.Width(), hi.Width())),
+				b.Eq(lo, b.Const(y.val, lo.Width())))
+		}
+	}
 	return b.binary(OpEq, x, y, 1)
 }
 
@@ -382,8 +474,32 @@ func (b *Builder) Ult(x, y *Term) *Term {
 	if x == y {
 		return b.Bool(false)
 	}
-	if y.IsConst() && y.val == 0 {
-		return b.Bool(false)
+	if y.IsConst() {
+		if y.val == 0 {
+			return b.Bool(false)
+		}
+		if y.val == 1 {
+			return b.Eq(x, b.Const(0, x.Width()))
+		}
+		if x.op == OpZExt {
+			iw := x.args[0].Width()
+			if y.val > Mask(iw) {
+				return b.Bool(true)
+			}
+			return b.Ult(x.args[0], b.Const(y.val, iw))
+		}
+	}
+	if x.IsConst() {
+		if x.val == Mask(x.Width()) {
+			return b.Bool(false)
+		}
+		if y.op == OpZExt {
+			iw := y.args[0].Width()
+			if x.val >= Mask(iw) {
+				return b.Bool(false)
+			}
+			return b.Ult(b.Const(x.val, iw), y.args[0])
+		}
 	}
 	return b.binary(OpUlt, x, y, 1)
 }
@@ -396,6 +512,33 @@ func (b *Builder) Ule(x, y *Term) *Term {
 	}
 	if x == y {
 		return b.Bool(true)
+	}
+	if x.IsConst() {
+		if x.val == 0 {
+			return b.Bool(true)
+		}
+		if y.op == OpZExt {
+			iw := y.args[0].Width()
+			if x.val > Mask(iw) {
+				return b.Bool(false)
+			}
+			return b.Ule(b.Const(x.val, iw), y.args[0])
+		}
+	}
+	if y.IsConst() {
+		if y.val == Mask(x.Width()) {
+			return b.Bool(true)
+		}
+		if y.val == 0 {
+			return b.Eq(x, b.Const(0, x.Width()))
+		}
+		if x.op == OpZExt {
+			iw := x.args[0].Width()
+			if y.val >= Mask(iw) {
+				return b.Bool(true)
+			}
+			return b.Ule(x.args[0], b.Const(y.val, iw))
+		}
 	}
 	return b.binary(OpUle, x, y, 1)
 }
@@ -523,6 +666,16 @@ func (b *Builder) Ite(cond, x, y *Term) *Term {
 	if x == y {
 		return x
 	}
+	// ite(c, 1, 0) is just the condition widened; ite(c, 0, 1) its
+	// negation.
+	if x.IsConst() && y.IsConst() {
+		if x.val == 1 && y.val == 0 {
+			return b.ZExt(cond, x.Width())
+		}
+		if x.val == 0 && y.val == 1 {
+			return b.ZExt(b.Not(cond), x.Width())
+		}
+	}
 	return b.intern(&Term{op: OpIte, width: x.width, args: []*Term{cond, x, y}})
 }
 
@@ -550,6 +703,61 @@ func (b *Builder) NumTerms() int {
 		s.mu.Unlock()
 	}
 	return n
+}
+
+// VarSet returns the distinct variables reachable from t, sorted by
+// name. The result is memoized per interned term; because terms are
+// hash-consed, the amortized cost is O(1) per reused node, which is
+// what makes per-query independence slicing in internal/solver
+// affordable. The returned slice is shared across callers and must not
+// be modified. Safe for concurrent use.
+func (b *Builder) VarSet(t *Term) []*Term {
+	if v, ok := b.varSets.Load(t); ok {
+		return v.([]*Term)
+	}
+	var out []*Term
+	switch t.op {
+	case OpConst:
+	case OpVar:
+		out = []*Term{t}
+	default:
+		for _, a := range t.args {
+			out = mergeVarSets(out, b.VarSet(a))
+		}
+	}
+	b.varSets.Store(t, out)
+	return out
+}
+
+// mergeVarSets unions two name-sorted variable sets. Variable names are
+// unique per Builder, so name order is a strict total order and pointer
+// equality coincides with name equality.
+func mergeVarSets(a, c []*Term) []*Term {
+	if len(a) == 0 {
+		return c
+	}
+	if len(c) == 0 {
+		return a
+	}
+	out := make([]*Term, 0, len(a)+len(c))
+	i, j := 0, 0
+	for i < len(a) && j < len(c) {
+		switch {
+		case a[i] == c[j]:
+			out = append(out, a[i])
+			i++
+			j++
+		case a[i].name < c[j].name:
+			out = append(out, a[i])
+			i++
+		default:
+			out = append(out, c[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, c[j:]...)
+	return out
 }
 
 // PopCount64 is re-exported for cost heuristics.

@@ -140,6 +140,45 @@ func substitute(b *Builder, t *Term, sub map[string]*Term, cache map[*Term]*Term
 	return r
 }
 
+// Replace returns t with every occurrence of the subterm old replaced
+// by repl, rebuilding through b so the result re-simplifies. It is the
+// term-level analogue of Substitute, used by the solver's
+// constraint-implied concretization (an equality `old = c` in the path
+// condition licenses replacing old by c everywhere else).
+func Replace(b *Builder, t, old, repl *Term) *Term {
+	if old.Width() != repl.Width() {
+		panic("expr: replacement width mismatch")
+	}
+	cache := make(map[*Term]*Term)
+	var rec func(*Term) *Term
+	rec = func(t *Term) *Term {
+		if t == old {
+			return repl
+		}
+		if t.op == OpConst || t.op == OpVar {
+			return t
+		}
+		if r, ok := cache[t]; ok {
+			return r
+		}
+		args := make([]*Term, len(t.args))
+		changed := false
+		for i, a := range t.args {
+			args[i] = rec(a)
+			if args[i] != a {
+				changed = true
+			}
+		}
+		r := t
+		if changed {
+			r = b.rebuild(t, args)
+		}
+		cache[t] = r
+		return r
+	}
+	return rec(t)
+}
+
 func (b *Builder) rebuild(t *Term, args []*Term) *Term {
 	switch t.op {
 	case OpAdd:

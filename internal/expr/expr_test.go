@@ -348,3 +348,112 @@ func TestSimplifierSoundness(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestCanonicalizingRules checks the rewrite rules the solver's
+// preprocessing relies on. Hash-consing makes pointer equality the
+// proof that a rule fired: both sides must intern to the same node.
+func TestCanonicalizingRules(t *testing.T) {
+	b := NewBuilder()
+	x := b.Var("x", 8)
+	p := b.Var("p", 1)
+	c := func(v uint64) *Term { return b.Const(v, 8) }
+
+	cases := []struct {
+		name string
+		got  *Term
+		want *Term
+	}{
+		{"add-chain-fold", b.Add(b.Add(x, c(3)), c(4)), b.Add(x, c(7))},
+		{"sub-const-to-add", b.Sub(x, c(3)), b.Add(x, c(253))},
+		{"mul-pow2-to-shl", b.Mul(x, c(8)), b.Shl(x, c(3))},
+		{"udiv-pow2-to-lshr", b.UDiv(x, c(4)), b.Lshr(x, c(2))},
+		{"urem-pow2-to-and", b.URem(x, c(8)), b.And(x, c(7))},
+		{"eq-true-collapse", b.Eq(p, b.Bool(true)), p},
+		{"eq-false-collapse", b.Eq(p, b.Bool(false)), b.NotBool(p)},
+		{"not-ult-flips", b.NotBool(b.Ult(x, c(5))), b.Ule(c(5), x)},
+		{"not-ule-flips", b.NotBool(b.Ule(x, c(5))), b.Ult(c(5), x)},
+		{"ult-one-is-eq-zero", b.Ult(x, c(1)), b.Eq(x, c(0))},
+		{"ule-zero-lb-is-true", b.Ule(c(0), x), b.Bool(true)},
+		{"ule-max-ub-is-true", b.Ule(x, c(255)), b.Bool(true)},
+		{"ule-zero-ub-is-eq", b.Ule(x, c(0)), b.Eq(x, c(0))},
+		{"ult-max-lhs-false", b.Ult(c(255), x), b.Bool(false)},
+		{"eq-add-const-fold", b.Eq(b.Add(x, c(3)), c(10)), b.Eq(x, c(7))},
+		{"eq-xor-const-fold", b.Eq(b.Xor(x, c(0xF0)), c(0xFF)), b.Eq(x, c(0x0F))},
+		{"eq-not-fold", b.Eq(b.Not(x), c(0xF0)), b.Eq(x, c(0x0F))},
+		{"eq-neg-fold", b.Eq(b.Neg(x), c(1)), b.Eq(x, c(255))},
+		{"eq-zext-narrow", b.Eq(b.ZExt(x, 16), b.Const(7, 16)), b.Eq(x, c(7))},
+		{"eq-zext-overflow-false", b.Eq(b.ZExt(x, 16), b.Const(0x100, 16)), b.Bool(false)},
+		{"ite-bool-to-zext", b.Ite(p, c(1), c(0)), b.ZExt(p, 8)},
+		{"ite-bool-to-zext-not", b.Ite(p, c(0), c(1)), b.ZExt(b.NotBool(p), 8)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if tc.got != tc.want {
+				t.Fatalf("rule did not fire: got %v, want %v", tc.got, tc.want)
+			}
+		})
+	}
+
+	// Every fired rule must also be semantically sound: evaluate both
+	// shapes (built from raw Terms via Eval) across all 8-bit values.
+	for xv := uint64(0); xv < 256; xv++ {
+		m := Assignment{"x": xv}
+		if got, want := Eval(b.Add(b.Add(x, c(3)), c(4)), m), (xv+7)&0xFF; got != want {
+			t.Fatalf("add fold wrong at x=%d: got %d want %d", xv, got, want)
+		}
+		if got, want := Eval(b.Mul(x, c(8)), m), (xv*8)&0xFF; got != want {
+			t.Fatalf("mul->shl wrong at x=%d: got %d want %d", xv, got, want)
+		}
+		if got, want := Eval(b.URem(x, c(8)), m), xv%8; got != want {
+			t.Fatalf("urem->and wrong at x=%d: got %d want %d", xv, got, want)
+		}
+	}
+}
+
+// TestReplace checks the memoized subterm substitution used by the
+// solver's constraint-implied concretization.
+func TestReplace(t *testing.T) {
+	b := NewBuilder()
+	x, y := b.Var("x", 8), b.Var("y", 8)
+	five := b.Const(5, 8)
+
+	sum := b.Add(x, y)
+	got := Replace(b, b.Ult(sum, b.Const(20, 8)), x, five)
+	want := b.Ult(b.Add(five, y), b.Const(20, 8))
+	if got != want {
+		t.Fatalf("Replace: got %v, want %v", got, want)
+	}
+	// A term not containing old is returned unchanged (same pointer).
+	only := b.Ult(y, b.Const(9, 8))
+	if Replace(b, only, x, five) != only {
+		t.Fatal("Replace rebuilt a term that does not contain old")
+	}
+	// Replacing a non-leaf subterm.
+	nested := b.Eq(b.Mul(sum, b.Const(3, 8)), b.Const(9, 8))
+	got = Replace(b, nested, sum, five)
+	if got != b.Eq(b.Mul(five, b.Const(3, 8)), b.Const(9, 8)) {
+		t.Fatalf("nested Replace: got %v", got)
+	}
+}
+
+// TestVarSetMemo checks the builder's memoized variable sets: sorted,
+// deduplicated, and stable across repeated calls.
+func TestVarSetMemo(t *testing.T) {
+	b := NewBuilder()
+	x, y, z := b.Var("x", 8), b.Var("y", 8), b.Var("z", 8)
+	tm := b.Add(b.Mul(z, y), b.Add(x, z))
+	vs := b.VarSet(tm)
+	if len(vs) != 3 || vs[0] != x || vs[1] != y || vs[2] != z {
+		t.Fatalf("VarSet = %v, want [x y z]", vs)
+	}
+	vs2 := b.VarSet(tm)
+	if len(vs2) != 3 || &vs[0] == nil {
+		t.Fatal("memoized VarSet changed")
+	}
+	if got := b.VarSet(b.Const(9, 8)); len(got) != 0 {
+		t.Fatalf("const VarSet = %v, want empty", got)
+	}
+	if got := b.VarSet(x); len(got) != 1 || got[0] != x {
+		t.Fatalf("var VarSet = %v, want [x]", got)
+	}
+}

@@ -1,0 +1,40 @@
+package solver
+
+// Options selects the stages of the query-optimization stack a Solver
+// runs in front of bit-blasting. The zero value disables every stage,
+// which reproduces plain whole-query blasting — the reference oracle
+// the differential tests compare against, and the behavior of a
+// zero-value Solver.
+//
+// Every stage is equivalence-preserving: for any constraint set the
+// verdict (Sat/Unsat) is identical with any combination of stages,
+// and returned models satisfy every constraint. Only the effort spent
+// (conflicts, propagations, wall time) and the particular model chosen
+// may differ.
+type Options struct {
+	// Rewrite runs the canonicalizing preprocessing pass (conjunction
+	// flattening, constraint-implied concretization, interval
+	// tightening) before anything else. Requires Solver.Builder.
+	Rewrite bool
+
+	// Slicing partitions each conjunction into connected components of
+	// constraints linked by shared variables (union-find over var-sets)
+	// and decides each component independently, so the verdict cache
+	// hits across branches instead of only across identical paths.
+	Slicing bool
+
+	// ModelReuse answers Sat by replaying a recently found model that
+	// already satisfies the query, and Unsat when a remembered unsat
+	// core is a subset of the query, skipping SAT entirely.
+	ModelReuse bool
+
+	// Incremental solves through a persistent assumption-based SAT
+	// context that retains learned clauses and the blaster's gate cache
+	// across queries on the same path. Requires Solver.Builder.
+	Incremental bool
+}
+
+// DefaultOptions enables the full optimization stack.
+func DefaultOptions() Options {
+	return Options{Rewrite: true, Slicing: true, ModelReuse: true, Incremental: true}
+}

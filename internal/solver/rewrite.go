@@ -1,0 +1,402 @@
+package solver
+
+import "hardsnap/internal/expr"
+
+// Preprocessing limits: rewriteRounds bounds the
+// concretize/bounds fixpoint, maxRewriteTerms skips the quadratic
+// substitution pass on unusually large conjunctions.
+const (
+	rewriteRounds   = 3
+	maxRewriteTerms = 128
+)
+
+// rewrite runs the canonicalizing preprocessing pass before slicing
+// and blasting: conjunction flattening, constraint-implied
+// concretization (an equality `t = c` in the set licenses substituting
+// c for t everywhere else), and interval tightening over constant
+// bounds on shared terms. Every step preserves the conjunction's
+// models — the variable set is unchanged and the rewritten conjunction
+// is logically equivalent — so verdicts and model validity are
+// unaffected; only solving effort changes.
+//
+// It returns the simplified set, Unsat when preprocessing alone refuted
+// the query (Result zero value otherwise), and whether anything
+// changed.
+func (s *Solver) rewrite(constraints []*expr.Term) ([]*expr.Term, Result, bool) {
+	cs, unsat, changed := s.flatten(constraints)
+	if unsat {
+		return nil, Unsat, true
+	}
+	for round := 0; round < rewriteRounds; round++ {
+		out, uns, ch1 := s.concretizePass(cs)
+		if uns {
+			return nil, Unsat, true
+		}
+		out, uns, ch2 := s.boundsPass(out)
+		if uns {
+			return nil, Unsat, true
+		}
+		if !ch1 && !ch2 {
+			break
+		}
+		changed = true
+		out, uns, _ = s.flatten(out)
+		if uns {
+			return nil, Unsat, true
+		}
+		cs = out
+	}
+	return cs, 0, changed
+}
+
+// flatten expands width-1 conjunctions into their conjuncts (each
+// conjunct usually touches fewer variables, which feeds slicing),
+// drops constant-true and duplicate constraints, and detects
+// constant-false.
+func (s *Solver) flatten(cs []*expr.Term) (out []*expr.Term, unsat, changed bool) {
+	out = make([]*expr.Term, 0, len(cs))
+	seen := make(map[*expr.Term]bool, len(cs))
+	var add func(t *expr.Term)
+	add = func(t *expr.Term) {
+		if unsat {
+			return
+		}
+		if v, ok := t.Const(); ok {
+			if v == 0 {
+				unsat = true
+			} else {
+				changed = true // vacuous constraint dropped
+			}
+			return
+		}
+		if t.Op() == expr.OpAnd && t.Width() == 1 {
+			changed = true
+			s.Stats.Rewrites++
+			add(t.Args()[0])
+			add(t.Args()[1])
+			return
+		}
+		if seen[t] {
+			changed = true
+			return
+		}
+		seen[t] = true
+		out = append(out, t)
+	}
+	for _, t := range cs {
+		add(t)
+	}
+	return out, unsat, changed
+}
+
+// concretizePass applies constraint-implied concretization: for each
+// defining equality `t = c` (non-constant term, constant right-hand
+// side — the Builder's canonical orientation), every other constraint
+// has t replaced by c. The defining equality itself is kept, so the
+// conjunction stays equivalent and no variable disappears from the
+// query.
+func (s *Solver) concretizePass(cs []*expr.Term) (out []*expr.Term, unsat, changed bool) {
+	if len(cs) < 2 || len(cs) > maxRewriteTerms {
+		return cs, false, false
+	}
+	type def struct {
+		idx int
+		lhs *expr.Term
+		c   *expr.Term
+	}
+	var defs []def
+	for i, t := range cs {
+		if t.Op() == expr.OpEq {
+			args := t.Args()
+			if args[1].IsConst() && !args[0].IsConst() {
+				defs = append(defs, def{i, args[0], args[1]})
+			}
+		}
+	}
+	if len(defs) == 0 {
+		return cs, false, false
+	}
+	out = append([]*expr.Term(nil), cs...)
+	for _, d := range defs {
+		lhsVars := s.varSet(d.lhs)
+		for i, t := range out {
+			if i == d.idx || !varsOverlap(lhsVars, s.varSet(t)) {
+				continue
+			}
+			nt := expr.Replace(s.Builder, t, d.lhs, d.c)
+			if nt != t {
+				out[i] = nt
+				changed = true
+				s.Stats.Rewrites++
+			}
+		}
+	}
+	for _, t := range out {
+		if v, ok := t.Const(); ok && v == 0 {
+			return nil, true, true
+		}
+	}
+	return out, false, changed
+}
+
+// varsOverlap reports whether two name-sorted variable sets intersect.
+func varsOverlap(a, b []*expr.Term) bool {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			return true
+		case a[i].Name() < b[j].Name():
+			i++
+		default:
+			j++
+		}
+	}
+	return false
+}
+
+// Bound classification for the interval-tightening pass. A "pure
+// bound" compares a non-constant term against a constant; chains of
+// such bounds on the same term collapse to their tightest
+// representatives, pin the term outright, or refute the query.
+type boundKind int
+
+const (
+	boundNone  boundKind = iota
+	boundEq              // x = c
+	boundUltUB           // x <  c (unsigned upper)
+	boundUltLB           // c <  x (unsigned lower)
+	boundUleUB           // x <= c
+	boundUleLB           // c <= x
+	boundSltUB           // x <  c (signed upper)
+	boundSltLB           // c <  x (signed lower)
+	boundSleUB           // x <= c
+	boundSleLB           // c <= x
+)
+
+func classifyBound(t *expr.Term) (*expr.Term, uint64, boundKind) {
+	args := t.Args()
+	pick := func(ubKind, lbKind boundKind) (*expr.Term, uint64, boundKind) {
+		if args[1].IsConst() && !args[0].IsConst() {
+			v, _ := args[1].Const()
+			return args[0], v, ubKind
+		}
+		if args[0].IsConst() && !args[1].IsConst() {
+			v, _ := args[0].Const()
+			return args[1], v, lbKind
+		}
+		return nil, 0, boundNone
+	}
+	switch t.Op() {
+	case expr.OpEq:
+		if args[1].IsConst() && !args[0].IsConst() {
+			v, _ := args[1].Const()
+			return args[0], v, boundEq
+		}
+	case expr.OpUlt:
+		return pick(boundUltUB, boundUltLB)
+	case expr.OpUle:
+		return pick(boundUleUB, boundUleLB)
+	case expr.OpSlt:
+		return pick(boundSltUB, boundSltLB)
+	case expr.OpSle:
+		return pick(boundSleUB, boundSleLB)
+	}
+	return nil, 0, boundNone
+}
+
+func minSigned(w uint) int64 { return int64(expr.SignExtend(1<<(w-1), w)) }
+func maxSigned(w uint) int64 { return int64(expr.Mask(w) >> 1) }
+
+// boundInfo accumulates the unsigned and signed interval of one term
+// together with the witness constraints that set the tightest bounds.
+type boundInfo struct {
+	x        *expr.Term
+	w        uint
+	lo, hi   uint64
+	slo, shi int64
+	loC, hiC *expr.Term // tightest unsigned witnesses
+	sloC     *expr.Term // tightest signed witnesses
+	shiC     *expr.Term
+	pin      *expr.Term // explicit Eq constraint, if any
+	pinVal   uint64
+	bounds   []*expr.Term // all pure-bound constraints on x, in order
+}
+
+// boundsPass tightens Ult/Slt/Ule/Sle chains: per term it keeps only
+// the tightest lower and upper bound of each signedness (weaker bounds
+// are implied and dropped), replaces an interval that collapses to a
+// single value with an equality, and refutes empty intervals. Dropped
+// constraints are always implied by the kept ones, so the conjunction
+// stays equivalent.
+func (s *Solver) boundsPass(cs []*expr.Term) ([]*expr.Term, bool, bool) {
+	if len(cs) < 2 {
+		return cs, false, false
+	}
+	info := make(map[*expr.Term]*boundInfo)
+	var order []*boundInfo
+	get := func(x *expr.Term) *boundInfo {
+		bi, ok := info[x]
+		if !ok {
+			w := x.Width()
+			bi = &boundInfo{
+				x: x, w: w,
+				lo: 0, hi: expr.Mask(w),
+				slo: minSigned(w), shi: maxSigned(w),
+			}
+			info[x] = bi
+			order = append(order, bi)
+		}
+		return bi
+	}
+	for _, t := range cs {
+		x, c, kind := classifyBound(t)
+		if kind == boundNone {
+			continue
+		}
+		bi := get(x)
+		sc := int64(expr.SignExtend(c, bi.w))
+		// Witnesses are the first constraint achieving each strictly
+		// tightest bound; equal or weaker bounds are implied by the
+		// witness (or, at the trivial initial bound, vacuous) and drop.
+		setLo := func(v uint64) {
+			if v > bi.lo {
+				bi.lo, bi.loC = v, t
+			}
+		}
+		setHi := func(v uint64) {
+			if v < bi.hi {
+				bi.hi, bi.hiC = v, t
+			}
+		}
+		setSlo := func(v int64) {
+			if v > bi.slo {
+				bi.slo, bi.sloC = v, t
+			}
+		}
+		setShi := func(v int64) {
+			if v < bi.shi {
+				bi.shi, bi.shiC = v, t
+			}
+		}
+		switch kind {
+		case boundEq:
+			if bi.pin != nil && bi.pinVal != c {
+				return nil, true, true
+			}
+			bi.pin, bi.pinVal = t, c
+			// Fold the pin into both intervals so conflicts with
+			// bounds surface as an empty interval.
+			if c > bi.lo {
+				bi.lo = c
+			}
+			if c < bi.hi {
+				bi.hi = c
+			}
+			if sc > bi.slo {
+				bi.slo = sc
+			}
+			if sc < bi.shi {
+				bi.shi = sc
+			}
+			continue
+		case boundUltUB: // x < c; c >= 1 or the builder folded it
+			bi.bounds = append(bi.bounds, t)
+			setHi(c - 1)
+		case boundUltLB: // c < x; c < max or the builder folded it
+			bi.bounds = append(bi.bounds, t)
+			setLo(c + 1)
+		case boundUleUB:
+			bi.bounds = append(bi.bounds, t)
+			setHi(c)
+		case boundUleLB:
+			bi.bounds = append(bi.bounds, t)
+			setLo(c)
+		case boundSltUB: // x <s c
+			if sc == minSigned(bi.w) {
+				return nil, true, true // x < min is unsatisfiable
+			}
+			bi.bounds = append(bi.bounds, t)
+			setShi(sc - 1)
+		case boundSltLB: // c <s x
+			if sc == maxSigned(bi.w) {
+				return nil, true, true
+			}
+			bi.bounds = append(bi.bounds, t)
+			setSlo(sc + 1)
+		case boundSleUB:
+			bi.bounds = append(bi.bounds, t)
+			setShi(sc)
+		case boundSleLB:
+			bi.bounds = append(bi.bounds, t)
+			setSlo(sc)
+		}
+	}
+	drop := make(map[*expr.Term]bool)
+	replace := make(map[*expr.Term]*expr.Term)
+	for _, bi := range order {
+		if bi.lo > bi.hi || bi.slo > bi.shi {
+			return nil, true, true
+		}
+		// Cross-domain consistency of a collapsed interval.
+		if bi.lo == bi.hi {
+			sv := int64(expr.SignExtend(bi.lo, bi.w))
+			if sv < bi.slo || sv > bi.shi {
+				return nil, true, true
+			}
+		}
+		if bi.slo == bi.shi {
+			v := uint64(bi.slo) & expr.Mask(bi.w)
+			if v < bi.lo || v > bi.hi {
+				return nil, true, true
+			}
+		}
+		pinned := bi.pin != nil
+		var v uint64
+		switch {
+		case bi.pin != nil:
+			v = bi.pinVal
+		case bi.lo == bi.hi:
+			pinned, v = true, bi.lo
+		case bi.slo == bi.shi:
+			pinned, v = true, uint64(bi.slo)&expr.Mask(bi.w)
+		}
+		if pinned {
+			// Every pure bound on x is implied by x = v (the interval
+			// checks above established consistency); the pin — the
+			// explicit Eq, or a synthesized one in place of the first
+			// bound — carries the constraint.
+			for _, t := range bi.bounds {
+				drop[t] = true
+			}
+			if bi.pin == nil && len(bi.bounds) > 0 {
+				first := bi.bounds[0]
+				delete(drop, first)
+				replace[first] = s.Builder.Eq(bi.x, s.Builder.Const(v, bi.w))
+			}
+			continue
+		}
+		for _, t := range bi.bounds {
+			if t != bi.loC && t != bi.hiC && t != bi.sloC && t != bi.shiC {
+				drop[t] = true
+			}
+		}
+	}
+	if len(drop) == 0 && len(replace) == 0 {
+		return cs, false, false
+	}
+	out := make([]*expr.Term, 0, len(cs))
+	for _, t := range cs {
+		if r, ok := replace[t]; ok {
+			out = append(out, r)
+			s.Stats.Rewrites++
+			continue
+		}
+		if drop[t] {
+			s.Stats.Rewrites++
+			continue
+		}
+		out = append(out, t)
+	}
+	return out, false, true
+}

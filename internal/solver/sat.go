@@ -430,6 +430,18 @@ const (
 
 // solve runs the CDCL loop. maxConflicts < 0 means unbounded.
 func (s *sat) solve() satResult {
+	return s.solveAssuming(nil)
+}
+
+// solveAssuming runs the CDCL loop with the given literals as
+// assumptions: they are forced as the first decisions (MiniSat-style),
+// so satUnsat means "unsatisfiable under the assumptions" while the
+// underlying formula stays intact and reusable. Learned clauses derived
+// under assumptions mention the assumption literals negated and remain
+// globally valid, which is what makes the incremental per-path context
+// sound across queries. The caller must cancelUntil(0) afterwards to
+// retract the assumptions (and should extract any model first).
+func (s *sat) solveAssuming(assumps []lit) satResult {
 	if !s.ok {
 		return satUnsat
 	}
@@ -463,8 +475,26 @@ func (s *sat) solve() satResult {
 		if conflictsAtRestart >= restartLimit {
 			conflictsAtRestart = 0
 			restartLimit = restartLimit * 3 / 2
+			// Restarting retracts the assumptions too; the decision
+			// loop below re-asserts them in order.
 			s.cancelUntil(0)
 			s.reduceDB()
+			continue
+		}
+		if int(s.decisionLevel()) < len(assumps) {
+			p := assumps[s.decisionLevel()]
+			switch s.value(p) {
+			case lTrue:
+				// Already implied: open a dummy decision level so the
+				// remaining assumptions keep their positions.
+				s.trailLim = append(s.trailLim, int32(len(s.trail)))
+			case lFalse:
+				// Contradicts the formula plus earlier assumptions.
+				return satUnsat
+			default:
+				s.trailLim = append(s.trailLim, int32(len(s.trail)))
+				s.uncheckedEnqueue(p, nil)
+			}
 			continue
 		}
 		v := s.pickBranchVar()

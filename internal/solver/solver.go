@@ -2,6 +2,7 @@ package solver
 
 import (
 	"errors"
+	"time"
 
 	"hardsnap/internal/expr"
 )
@@ -33,23 +34,52 @@ func (r Result) String() string {
 // definite answer is reached.
 var ErrBudget = errors.New("solver: conflict budget exhausted")
 
+var errNotBoolean = errors.New("solver: constraint is not boolean")
+
 // Solver decides conjunctions of width-1 bitvector terms. The zero
-// value is ready to use with an unlimited conflict budget.
+// value is ready to use with an unlimited conflict budget and plain
+// whole-query solving; set Opts (and Builder) to enable the
+// query-optimization stack.
 type Solver struct {
-	// MaxConflicts bounds the CDCL search; <= 0 means unlimited.
+	// MaxConflicts bounds the CDCL search per query; <= 0 means
+	// unlimited.
 	MaxConflicts int64
 
 	// Cache, when non-nil, memoizes definite verdicts across queries
 	// (and, when shared, across solvers — see Cache). The Solver
 	// itself remains single-goroutine; only the Cache is safe to
-	// share.
+	// share. With slicing enabled the cache is also consulted per
+	// slice, so verdicts start hitting across branches that share
+	// constraint subsets, not only across identical paths.
 	Cache *Cache
+
+	// Builder is the expression builder the constraints were created
+	// with. It is required by the Rewrite stage (which constructs
+	// terms) and used for O(1) memoized var-sets by slicing; the
+	// Incremental stage also needs it as a signal that term pointers
+	// are stable across queries.
+	Builder *expr.Builder
+
+	// Opts selects the optimization stages; the zero value is plain
+	// whole-query blasting.
+	Opts Options
 
 	// Stats accumulates across queries.
 	Stats Stats
+
+	// Counterexample-reuse state (single-goroutine, like the Solver).
+	recent []expr.Assignment
+	cores  [][]*expr.Term
+
+	// Incremental assumption-based context.
+	ctx *incContext
+
+	// Fallback var-set memo when no Builder is attached.
+	localVars map[*expr.Term][]*expr.Term
 }
 
-// Stats reports cumulative solver effort.
+// Stats reports cumulative solver effort and, per optimization stage,
+// how often the stage shortcut fired.
 type Stats struct {
 	Queries      int64
 	SatAnswers   int64
@@ -57,6 +87,41 @@ type Stats struct {
 	CacheHits    int64
 	Conflicts    int64
 	Propagations int64
+
+	// Sliced counts the independent components decided beyond the
+	// first, summed over queries (0 when every query was one
+	// component).
+	Sliced int64
+	// ModelHits counts Sat answers obtained by replaying a recent
+	// model instead of solving.
+	ModelHits int64
+	// UnsatCoreHits counts Unsat answers obtained because a
+	// remembered unsat core was a subset of the query.
+	UnsatCoreHits int64
+	// Rewrites counts constraints simplified, split, or dropped by the
+	// canonicalizing rewrite pass.
+	Rewrites int64
+	// IncrementalReuses counts constraints that were already guarded
+	// in the incremental context (no new blasting needed).
+	IncrementalReuses int64
+	// WallNS is wall-clock time spent inside Check, in nanoseconds.
+	WallNS int64
+}
+
+// Add accumulates o into s (used to merge per-worker solver stats).
+func (s *Stats) Add(o Stats) {
+	s.Queries += o.Queries
+	s.SatAnswers += o.SatAnswers
+	s.UnsatAnswers += o.UnsatAnswers
+	s.CacheHits += o.CacheHits
+	s.Conflicts += o.Conflicts
+	s.Propagations += o.Propagations
+	s.Sliced += o.Sliced
+	s.ModelHits += o.ModelHits
+	s.UnsatCoreHits += o.UnsatCoreHits
+	s.Rewrites += o.Rewrites
+	s.IncrementalReuses += o.IncrementalReuses
+	s.WallNS += o.WallNS
 }
 
 // New returns a Solver with the given conflict budget (<= 0 for
@@ -68,83 +133,179 @@ func New(maxConflicts int64) *Solver {
 // Check decides whether the conjunction of the given width-1 terms is
 // satisfiable. On Sat it returns a model assigning every variable that
 // occurs in the constraints. On Unknown it returns ErrBudget.
+//
+// The query runs through the optimization pipeline selected by Opts:
+// rewrite → slice → per-slice cache/model-reuse → (incremental) SAT.
+// Every stage preserves verdicts, so enabling stages changes effort
+// and possibly which model is returned, never satisfiability.
 func (s *Solver) Check(constraints []*expr.Term) (Result, expr.Assignment, error) {
+	start := time.Now()
 	s.Stats.Queries++
+	res, model, err := s.check(constraints)
+	s.Stats.WallNS += time.Since(start).Nanoseconds()
+	switch res {
+	case Sat:
+		s.Stats.SatAnswers++
+	case Unsat:
+		s.Stats.UnsatAnswers++
+	}
+	return res, model, err
+}
 
+func (s *Solver) check(constraints []*expr.Term) (Result, expr.Assignment, error) {
 	// Fast path: all-constant constraints.
 	allConst := true
 	for _, c := range constraints {
 		if c.Width() != 1 {
-			return Unknown, nil, errors.New("solver: constraint is not boolean")
+			return Unknown, nil, errNotBoolean
 		}
 		v, ok := c.Const()
 		if !ok {
 			allConst = false
-			break
+			continue
 		}
 		if v == 0 {
-			s.Stats.UnsatAnswers++
 			return Unsat, nil, nil
 		}
 	}
 	if allConst {
-		s.Stats.SatAnswers++
 		return Sat, expr.Assignment{}, nil
 	}
 
+	// Whole-query memo on the original constraint set.
 	var key CacheKey
-	if s.Cache != nil {
+	haveKey := s.Cache != nil
+	if haveKey {
 		key = s.Cache.Key(constraints)
 		if res, model, ok := s.Cache.Lookup(key); ok {
 			s.Stats.CacheHits++
-			switch res {
-			case Sat:
-				s.Stats.SatAnswers++
-			case Unsat:
-				s.Stats.UnsatAnswers++
-			}
 			return res, model, nil
 		}
 	}
 
-	core := newSAT()
-	if s.MaxConflicts > 0 {
-		core.maxConflicts = s.MaxConflicts
+	cs, changed := constraints, false
+	if s.Opts.Rewrite && s.Builder != nil {
+		var verdict Result
+		cs, verdict, changed = s.rewrite(constraints)
+		if verdict == Unsat {
+			if haveKey {
+				s.Cache.Store(key, Unsat, nil)
+			}
+			return Unsat, nil, nil
+		}
+		if len(cs) == 0 {
+			model := expr.Assignment{}
+			if haveKey {
+				s.Cache.Store(key, Sat, model)
+			}
+			return Sat, model, nil
+		}
 	}
-	bl := newBlaster(core)
-	for _, c := range constraints {
+
+	var slices [][]*expr.Term
+	if s.Opts.Slicing {
+		slices = s.partition(cs)
+		s.Stats.Sliced += int64(len(slices) - 1)
+	} else {
+		slices = [][]*expr.Term{cs}
+	}
+	// Per-slice verdicts are worth caching only when the slice key can
+	// differ from the whole-query key (which already missed).
+	subCache := haveKey && (changed || len(slices) > 1)
+
+	model := expr.Assignment{}
+	for _, sl := range slices {
+		res, m, err := s.checkSlice(sl, subCache)
+		if err != nil {
+			return Unknown, nil, err
+		}
+		if res == Unsat {
+			if haveKey {
+				s.Cache.Store(key, Unsat, nil)
+			}
+			return Unsat, nil, nil
+		}
+		// Slices are variable-disjoint, so merging cannot clobber
+		// (checkSlice restricts each model to its slice's variables).
+		for k, v := range m {
+			model[k] = v
+		}
+	}
+	if haveKey {
+		s.Cache.Store(key, Sat, model)
+	}
+	s.rememberModel(model)
+	return Sat, model, nil
+}
+
+// checkSlice decides one independence slice: per-slice cache, then
+// counterexample reuse, then SAT (incremental context or a fresh
+// instance). Sat models are restricted to the slice's variables.
+func (s *Solver) checkSlice(sl []*expr.Term, useCache bool) (Result, expr.Assignment, error) {
+	var live []*expr.Term
+	for _, c := range sl {
 		if v, ok := c.Const(); ok {
 			if v == 0 {
-				s.Stats.UnsatAnswers++
-				if s.Cache != nil {
-					s.Cache.Store(key, Unsat, nil)
-				}
 				return Unsat, nil, nil
 			}
 			continue
 		}
-		bl.assertTrue(c)
+		live = append(live, c)
 	}
-	res := core.solve()
-	s.Stats.Conflicts += core.conflicts
-	s.Stats.Propagations += core.propagations
+	if len(live) == 0 {
+		return Sat, expr.Assignment{}, nil
+	}
+
+	var key CacheKey
+	if useCache {
+		key = s.Cache.Key(live)
+		if res, model, ok := s.Cache.Lookup(key); ok {
+			s.Stats.CacheHits++
+			return res, model, nil
+		}
+	}
+
+	if s.Opts.ModelReuse {
+		if m, ok := s.tryRecentModels(live); ok {
+			s.Stats.ModelHits++
+			m = s.restrictModel(live, m)
+			if useCache {
+				s.Cache.Store(key, Sat, m)
+			}
+			return Sat, m, nil
+		}
+		if s.coveredByUnsatCore(live) {
+			s.Stats.UnsatCoreHits++
+			if useCache {
+				s.Cache.Store(key, Unsat, nil)
+			}
+			return Unsat, nil, nil
+		}
+	}
+
+	var res satResult
+	var m expr.Assignment
+	if s.Opts.Incremental && s.Builder != nil {
+		res, m = s.solveIncremental(live)
+	} else {
+		res, m = s.solveFresh(live)
+	}
 	switch res {
 	case satSat:
-		s.Stats.SatAnswers++
-		model := bl.model()
-		if s.Cache != nil {
-			s.Cache.Store(key, Sat, model)
+		m = s.restrictModel(live, m)
+		if useCache {
+			s.Cache.Store(key, Sat, m)
 		}
-		return Sat, model, nil
+		s.rememberModel(m)
+		return Sat, m, nil
 	case satUnsat:
-		s.Stats.UnsatAnswers++
-		if s.Cache != nil {
+		if useCache {
 			s.Cache.Store(key, Unsat, nil)
 		}
+		s.rememberUnsatCore(live)
 		return Unsat, nil, nil
-	default:
-		return Unknown, nil, ErrBudget
 	}
+	return Unknown, nil, ErrBudget
 }
 
 // MustValue returns a concrete value for term t consistent with the
@@ -166,19 +327,34 @@ func (s *Solver) MustValue(constraints []*expr.Term, t *expr.Term) (uint64, bool
 // constraints, by iteratively blocking found values. It is the
 // completeness-oriented concretization policy from the paper.
 func (s *Solver) Values(b *expr.Builder, constraints []*expr.Term, t *expr.Term, max int) []uint64 {
+	vals, _ := s.Enumerate(b, constraints, t, max)
+	return vals
+}
+
+// Enumerate is Values with an explicit terminating verdict: Unsat when
+// the value space was exhausted (the list is complete), Sat when the
+// enumeration stopped at max (more values may exist), and Unknown when
+// the conflict budget ran out. Callers use the verdict to tell "no
+// value exists" apart from "the solver gave up", which Values conflates.
+// Thanks to the incremental context, each blocking query re-uses all
+// previously blasted constraints and only the newest blocking
+// constraint is new work.
+func (s *Solver) Enumerate(b *expr.Builder, constraints []*expr.Term, t *expr.Term, max int) ([]uint64, Result) {
 	if v, ok := t.Const(); ok {
-		return []uint64{v}
+		return []uint64{v}, Sat
 	}
 	var out []uint64
 	cs := append([]*expr.Term{}, constraints...)
+	final := Sat
 	for len(out) < max {
 		res, m, _ := s.Check(cs)
 		if res != Sat {
+			final = res
 			break
 		}
 		v := expr.Eval(t, m)
 		out = append(out, v)
 		cs = append(cs, b.Ne(t, b.Const(v, t.Width())))
 	}
-	return out
+	return out, final
 }

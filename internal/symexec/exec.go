@@ -42,6 +42,11 @@ type Config struct {
 	MaxValues int
 	// SolverConflicts bounds each solver query (0 = unlimited).
 	SolverConflicts int64
+	// DisableSolverOpt turns off the solver's query-optimization stack
+	// (rewrite/slicing/model-reuse/incremental SAT), reverting to plain
+	// whole-query solving. Used as the escape hatch for differential
+	// testing and A/B benchmarking.
+	DisableSolverOpt bool
 }
 
 // Stats counts executor activity.
@@ -50,6 +55,19 @@ type Stats struct {
 	Forks        uint64
 	SolverCalls  uint64
 	Concretized  uint64
+	// SolverUnknowns counts queries the solver gave up on (conflict
+	// budget exhausted); the affected states are parked as
+	// StatusUnknown rather than pruned.
+	SolverUnknowns uint64
+}
+
+// Add accumulates o into s (used to merge per-worker executor stats).
+func (s *Stats) Add(o Stats) {
+	s.Instructions += o.Instructions
+	s.Forks += o.Forks
+	s.SolverCalls += o.SolverCalls
+	s.Concretized += o.Concretized
+	s.SolverUnknowns += o.SolverUnknowns
 }
 
 // Executor interprets HS32 instructions symbolically.
@@ -83,14 +101,19 @@ func New(cfg Config, prog *asm.Program, mmio MMIOHandler) (*Executor, error) {
 		return nil, fmt.Errorf("symexec: program does not fit in RAM")
 	}
 	copy(image[off:], prog.Code)
-	return &Executor{
+	e := &Executor{
 		B:      expr.NewBuilder(),
 		Solver: solver.New(cfg.SolverConflicts),
 		cfg:    cfg,
 		mmio:   mmio,
 		image:  image,
 		prog:   prog,
-	}, nil
+	}
+	e.Solver.Builder = e.B
+	if !cfg.DisableSolverOpt {
+		e.Solver.Opts = solver.DefaultOptions()
+	}
+	return e, nil
 }
 
 func normalizeVMConfig(c vm.Config) vm.Config {
@@ -123,6 +146,8 @@ func (e *Executor) Spawn(idBase uint64) *Executor {
 		nextID: idBase,
 	}
 	ne.Solver.Cache = e.Solver.Cache
+	ne.Solver.Builder = e.B
+	ne.Solver.Opts = e.Solver.Opts
 	return ne
 }
 
@@ -225,14 +250,33 @@ func (e *Executor) setReg(st *State, r uint8, t *expr.Term) {
 	}
 }
 
-// feasible checks satisfiability of the state's path condition plus
-// extra constraints.
-func (e *Executor) feasible(st *State, extra ...*expr.Term) (bool, expr.Assignment) {
+// check decides the state's path condition plus extra constraints,
+// returning the solver's verdict. Unknown (conflict budget exhausted)
+// is a first-class outcome here — callers must not conflate it with
+// Unsat, or budget-starved paths get silently pruned as infeasible.
+func (e *Executor) check(st *State, extra ...*expr.Term) (solver.Result, expr.Assignment) {
 	e.Stats.SolverCalls++
 	cs := make([]*expr.Term, 0, len(st.Constraints)+len(extra))
 	cs = append(cs, st.Constraints...)
 	cs = append(cs, extra...)
 	res, model, _ := e.Solver.Check(cs)
+	if res == solver.Unknown {
+		e.Stats.SolverUnknowns++
+	}
+	return res, model
+}
+
+// markUnknown parks a state whose path condition the solver could not
+// decide within budget.
+func (e *Executor) markUnknown(st *State) {
+	st.Status = StatusUnknown
+}
+
+// feasible checks satisfiability of the state's path condition plus
+// extra constraints. An undecided query reports infeasible here; use
+// check at decision points where Unknown must be distinguished.
+func (e *Executor) feasible(st *State, extra ...*expr.Term) (bool, expr.Assignment) {
+	res, model := e.check(st, extra...)
 	return res == solver.Sat, model
 }
 
@@ -251,10 +295,19 @@ func (e *Executor) concretize(st *State, t *expr.Term, forks *[]*State) (uint32,
 	if e.cfg.Policy == ConcretizeAll {
 		max = e.cfg.MaxValues
 	}
-	vals := e.Solver.Values(e.B, st.Constraints, t, max)
-	e.Stats.SolverCalls += uint64(len(vals)) + 1
+	// Enumerate issues its blocking queries on one solver (the
+	// incremental context re-blasts nothing between them); count the
+	// queries it actually ran, not a guess from the value count.
+	before := e.Solver.Stats.Queries
+	vals, final := e.Solver.Enumerate(e.B, st.Constraints, t, max)
+	e.Stats.SolverCalls += uint64(e.Solver.Stats.Queries - before)
 	if len(vals) == 0 {
-		st.Status = StatusInfeasible
+		if final == solver.Unknown {
+			e.Stats.SolverUnknowns++
+			e.markUnknown(st)
+		} else {
+			st.Status = StatusInfeasible
+		}
 		return 0, nil
 	}
 	for _, v := range vals[1:] {
@@ -407,8 +460,16 @@ func (e *Executor) Step(st *State) ([]*State, error) {
 			break
 		}
 		// Symbolic branch: the fork point of the paper's Algorithm 1.
-		satT, _ := e.feasible(st, taken)
-		satF, _ := e.feasible(st, b.NotBool(taken))
+		resT, _ := e.check(st, taken)
+		resF, _ := e.check(st, b.NotBool(taken))
+		if resT == solver.Unknown || resF == solver.Unknown {
+			// The budget ran out before the branch was decided; park the
+			// state instead of guessing a side (either guess could both
+			// lose paths and explore infeasible ones).
+			e.markUnknown(st)
+			return forks, nil
+		}
+		satT, satF := resT == solver.Sat, resF == solver.Sat
 		switch {
 		case satT && satF:
 			sib := e.fork(st)
@@ -601,16 +662,20 @@ func (e *Executor) execEcall(st *State, service int32, forks *[]*State) (bool, e
 			}
 			return false, nil
 		}
-		satFail, failModel := e.feasible(st, b.NotBool(cond))
-		satPass, _ := e.feasible(st, cond)
-		if satFail {
+		resFail, failModel := e.check(st, b.NotBool(cond))
+		resPass, _ := e.check(st, cond)
+		if resFail == solver.Unknown || resPass == solver.Unknown {
+			e.markUnknown(st)
+			return true, nil
+		}
+		if resFail == solver.Sat {
 			fail := e.fork(st)
 			fail.AddConstraint(b.NotBool(cond))
 			fail.Status = StatusAssertFail
 			fail.Model = failModel
 			*forks = append(*forks, fail)
 		}
-		if !satPass {
+		if resPass != solver.Sat {
 			st.Status = StatusInfeasible
 			return true, nil
 		}
@@ -626,7 +691,11 @@ func (e *Executor) execEcall(st *State, service int32, forks *[]*State) (bool, e
 			}
 			return false, nil
 		}
-		if ok, _ := e.feasible(st, cond); !ok {
+		switch res, _ := e.check(st, cond); res {
+		case solver.Unknown:
+			e.markUnknown(st)
+			return true, nil
+		case solver.Unsat:
 			st.Status = StatusInfeasible
 			return true, nil
 		}

@@ -27,6 +27,11 @@ const (
 	StatusFault
 	StatusInfeasible
 	StatusBudget
+	// StatusUnknown marks a state parked because the solver could not
+	// decide its path condition within the conflict budget. Unlike
+	// StatusInfeasible the path may still be feasible; it is reported
+	// separately so budget-starved paths are never silently pruned.
+	StatusUnknown
 )
 
 // String names the status.
@@ -46,6 +51,8 @@ func (s Status) String() string {
 		return "infeasible"
 	case StatusBudget:
 		return "budget"
+	case StatusUnknown:
+		return "unknown"
 	}
 	return "?"
 }

@@ -586,3 +586,144 @@ bad:
 		t.Fatal("halfword load semantics inconsistent")
 	}
 }
+
+// TestBudgetExhaustionParksUnknown: a branch the solver cannot decide
+// within its conflict budget must park the state as StatusUnknown —
+// not prune it as infeasible (the path may well be feasible).
+func TestBudgetExhaustionParksUnknown(t *testing.T) {
+	src := `
+_start:
+	li r1, 0x100
+	addi r2, r0, 4
+	addi r3, r0, 1
+	ecall 1
+	lhu r4, 0(r1)
+	lhu r5, 2(r1)
+	mul r6, r4, r5
+	li r7, 0x3FF7
+	beq r6, r7, hit
+	halt
+hit:
+	halt
+`
+	for _, disable := range []bool{false, true} {
+		e, err := New(Config{SolverConflicts: 1, DisableSolverOpt: disable},
+			mustAssemble(t, src), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		finished := exploreWith(t, e)
+		if got := countStatus(finished, StatusUnknown); got != 1 {
+			t.Fatalf("opt-disabled=%v: %d unknown states, want 1 (statuses: %v)",
+				disable, got, statuses(finished))
+		}
+		if countStatus(finished, StatusInfeasible) != 0 {
+			t.Fatalf("opt-disabled=%v: budget exhaustion was mispruned as infeasible", disable)
+		}
+		if e.Stats.SolverUnknowns == 0 {
+			t.Fatalf("opt-disabled=%v: SolverUnknowns not counted", disable)
+		}
+	}
+}
+
+func statuses(states []*State) []Status {
+	out := make([]Status, len(states))
+	for i, s := range states {
+		out[i] = s.Status
+	}
+	return out
+}
+
+func mustAssemble(t *testing.T, src string) *asm.Program {
+	t.Helper()
+	prog, err := asm.Assemble(src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+// TestSolverCallAccounting: Stats.SolverCalls must equal the queries
+// the solver actually ran — including enumeration blocking queries —
+// not a guess derived from the value count.
+func TestSolverCallAccounting(t *testing.T) {
+	src := `
+_start:
+	li r1, 0x100
+	addi r2, r0, 1
+	addi r3, r0, 1
+	ecall 1
+	lbu r4, 0(r1)
+	andi r4, r4, 3
+	slli r4, r4, 2
+	li r5, 0x200
+	add r4, r4, r5
+	sw r4, 0(r4)
+	halt
+`
+	e, err := New(Config{Policy: ConcretizeAll, MaxValues: 16}, mustAssemble(t, src), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	finished := exploreWith(t, e)
+	if got := countStatus(finished, StatusHalted); got != 4 {
+		t.Fatalf("%d halted paths, want 4", got)
+	}
+	if e.Stats.SolverCalls != uint64(e.Solver.Stats.Queries) {
+		t.Fatalf("SolverCalls=%d but solver ran %d queries",
+			e.Stats.SolverCalls, e.Solver.Stats.Queries)
+	}
+}
+
+// TestSolverOptPreservesExploration: the full optimization stack and
+// plain solving must explore identical trees (same statuses, same
+// PCs), with the stack's stage counters actually moving.
+func TestSolverOptPreservesExploration(t *testing.T) {
+	src := `
+_start:
+	li r1, 0x100
+	addi r2, r0, 3
+	addi r3, r0, 1
+	ecall 1
+	addi r7, r0, 0
+	lbu r4, 0(r1)
+	add r7, r7, r4
+	lbu r4, 1(r1)
+	add r7, r7, r4
+	li r5, 300
+	bltu r7, r5, low
+	abort
+low:
+	lbu r4, 2(r1)
+	addi r5, r0, 9
+	bne r4, r5, out
+	abort
+out:
+	halt
+`
+	run := func(disable bool) (*Executor, []*State) {
+		e, err := New(Config{DisableSolverOpt: disable}, mustAssemble(t, src), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e, exploreWith(t, e)
+	}
+	eOn, on := run(false)
+	eOff, off := run(true)
+	if len(on) != len(off) {
+		t.Fatalf("path counts differ: on=%d off=%d", len(on), len(off))
+	}
+	for _, status := range []Status{StatusHalted, StatusAborted, StatusInfeasible, StatusUnknown} {
+		if countStatus(on, status) != countStatus(off, status) {
+			t.Fatalf("status %v count differs: on=%d off=%d",
+				status, countStatus(on, status), countStatus(off, status))
+		}
+	}
+	st := eOn.Solver.Stats
+	if st.Rewrites == 0 && st.Sliced == 0 && st.ModelHits == 0 && st.IncrementalReuses == 0 {
+		t.Fatalf("optimization stack never fired: %+v", st)
+	}
+	if off := eOff.Solver.Stats; off.Rewrites != 0 || off.Sliced != 0 || off.ModelHits != 0 || off.IncrementalReuses != 0 {
+		t.Fatalf("disabled stack moved counters: %+v", off)
+	}
+}
