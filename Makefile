@@ -1,10 +1,10 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race bench-smoke bench-json bench-scale bench-remote bench-solver
+.PHONY: check fmt vet build test race chaos bench-smoke bench-json bench-scale bench-remote bench-solver
 
 # Full gate: formatting, static checks, build, tests, race detector on
-# the concurrency-sensitive packages.
-check: fmt vet build test race
+# the concurrency-sensitive packages, chaos/recovery identity matrix.
+check: fmt vet build test race chaos
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -27,6 +27,17 @@ test:
 # goroutines in every test that uses v3Pipe/TCP).
 race:
 	$(GO) test -race ./internal/remote ./internal/target ./internal/core ./internal/snapshot ./internal/solver ./internal/expr ./internal/symexec
+
+# chaos runs the crash-safety identity matrix under the race detector:
+# deterministic failure injection (panic/kill/hang/sever), journal
+# resume (process death, torn tails, mismatched configs) and mid-run
+# remote link failover. Every test asserts byte-identical results
+# (bugs, paths AND virtual time) against an undisturbed run, on fixed
+# chaos seeds so failures reproduce.
+chaos:
+	$(GO) test -race ./internal/core -run 'Chaos|Resume|Journal'
+	$(GO) test -race ./internal/remote -run 'Failover|SeverLink|RecoverRetry'
+	$(GO) test -race ./internal/journal
 
 # bench-smoke runs every Benchmark* exactly once so benchmarks cannot
 # silently rot without anyone noticing.

@@ -8,15 +8,22 @@
 //
 // Flags select the consistency mode (hardsnap / naive-reboot /
 // naive-shared), the state-selection heuristic, the hardware target
-// (simulator or FPGA) and the concretization policy. The exit status
-// is 2 when bugs are found.
+// (simulator or FPGA) and the concretization policy. -journal makes a
+// parallel campaign crash-safe (append-only frontier journal);
+// -resume continues a journaled campaign after an interrupt or crash.
+// The exit status is 2 when bugs are found, 3 when the run was
+// interrupted (SIGINT/SIGTERM) with its journal flushed for resume.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"hardsnap/internal/core"
@@ -24,24 +31,57 @@ import (
 	"hardsnap/internal/target"
 )
 
+// runOpts carries every knob of one CLI invocation.
+type runOpts struct {
+	Periphs   []target.PeriphConfig
+	Asserts   []target.HWAssertion
+	Mode      string
+	Searcher  string
+	FPGA      bool
+	Readback  bool
+	Policy    string
+	MaxInstr  uint64
+	Workers   int
+	SolverOpt string
+	Verbose   bool
+	ReportDir string
+	// Journal enables campaign journaling to this path; Resume
+	// continues the campaign journaled at this path.
+	Journal string
+	Resume  string
+	// Args is the positional firmware path.
+	Args []string
+}
+
 func main() {
+	var opts runOpts
 	var periphs periphFlag
 	flag.Var(&periphs, "periph", "peripheral NAME=KIND (repeatable; kinds: gpio timer uart spi crc32 aes128 regfile)")
 	var asserts assertFlag
 	flag.Var(&asserts, "assert", "hardware property PERIPH:NAME:EXPR (repeatable, simulator target only)")
-	mode := flag.String("mode", "hardsnap", "consistency mode: hardsnap | naive-reboot | naive-shared | record-replay")
-	search := flag.String("searcher", "dfs", "state selection: dfs | bfs | round-robin | random | coverage")
-	fpga := flag.Bool("fpga", false, "host peripherals on the FPGA target")
-	readback := flag.Bool("readback", false, "use FPGA readback snapshots instead of the scan chain")
-	policy := flag.String("concretize", "one", "boundary concretization policy: one | all")
-	maxInstr := flag.Uint64("max-instructions", 2_000_000, "total instruction budget")
-	workers := flag.Int("workers", 1, "parallel exploration workers (0 = one per CPU)")
-	solverOpt := flag.String("solver-opt", "on", "solver query-optimization stack (rewrite/slice/reuse/incremental): on | off")
-	verbose := flag.Bool("v", false, "print per-path detail")
-	reportDir := flag.String("report", "", "write per-bug crash reports (test vector, model, hardware snapshot) to this directory")
+	flag.StringVar(&opts.Mode, "mode", "hardsnap", "consistency mode: hardsnap | naive-reboot | naive-shared | record-replay")
+	flag.StringVar(&opts.Searcher, "searcher", "dfs", "state selection: dfs | bfs | round-robin | random | coverage")
+	flag.BoolVar(&opts.FPGA, "fpga", false, "host peripherals on the FPGA target")
+	flag.BoolVar(&opts.Readback, "readback", false, "use FPGA readback snapshots instead of the scan chain")
+	flag.StringVar(&opts.Policy, "concretize", "one", "boundary concretization policy: one | all")
+	flag.Uint64Var(&opts.MaxInstr, "max-instructions", 2_000_000, "total instruction budget")
+	flag.IntVar(&opts.Workers, "workers", 1, "parallel exploration workers (0 = one per CPU)")
+	flag.StringVar(&opts.SolverOpt, "solver-opt", "on", "solver query-optimization stack (rewrite/slice/reuse/incremental): on | off")
+	flag.BoolVar(&opts.Verbose, "v", false, "print per-path detail")
+	flag.StringVar(&opts.ReportDir, "report", "", "write per-bug crash reports (test vector, model, hardware snapshot) to this directory")
+	flag.StringVar(&opts.Journal, "journal", "", "journal the parallel campaign to this file (crash-safe; resume with -resume)")
+	flag.StringVar(&opts.Resume, "resume", "", "resume the journaled campaign at this file (workers default to the journaled count)")
 	flag.Parse()
+	opts.Periphs = periphs
+	opts.Asserts = asserts
+	opts.Args = flag.Args()
 
-	code, err := run(periphs, asserts, *mode, *search, *fpga, *readback, *policy, *maxInstr, *workers, *solverOpt, *verbose, *reportDir, flag.Args())
+	// SIGINT/SIGTERM cancel the run cleanly: in-flight subtrees stop,
+	// the journal is flushed, and the exit status says "resumable".
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	code, err := run(ctx, opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hardsnap:", err)
 		os.Exit(1)
@@ -105,65 +145,98 @@ func (a *assertFlag) Set(s string) error {
 	return nil
 }
 
-func run(periphs []target.PeriphConfig, asserts []target.HWAssertion, modeName, searchName string, fpga, readback bool,
-	policyName string, maxInstr uint64, workers int, solverOpt string, verbose bool, reportDir string, args []string) (int, error) {
-	if len(args) != 1 {
+func run(ctx context.Context, opts runOpts) (int, error) {
+	if len(opts.Args) != 1 {
 		return 0, fmt.Errorf("usage: hardsnap [flags] firmware.s")
 	}
-	src, err := os.ReadFile(args[0])
+	src, err := os.ReadFile(opts.Args[0])
 	if err != nil {
 		return 0, err
 	}
-	mode, err := pickMode(modeName)
+	mode, err := pickMode(opts.Mode)
 	if err != nil {
 		return 0, err
 	}
-	searcher, err := pickSearcher(searchName)
+	searcher, err := pickSearcher(opts.Searcher)
 	if err != nil {
 		return 0, err
 	}
 	pol := symexec.ConcretizeOne
-	if policyName == "all" {
+	if opts.Policy == "all" {
 		pol = symexec.ConcretizeAll
-	} else if policyName != "one" {
-		return 0, fmt.Errorf("unknown policy %q", policyName)
+	} else if opts.Policy != "one" {
+		return 0, fmt.Errorf("unknown policy %q", opts.Policy)
 	}
+	workers := opts.Workers
 	if workers < 0 {
 		return 0, fmt.Errorf("-workers must be >= 0, got %d", workers)
 	}
 	if workers == 0 {
 		workers = core.AutoWorkers()
 	}
-	if solverOpt != "on" && solverOpt != "off" {
-		return 0, fmt.Errorf("-solver-opt must be on or off, got %q", solverOpt)
+	if opts.SolverOpt != "on" && opts.SolverOpt != "off" {
+		return 0, fmt.Errorf("-solver-opt must be on or off, got %q", opts.SolverOpt)
+	}
+	var cam *core.Campaign
+	journalPath := opts.Journal
+	if opts.Resume != "" {
+		if opts.Journal != "" {
+			return 0, fmt.Errorf("-journal and -resume are mutually exclusive (a resumed campaign keeps appending to its own journal)")
+		}
+		cam, err = core.LoadCampaign(opts.Resume)
+		if err != nil {
+			return 0, err
+		}
+		journalPath = opts.Resume
+		if opts.Workers <= 1 {
+			// The journal knows the campaign's worker count; honor it
+			// unless the user explicitly asked for more.
+			workers = cam.Header.Workers
+		}
+		fmt.Printf("resuming campaign %s: %d journaled subtree(s), %d workers\n",
+			opts.Resume, len(cam.Results), workers)
+	}
+	if opts.Journal != "" && workers <= 1 {
+		return 0, fmt.Errorf("-journal requires parallel exploration (-workers > 1)")
 	}
 
 	analysis, err := core.Setup(core.SetupConfig{
 		Firmware:     string(src),
-		Peripherals:  periphs,
-		FPGA:         fpga,
-		Readback:     readback,
-		HWAssertions: asserts,
-		Exec:         symexec.Config{Policy: pol, DisableSolverOpt: solverOpt == "off"},
+		Peripherals:  opts.Periphs,
+		FPGA:         opts.FPGA,
+		Readback:     opts.Readback,
+		HWAssertions: opts.Asserts,
+		Exec:         symexec.Config{Policy: pol, DisableSolverOpt: opts.SolverOpt == "off"},
 		Engine: core.Config{
 			Mode:             mode,
 			Searcher:         searcher,
-			MaxInstructions:  maxInstr,
+			MaxInstructions:  opts.MaxInstr,
 			Workers:          workers,
-			KeepBugSnapshots: reportDir != "",
+			KeepBugSnapshots: opts.ReportDir != "",
+			JournalPath:      opts.Journal,
+			Resume:           cam,
 		},
 	})
 	if err != nil {
 		return 0, err
 	}
-	if len(periphs) > 0 {
-		fmt.Printf("SoC: %d peripheral(s) on %s target\n", len(periphs), analysis.Target.Kind())
+	if len(opts.Periphs) > 0 {
+		fmt.Printf("SoC: %d peripheral(s) on %s target\n", len(opts.Periphs), analysis.Target.Kind())
 		for i, r := range analysis.Router.Regions() {
 			fmt.Printf("  %-10s @ %#x (irq %d)\n", r.Name, analysis.PeriphBase(i), r.IRQ)
 		}
 	}
 
-	rep, err := analysis.Engine.Run()
+	rep, err := analysis.Engine.RunContext(ctx)
+	if errors.Is(err, core.ErrInterrupted) {
+		if journalPath != "" {
+			fmt.Fprintf(os.Stderr, "hardsnap: interrupted; journal flushed — continue with: hardsnap -resume %s %s\n",
+				journalPath, opts.Args[0])
+		} else {
+			fmt.Fprintln(os.Stderr, "hardsnap: interrupted (no -journal; the run cannot be resumed)")
+		}
+		return 3, nil
+	}
 	if err != nil {
 		return 0, err
 	}
@@ -186,7 +259,19 @@ func run(periphs []target.PeriphConfig, asserts []target.HWAssertion, modeName, 
 				w.HWSaves, w.HWRestores, w.BytesMoved)
 		}
 	}
-	if verbose {
+	rec := rep.Recovery
+	if rec.WorkerRestarts > 0 || rec.Requeues > 0 || rec.FailoverEvents > 0 ||
+		rec.PanicsRecovered > 0 || rec.HeartbeatDeaths > 0 || rec.ResumedSubtrees > 0 {
+		fmt.Printf("recovery: %d worker restart(s), %d requeue(s), %d panic(s) recovered, %d heartbeat death(s), %d failover(s), %d resumed subtree(s), recovery wall %v\n",
+			rec.WorkerRestarts, rec.Requeues, rec.PanicsRecovered,
+			rec.HeartbeatDeaths, rec.FailoverEvents, rec.ResumedSubtrees,
+			rec.RecoveryWall.Round(time.Microsecond))
+	}
+	if rec.JournalRecords > 0 {
+		fmt.Printf("journal: %d record(s), %d B written to %s\n",
+			rec.JournalRecords, rec.JournalBytes, journalPath)
+	}
+	if opts.Verbose {
 		for _, st := range rep.Finished {
 			fmt.Printf("  path %-4d %-14v pc=%#x steps=%d", st.ID, st.Status, st.PC, st.Steps)
 			if len(st.Console) > 0 {
@@ -202,12 +287,12 @@ func run(periphs []target.PeriphConfig, asserts []target.HWAssertion, modeName, 
 			fmt.Printf("     model: %v\n", bug.Model)
 		}
 	}
-	if reportDir != "" && len(bugs) > 0 {
-		n, err := analysis.WriteCrashReports(reportDir, rep)
+	if opts.ReportDir != "" && len(bugs) > 0 {
+		n, err := analysis.WriteCrashReports(opts.ReportDir, rep)
 		if err != nil {
 			return 0, err
 		}
-		fmt.Printf("wrote %d crash report(s) to %s\n", n, reportDir)
+		fmt.Printf("wrote %d crash report(s) to %s\n", n, opts.ReportDir)
 	}
 	if len(bugs) > 0 {
 		return 2, nil

@@ -1,17 +1,16 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"testing"
 
+	"hardsnap/internal/core"
 	"hardsnap/internal/target"
 )
 
-func TestRunFindsBug(t *testing.T) {
-	dir := t.TempDir()
-	src := filepath.Join(dir, "fw.s")
-	fw := `
+const buggyFirmware = `
 _start:
 	li r1, 0x100
 	addi r2, r0, 1
@@ -24,10 +23,36 @@ _start:
 ok:
 	halt
 `
+
+func writeFirmware(t *testing.T, fw string) string {
+	t.Helper()
+	src := filepath.Join(t.TempDir(), "fw.s")
 	if err := os.WriteFile(src, []byte(fw), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	code, err := run(nil, nil, "hardsnap", "dfs", false, false, "one", 100000, 1, "on", true, t.TempDir(), []string{src})
+	return src
+}
+
+// baseOpts is a valid single-worker software-only invocation; tests
+// override fields per case.
+func baseOpts(src string) runOpts {
+	return runOpts{
+		Mode:      "hardsnap",
+		Searcher:  "dfs",
+		Policy:    "one",
+		MaxInstr:  100000,
+		Workers:   1,
+		SolverOpt: "on",
+		Args:      []string{src},
+	}
+}
+
+func TestRunFindsBug(t *testing.T) {
+	src := writeFirmware(t, buggyFirmware)
+	opts := baseOpts(src)
+	opts.Verbose = true
+	opts.ReportDir = t.TempDir()
+	code, err := run(context.Background(), opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -36,8 +61,15 @@ ok:
 	}
 	// With hardware attached and every mode.
 	for _, mode := range []string{"hardsnap", "naive-reboot", "naive-shared", "record-replay"} {
-		code, err = run([]target.PeriphConfig{{Name: "g", Periph: "gpio"}}, nil,
-			mode, "bfs", true, false, "all", 100000, 4, "off", false, "", []string{src})
+		opts := baseOpts(src)
+		opts.Periphs = []target.PeriphConfig{{Name: "g", Periph: "gpio"}}
+		opts.Mode = mode
+		opts.Searcher = "bfs"
+		opts.FPGA = true
+		opts.Policy = "all"
+		opts.Workers = 4
+		opts.SolverOpt = "off"
+		code, err := run(context.Background(), opts)
 		if err != nil {
 			t.Fatalf("mode %s: %v", mode, err)
 		}
@@ -47,24 +79,87 @@ ok:
 	}
 }
 
+// TestRunJournalAndResume drives the crash-safety surface end to end:
+// a journaled parallel run completes and records a complete campaign;
+// resuming the complete campaign is refused.
+func TestRunJournalAndResume(t *testing.T) {
+	src := writeFirmware(t, buggyFirmware)
+	jpath := filepath.Join(t.TempDir(), "campaign.hsj")
+	opts := baseOpts(src)
+	opts.Workers = 4
+	opts.Journal = jpath
+	code, err := run(context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 2 {
+		t.Fatalf("journaled run: exit %d, want 2", code)
+	}
+	cam, err := core.LoadCampaign(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cam.Complete {
+		t.Fatal("journaled campaign not marked complete")
+	}
+
+	res := baseOpts(src)
+	res.Workers = 0 // resume infers the worker count from the journal
+	res.Resume = jpath
+	if _, err := run(context.Background(), res); err == nil {
+		t.Fatal("resume of a complete campaign must be refused")
+	}
+}
+
+// TestRunInterrupted: a cancelled context stops a journaled campaign
+// with exit status 3 and a resumable journal.
+func TestRunInterrupted(t *testing.T) {
+	src := writeFirmware(t, buggyFirmware)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already cancelled: the run stops at its first check
+	opts := baseOpts(src)
+	opts.Workers = 4
+	opts.Journal = filepath.Join(t.TempDir(), "campaign.hsj")
+	code, err := run(ctx, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 3 {
+		t.Fatalf("interrupted run: exit %d, want 3", code)
+	}
+}
+
 func TestRunValidation(t *testing.T) {
-	if _, err := run(nil, nil, "hardsnap", "dfs", false, false, "one", 0, 1, "on", false, "", nil); err == nil {
+	bad := func(mutate func(*runOpts)) error {
+		src := writeFirmware(t, "_start:\n\thalt\n")
+		opts := baseOpts(src)
+		mutate(&opts)
+		_, err := run(context.Background(), opts)
+		return err
+	}
+	if err := bad(func(o *runOpts) { o.Args = nil }); err == nil {
 		t.Fatal("missing firmware must fail")
 	}
-	dir := t.TempDir()
-	src := filepath.Join(dir, "f.s")
-	os.WriteFile(src, []byte("halt"), 0o644)
-	if _, err := run(nil, nil, "bogus", "dfs", false, false, "one", 0, 1, "on", false, "", []string{src}); err == nil {
+	if err := bad(func(o *runOpts) { o.Mode = "bogus" }); err == nil {
 		t.Fatal("bad mode must fail")
 	}
-	if _, err := run(nil, nil, "hardsnap", "bogus", false, false, "one", 0, 1, "on", false, "", []string{src}); err == nil {
+	if err := bad(func(o *runOpts) { o.Searcher = "bogus" }); err == nil {
 		t.Fatal("bad searcher must fail")
 	}
-	if _, err := run(nil, nil, "hardsnap", "dfs", false, false, "bogus", 0, 1, "on", false, "", []string{src}); err == nil {
+	if err := bad(func(o *runOpts) { o.Policy = "bogus" }); err == nil {
 		t.Fatal("bad policy must fail")
 	}
-	if _, err := run(nil, nil, "hardsnap", "dfs", false, false, "one", 0, 1, "bogus", false, "", []string{src}); err == nil {
+	if err := bad(func(o *runOpts) { o.SolverOpt = "bogus" }); err == nil {
 		t.Fatal("bad solver-opt must fail")
+	}
+	if err := bad(func(o *runOpts) { o.Journal = "j.hsj" }); err == nil {
+		t.Fatal("-journal with one worker must fail")
+	}
+	if err := bad(func(o *runOpts) { o.Journal = "j.hsj"; o.Resume = "r.hsj"; o.Workers = 4 }); err == nil {
+		t.Fatal("-journal with -resume must fail")
+	}
+	if err := bad(func(o *runOpts) { o.Resume = "does-not-exist.hsj" }); err == nil {
+		t.Fatal("resume of a missing journal must fail")
 	}
 }
 

@@ -24,6 +24,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -102,6 +103,32 @@ type Config struct {
 	// on: verdicts are deterministic, so memoization never changes
 	// results, only skips repeated identical queries.
 	SolverCacheSize int
+
+	// JournalPath, when set on a parallel run (Workers > 1), records
+	// campaign progress to an append-only crash-safe journal so a
+	// killed run can be continued with Resume. See campaign.go.
+	JournalPath string
+	// Resume continues a journaled campaign (LoadCampaign): the seed
+	// phase is re-run and validated against the journal header, then
+	// completed subtrees are replayed from the journal instead of
+	// re-explored. Implies the journaled worker count.
+	Resume *Campaign
+	// Chaos injects deterministic failures into a parallel run (tests
+	// and the E14 experiment); nil injects nothing.
+	Chaos *ChaosSchedule
+	// HeartbeatInterval enables worker death detection on parallel
+	// runs: a monitor samples per-worker progress every interval and
+	// deposes workers that stall for HeartbeatTimeout (default 20×
+	// the interval). Zero disables the monitor (panics and returned
+	// errors are still supervised).
+	HeartbeatInterval time.Duration
+	HeartbeatTimeout  time.Duration
+	// MaxSubtreeRetries bounds recovery attempts per subtree before
+	// the campaign fails (default 3).
+	MaxSubtreeRetries int
+	// MaxWorkerRestarts bounds replacement-worker spawns per campaign
+	// (default 2×Workers).
+	MaxWorkerRestarts int
 }
 
 // AutoWorkers returns the worker count a "use all CPUs" configuration
@@ -124,8 +151,26 @@ func (c *Config) setDefaults() {
 	if c.CyclesPerInstruction == 0 {
 		c.CyclesPerInstruction = 1
 	}
+	if c.Resume != nil && c.Resume.Header.Workers > 1 {
+		// Resuming adopts the journaled worker count: the merge
+		// schedule (and so the reported virtual time) depends on it.
+		c.Workers = c.Resume.Header.Workers
+	}
 	if c.Workers <= 0 {
 		c.Workers = 1
+	}
+	if c.MaxSubtreeRetries == 0 {
+		c.MaxSubtreeRetries = 3
+	}
+	if c.MaxWorkerRestarts == 0 {
+		c.MaxWorkerRestarts = 2 * c.Workers
+	}
+	if c.Chaos != nil && c.Chaos.HangRate > 0 && c.HeartbeatInterval == 0 {
+		// Hung workers are only detectable via heartbeats.
+		c.HeartbeatInterval = 5 * time.Millisecond
+	}
+	if c.HeartbeatInterval > 0 && c.HeartbeatTimeout == 0 {
+		c.HeartbeatTimeout = 20 * c.HeartbeatInterval
 	}
 }
 
@@ -218,6 +263,9 @@ type Report struct {
 	// stage counters (slices, model hits, rewrites, incremental
 	// reuses), summed over all workers.
 	Solver solver.Stats
+	// Recovery summarizes supervision and crash-recovery activity
+	// (all zero for an undisturbed serial run).
+	Recovery RecoveryStats
 }
 
 // Bugs returns the states that ended in an assertion failure or
@@ -269,6 +317,14 @@ type Engine struct {
 
 	// initial overrides the executor's entry state (fast-forwarding).
 	initial *symexec.State
+
+	// ctx cancels the run (checked between scheduling iterations, a
+	// few dozen steps apart to stay off the hot path); stepHook is the
+	// parallel supervisor's per-step seam for heartbeats and chaos
+	// injection. ctxSteps counts iterations between ctx checks.
+	ctx      context.Context
+	ctxSteps int
+	stepHook func() error
 
 	stats Stats
 }
@@ -569,8 +625,26 @@ func (e *Engine) finish(st *symexec.State) {
 // fans out to the parallel engine after a serial seed phase (see
 // parallel.go).
 func (e *Engine) Run() (*Report, error) {
+	return e.RunContext(context.Background())
+}
+
+// RunContext is Run with cancellation: when ctx is cancelled the run
+// stops at the next scheduling boundary and returns ErrInterrupted.
+// Parallel runs with journaling enabled flush the campaign journal
+// first, so an interrupted run can be continued with Config.Resume.
+func (e *Engine) RunContext(ctx context.Context) (*Report, error) {
+	e.ctx = ctx
+	if err := ctx.Err(); err != nil {
+		return nil, ErrInterrupted
+	}
+	if cam := e.cfg.Resume; cam != nil && cam.Complete {
+		return nil, fmt.Errorf("core: %s: campaign is already complete", cam.Path)
+	}
 	if e.cfg.Workers > 1 {
-		return e.runParallel()
+		return e.runParallel(ctx)
+	}
+	if e.cfg.JournalPath != "" || e.cfg.Resume != nil {
+		return nil, errors.New("core: campaign journaling requires Workers > 1")
 	}
 	start := e.clock.Now()
 	e.initActive()
@@ -608,6 +682,17 @@ func (e *Engine) loop(stop func() bool) error {
 		if stop != nil && stop() {
 			return nil
 		}
+		if e.ctx != nil {
+			// Cancellation is checked every 64 iterations: responsive
+			// enough for interrupts and worker deposition, cheap enough
+			// to keep off the per-instruction budget (E14's overhead
+			// gate covers this path).
+			if e.ctxSteps++; e.ctxSteps&63 == 0 {
+				if e.ctx.Err() != nil {
+					return ErrInterrupted
+				}
+			}
+		}
 		if err := e.step(); err != nil {
 			return err
 		}
@@ -619,6 +704,11 @@ func (e *Engine) loop(stop func() bool) error {
 // switch, execute one instruction, account forks, run peripherals,
 // deliver interrupts, check hardware properties.
 func (e *Engine) step() error {
+	if e.stepHook != nil {
+		if err := e.stepHook(); err != nil {
+			return err
+		}
+	}
 	st := e.selectNext()
 	if err := e.contextSwitch(st); err != nil {
 		return err

@@ -1,5 +1,6 @@
 // Parallel exploration: sharded workers with per-worker hardware
-// targets and a shared solver cache.
+// targets, a shared solver cache, and a supervisor that makes the
+// whole thing crash-safe.
 //
 // A run with Config.Workers = N > 1 proceeds in three phases:
 //
@@ -28,6 +29,17 @@
 //     N-target rack takes, independent of the racy physical claim
 //     order. Per-worker traffic columns come from the same schedule.
 //
+// The fan-out runs under a supervisor (see supervisor below): worker
+// panics are recovered, stalled workers are deposed by a heartbeat
+// monitor, in-flight subtrees are requeued and absorbed by surviving
+// workers or by bounded-backoff replacement workers re-seeded from
+// the content-addressed snapshot store, and — when journaling is
+// enabled — every completed subtree is appended to the campaign
+// journal so a killed process can resume. Because every subtree
+// result is a pure function of its seed index, recovery replays are
+// byte-identical to first attempts, and a chaos-ridden run merges to
+// exactly the undisturbed report.
+//
 // Determinism contract: for a fixed seed and a run that completes
 // within budget, an N-worker run produces the same bug set, path
 // count and per-path verdicts as the 1-worker run, in all four modes.
@@ -43,11 +55,15 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"hardsnap/internal/bus"
+	"hardsnap/internal/journal"
 	"hardsnap/internal/snapshot"
 	"hardsnap/internal/symexec"
 	"hardsnap/internal/target"
@@ -132,7 +148,7 @@ func addStats(dst *Stats, s Stats) {
 }
 
 // runParallel is the Workers > 1 entry point (dispatched from Run).
-func (e *Engine) runParallel() (*Report, error) {
+func (e *Engine) runParallel(ctx context.Context) (*Report, error) {
 	workers := e.cfg.Workers
 	start := e.clock.Now()
 	e.initActive()
@@ -144,6 +160,9 @@ func (e *Engine) runParallel() (*Report, error) {
 	if len(e.active) == 0 || e.stats.Instructions >= e.cfg.MaxInstructions {
 		// The tree drained (or the budget died) before the fan-out
 		// width was reached: the serial result is the result.
+		if err := e.journalSerialDrain(); err != nil {
+			return nil, err
+		}
 		return e.finalize(start), nil
 	}
 
@@ -177,152 +196,775 @@ func (e *Engine) runParallel() (*Report, error) {
 	seedMaxID := e.exec.NextID()
 	seedVT := e.clock.Now() - start
 
-	// Fan out: a feeder pushes seed indexes in order, workers steal.
-	results := make([]*subtreeResult, len(seeds))
-	idxCh := make(chan int)
-	done := make(chan struct{})
-	var abortOnce sync.Once
-	abort := func() { abortOnce.Do(func() { close(done) }) }
-	go func() {
-		defer close(idxCh)
-		for i := range seeds {
-			select {
-			case idxCh <- i:
-			case <-done:
-				return
-			}
-		}
-	}()
-
-	var wg sync.WaitGroup
-	errs := make([]error, workers)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			if err := e.runWorker(w, seeds, seedMaxID, remaining, liveHW, liveEdges, idxCh, done, results); err != nil {
-				errs[w] = err
-				abort()
-			}
-		}(w)
+	sup, err := e.newSupervisor(ctx, seeds, seedMaxID, remaining, liveHW, liveEdges)
+	if err != nil {
+		return nil, err
 	}
-	wg.Wait()
-	abort()
-	for _, err := range errs {
+	if err := sup.run(); err != nil {
+		return nil, err
+	}
+	rep := e.merge(start, seedVT, workers, sup.results)
+	rep.Recovery = sup.recovery()
+	return rep, nil
+}
+
+// journalSerialDrain records a campaign that finished inside the seed
+// phase: the journal still gets a header and a completion record, so
+// a resume attempt reports "already complete" instead of confusion.
+func (e *Engine) journalSerialDrain() error {
+	if e.cfg.JournalPath == "" || e.cfg.Resume != nil {
+		return nil
+	}
+	jw, err := journal.Create(e.cfg.JournalPath)
+	if err != nil {
+		return err
+	}
+	defer jw.Close()
+	hdr, err := gobEncode(campaignHeader{
+		Fingerprint: e.cfg.runFingerprint(),
+		Workers:     e.cfg.Workers,
+	})
+	if err != nil {
+		return err
+	}
+	if err := jw.Append(recCampaign, hdr); err != nil {
+		return err
+	}
+	return jw.Append(recComplete, nil)
+}
+
+// errDeposed marks a worker cancelled by the heartbeat monitor while
+// the campaign is still live (as opposed to a whole-run shutdown).
+var errDeposed = errors.New("core: worker deposed by heartbeat monitor")
+
+// workerRig is one worker's private execution vehicle: a spawned
+// target clone, its bus router and its snapshot manager over the
+// shared store. A rig that saw its worker fail is never reused —
+// replacement workers build a fresh one and re-seed from the
+// content-addressed snapshots.
+type workerRig struct {
+	tgt    target.Interface
+	router *bus.Router
+	snaps  *SnapshotManager
+}
+
+// buildRig spawns the rig for one worker slot. stream derives the
+// target's fault-injection stream (per-subtree re-arming in
+// runSubtree keeps results claim-order independent regardless).
+func (e *Engine) buildRig(name string, stream int) (*workerRig, error) {
+	if e.tgt == nil {
+		return &workerRig{}, nil
+	}
+	clock := &vtime.Clock{}
+	wtgt, err := e.tgt.SpawnWorker(name, clock, stream)
+	if err != nil {
+		return nil, fmt.Errorf("core: spawn %s: %w", name, err)
+	}
+	regions := e.router.Regions()
+	for i := range regions {
+		port, err := wtgt.Port(regions[i].Name)
 		if err != nil {
+			return nil, fmt.Errorf("core: spawn %s: %w", name, err)
+		}
+		regions[i].Port = port
+	}
+	wrouter, err := bus.NewRouter(regions)
+	if err != nil {
+		return nil, fmt.Errorf("core: spawn %s: %w", name, err)
+	}
+	// One manager per rig, shared across its subtrees, so
+	// generation-proven skips survive subtree boundaries.
+	return &workerRig{tgt: wtgt, router: wrouter, snaps: NewSnapshotManager(e.snaps, wtgt, wrouter)}, nil
+}
+
+// workerSlot is the supervisor's handle on one worker position. The
+// cancel/beat pair belongs to the slot's *current* generation; a
+// replacement re-registers, so a deposed zombie's late heartbeats are
+// no longer watched.
+type workerSlot struct {
+	cancel func()
+	beat   *atomic.Uint64
+	busy   bool
+}
+
+// supervisor owns the fan-out: the work queue, first-wins completion
+// tracking, requeue and replacement policy, the heartbeat monitor and
+// the campaign journal. All mutable campaign state is guarded by mu;
+// heartbeats are lock-free atomics (they fire every engine step).
+type supervisor struct {
+	e         *Engine
+	ctx       context.Context
+	cancel    context.CancelFunc
+	seeds     []*symexec.State
+	seedMaxID uint64
+	budget    uint64
+	liveHW    target.State
+	liveEdges []bool
+
+	work     chan int      // pending subtree indexes (cap = len(seeds))
+	workDone chan struct{} // closed when every subtree has completed
+	monStop  chan struct{}
+
+	mu             sync.Mutex
+	results        []*subtreeResult
+	completed      []bool
+	attempts       []int
+	remaining      int
+	freshCompleted int // completions by this process (chaos die gate)
+	restarts       int
+	liveWorkers    int
+	fatal          error
+	interrupted    bool
+	rec            RecoveryStats
+	jw             *journal.Writer
+	sinceCompact   int
+	sinceSync      int
+	slots          []*workerSlot
+
+	// spawnMu serializes rig building: worker spawns go through the
+	// primary target, which (remote clients especially) is not safe
+	// for concurrent use.
+	spawnMu sync.Mutex
+
+	wg    sync.WaitGroup
+	monWG sync.WaitGroup
+}
+
+func (e *Engine) newSupervisor(ctx context.Context, seeds []*symexec.State,
+	seedMaxID, budget uint64, liveHW target.State, liveEdges []bool) (*supervisor, error) {
+	sctx, cancel := context.WithCancel(ctx)
+	s := &supervisor{
+		e: e, ctx: sctx, cancel: cancel,
+		seeds: seeds, seedMaxID: seedMaxID, budget: budget,
+		liveHW: liveHW, liveEdges: liveEdges,
+		work:      make(chan int, len(seeds)),
+		workDone:  make(chan struct{}),
+		monStop:   make(chan struct{}),
+		results:   make([]*subtreeResult, len(seeds)),
+		completed: make([]bool, len(seeds)),
+		attempts:  make([]int, len(seeds)),
+		remaining: len(seeds),
+		slots:     make([]*workerSlot, e.cfg.Workers),
+	}
+	for i := range s.slots {
+		s.slots[i] = &workerSlot{}
+	}
+
+	header := campaignHeader{
+		Fingerprint:      e.cfg.runFingerprint(),
+		Workers:          e.cfg.Workers,
+		Seeds:            len(seeds),
+		SeedsHash:        seedsHash(seeds),
+		SeedMaxID:        seedMaxID,
+		SeedFinished:     len(e.finished),
+		SeedInstructions: e.stats.Instructions,
+	}
+	switch {
+	case e.cfg.Resume != nil:
+		cam := e.cfg.Resume
+		if err := cam.validate(header); err != nil {
+			cancel()
+			return nil, err
+		}
+		for idx, res := range cam.Results {
+			if idx < 0 || idx >= len(seeds) || s.completed[idx] {
+				continue
+			}
+			s.results[idx] = res
+			s.completed[idx] = true
+			s.remaining--
+			s.rec.ResumedSubtrees++
+		}
+		// Keep appending to the same journal: the campaign's history
+		// stays in one file across any number of resumes.
+		jw, _, err := journal.AppendTo(cam.Path)
+		if err != nil {
+			cancel()
+			return nil, err
+		}
+		s.jw = jw
+	case e.cfg.JournalPath != "":
+		jw, err := journal.Create(e.cfg.JournalPath)
+		if err != nil {
+			cancel()
+			return nil, err
+		}
+		s.jw = jw
+		hdr, err := gobEncode(header)
+		if err == nil {
+			err = jw.Append(recCampaign, hdr)
+		}
+		if err == nil {
+			err = s.appendFrontierLocked()
+		}
+		if err == nil {
+			err = jw.Sync()
+		}
+		if err != nil {
+			jw.Close()
+			cancel()
 			return nil, err
 		}
 	}
-	return e.merge(start, seedVT, workers, results), nil
+	return s, nil
 }
 
-// runWorker owns one worker's spawned target (clone of the primary:
-// same power-on state, derived fault stream) and drains subtree seeds
-// from the queue until it closes or a sibling aborts.
-func (e *Engine) runWorker(w int, seeds []*symexec.State, seedMaxID, budget uint64,
-	liveHW target.State, liveEdges []bool,
-	idxCh <-chan int, done <-chan struct{}, results []*subtreeResult) error {
-	var (
-		wtgt    target.Interface
-		wrouter *bus.Router
-		wsnaps  *SnapshotManager
-	)
-	if e.tgt != nil {
-		clock := &vtime.Clock{}
-		var err error
-		wtgt, err = e.tgt.SpawnWorker(fmt.Sprintf("%s-w%d", e.tgt.Name(), w), clock, w)
-		if err != nil {
-			return fmt.Errorf("core: worker %d: %w", w, err)
+// run drives the fan-out to completion (or to interruption/failure)
+// and leaves the journal in the state the outcome deserves: complete
+// record on success, synced partial history otherwise.
+func (s *supervisor) run() error {
+	defer s.cancel()
+	defer s.closeJournal()
+	// Attempts run on adopted snapshot references; the seeds' original
+	// references are dropped once no attempt can start anymore (LIFO:
+	// this runs before the deferred cancel/close above).
+	defer func() {
+		for _, st := range s.seeds {
+			s.e.snaps.Release(snapshot.ID(st.HWSnapshot))
 		}
-		regions := e.router.Regions()
-		for i := range regions {
-			port, err := wtgt.Port(regions[i].Name)
-			if err != nil {
-				return fmt.Errorf("core: worker %d: %w", w, err)
-			}
-			regions[i].Port = port
+	}()
+	if s.remaining == 0 {
+		close(s.workDone)
+		return s.finishJournal()
+	}
+	for idx := range s.seeds {
+		if !s.completed[idx] {
+			s.work <- idx
 		}
-		wrouter, err = bus.NewRouter(regions)
-		if err != nil {
-			return fmt.Errorf("core: worker %d: %w", w, err)
+	}
+	s.mu.Lock()
+	s.liveWorkers = s.e.cfg.Workers
+	s.mu.Unlock()
+	for w := 0; w < s.e.cfg.Workers; w++ {
+		s.wg.Add(1)
+		go s.workerMain(w, 0, time.Time{})
+	}
+	if s.e.cfg.HeartbeatInterval > 0 {
+		s.monWG.Add(1)
+		go s.monitor()
+	}
+	s.wg.Wait()
+	close(s.monStop)
+	s.monWG.Wait()
+
+	s.mu.Lock()
+	fatal, interrupted := s.fatal, s.interrupted
+	s.mu.Unlock()
+	if fatal != nil {
+		return fatal
+	}
+	if interrupted || s.ctx.Err() != nil {
+		if s.jw != nil {
+			s.jw.Sync()
 		}
-		// One manager per worker, shared across its subtrees, so
-		// generation-proven skips survive subtree boundaries.
-		wsnaps = NewSnapshotManager(e.snaps, wtgt, wrouter)
+		return ErrInterrupted
+	}
+	return s.finishJournal()
+}
+
+// recovery snapshots the recovery counters (after run returns).
+func (s *supervisor) recovery() RecoveryStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec := s.rec
+	if s.jw != nil {
+		st := s.jw.Stats()
+		rec.JournalRecords = st.Records
+		rec.JournalBytes = st.Bytes
+	}
+	return rec
+}
+
+func (s *supervisor) finishJournal() error {
+	if s.jw == nil {
+		return nil
+	}
+	jstart := time.Now()
+	defer func() {
+		s.mu.Lock()
+		s.rec.JournalWall += time.Since(jstart)
+		s.mu.Unlock()
+	}()
+	if err := s.jw.Append(recComplete, nil); err != nil {
+		return err
+	}
+	return s.jw.Sync()
+}
+
+func (s *supervisor) closeJournal() {
+	if s.jw != nil {
+		s.jw.Close()
+	}
+}
+
+// workerMain is one worker generation: register in the slot, build a
+// rig, drain subtrees, and hand the exit to the supervisor (which
+// decides whether a replacement is due).
+func (s *supervisor) workerMain(slot, gen int, since time.Time) {
+	defer s.wg.Done()
+	wctx, cancel := context.WithCancel(s.ctx)
+	defer cancel()
+	beat := new(atomic.Uint64)
+	s.mu.Lock()
+	s.slots[slot].cancel = cancel
+	s.slots[slot].beat = beat
+	s.slots[slot].busy = false
+	s.mu.Unlock()
+	err := s.workerLoop(slot, gen, wctx, beat, since)
+	s.workerExited(slot, err)
+}
+
+func (s *supervisor) workerLoop(slot, gen int, wctx context.Context, beat *atomic.Uint64, since time.Time) error {
+	name := ""
+	if s.e.tgt != nil {
+		name = fmt.Sprintf("%s-w%d", s.e.tgt.Name(), slot)
+		if gen > 0 {
+			name = fmt.Sprintf("%s-r%d", name, gen)
+		}
+	}
+	s.spawnMu.Lock()
+	rig, err := s.e.buildRig(name, slot)
+	s.spawnMu.Unlock()
+	if err != nil {
+		return err
+	}
+	if !since.IsZero() {
+		// Replacement worker: backoff + rig rebuild is the recovery
+		// latency E14 measures.
+		s.mu.Lock()
+		s.rec.RecoveryWall += time.Since(since)
+		s.mu.Unlock()
 	}
 	for {
 		select {
-		case <-done:
+		case <-wctx.Done():
+			if s.ctx.Err() != nil {
+				return nil // whole-run shutdown
+			}
+			return errDeposed
+		case <-s.workDone:
 			return nil
-		case idx, ok := <-idxCh:
+		case idx := <-s.work:
+			attempt, ok := s.claim(slot, idx)
 			if !ok {
-				return nil
+				continue // completed by a zombie while queued
 			}
-			res, err := e.runSubtree(idx, seeds[idx], seedMaxID, budget, wtgt, wrouter, wsnaps, liveHW, liveEdges)
-			if err != nil {
-				return fmt.Errorf("core: worker %d, subtree %d: %w", w, idx, err)
+			res, rerr := s.runGuarded(wctx, idx, attempt, rig, beat)
+			s.setBusy(slot, false)
+			if rerr == nil {
+				s.complete(idx, attempt, res)
+				continue
 			}
-			results[idx] = res
+			if s.ctx.Err() != nil {
+				return nil // shutdown mid-subtree: leave it pending
+			}
+			// Requeue the subtree for someone with a clean rig, then
+			// retire: this rig saw a failure mid-exploration and its
+			// hardware state cannot be trusted.
+			s.requeue(idx, rerr)
+			return rerr
 		}
 	}
 }
 
-// runSubtree explores one fan-out seed to completion on the worker's
+// claim marks the slot busy on idx and returns the attempt number
+// (false if the subtree was already completed by a zombie worker).
+func (s *supervisor) claim(slot, idx int) (int, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.completed[idx] {
+		return 0, false
+	}
+	s.slots[slot].busy = true
+	return s.attempts[idx], true
+}
+
+func (s *supervisor) setBusy(slot int, busy bool) {
+	s.mu.Lock()
+	s.slots[slot].busy = busy
+	s.mu.Unlock()
+}
+
+// panicError wraps a recovered worker panic so requeue can count it.
+type panicError struct{ err error }
+
+func (p panicError) Error() string { return p.err.Error() }
+func (p panicError) Unwrap() error { return p.err }
+
+// runGuarded runs one subtree attempt with panic recovery: a panic
+// anywhere in the engine, executor or target stack becomes an
+// ordinary requeue-and-retire failure instead of killing the process.
+func (s *supervisor) runGuarded(wctx context.Context, idx, attempt int, rig *workerRig, beat *atomic.Uint64) (res *subtreeResult, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			res, err = nil, panicError{fmt.Errorf("core: subtree %d: panic: %v", idx, p)}
+		}
+	}()
+	res, err = s.runSubtree(wctx, idx, attempt, rig, beat)
+	return
+}
+
+// complete records a finished subtree, first-wins: a deposed zombie
+// and its replacement may both finish the same subtree (their results
+// are identical by the purity contract), and only the first recording
+// counts. Journals the result, tracks the chaos die gate, and closes
+// the campaign when the last subtree lands.
+func (s *supervisor) complete(idx, attempt int, res *subtreeResult) {
+	s.mu.Lock()
+	if s.completed[idx] {
+		s.mu.Unlock()
+		return
+	}
+	s.completed[idx] = true
+	s.results[idx] = res
+	s.remaining--
+	s.freshCompleted++
+	if attempt > 0 {
+		// The subtree's original rig failed; this completion happened
+		// on a fresh one re-seeded from the shared snapshot store.
+		s.rec.FailoverEvents++
+	}
+	if s.jw != nil {
+		jstart := time.Now()
+		err := s.appendSubtreeLocked(idx, res)
+		s.rec.JournalWall += time.Since(jstart)
+		if err != nil && s.fatal == nil {
+			s.fatal = fmt.Errorf("core: campaign journal: %w", err)
+			s.mu.Unlock()
+			s.cancel()
+			return
+		}
+	}
+	chaos := s.e.cfg.Chaos
+	die := chaos != nil && chaos.DieAfterSubtrees > 0 &&
+		s.freshCompleted == chaos.DieAfterSubtrees && s.remaining > 0
+	if die {
+		s.interrupted = true
+	}
+	done := s.remaining == 0
+	s.mu.Unlock()
+	if die {
+		s.cancel()
+	}
+	if done {
+		close(s.workDone)
+	}
+}
+
+// appendSubtreeLocked journals one completed subtree plus a fresh
+// frontier record. Completions are group-committed: the journal is
+// fsynced every syncEvery completions (and at the campaign's end and
+// on interruption), so a hard crash re-explores at most the last few
+// subtrees — re-exploration is deterministic, so the resumed result
+// is identical either way. Every compactEvery completions the journal
+// is compacted: superseded frontier records are dropped in an atomic
+// rewrite.
+func (s *supervisor) appendSubtreeLocked(idx int, res *subtreeResult) error {
+	rec, err := newSubtreeRec(idx, res)
+	if err != nil {
+		return err
+	}
+	payload, err := gobEncode(rec)
+	if err != nil {
+		return err
+	}
+	if err := s.jw.Append(recSubtree, payload); err != nil {
+		return err
+	}
+	if err := s.appendFrontierLocked(); err != nil {
+		return err
+	}
+	if s.sinceSync++; s.sinceSync >= syncEvery || s.remaining == 0 {
+		s.sinceSync = 0
+		if err := s.jw.Sync(); err != nil {
+			return err
+		}
+	}
+	if s.sinceCompact++; s.sinceCompact >= compactEvery {
+		s.sinceCompact = 0
+		return s.jw.Compact(func(rs []journal.Record) []journal.Record {
+			kept := rs[:0]
+			for _, r := range rs {
+				if r.Kind != recFrontier {
+					kept = append(kept, r)
+				}
+			}
+			if fp, err := gobEncode(frontierRec{Pending: s.pendingLocked()}); err == nil {
+				kept = append(kept, journal.Record{Kind: recFrontier, Payload: fp})
+			}
+			return kept
+		})
+	}
+	return nil
+}
+
+func (s *supervisor) pendingLocked() []int {
+	var pending []int
+	for idx := range s.seeds {
+		if !s.completed[idx] {
+			pending = append(pending, idx)
+		}
+	}
+	return pending
+}
+
+func (s *supervisor) appendFrontierLocked() error {
+	fp, err := gobEncode(frontierRec{Pending: s.pendingLocked()})
+	if err != nil {
+		return err
+	}
+	return s.jw.Append(recFrontier, fp)
+}
+
+// requeue returns a failed subtree to the queue (bounded attempts),
+// counting the failure mode. The work channel's capacity is the seed
+// count and an index is queued at most once at a time, so the send
+// never blocks.
+func (s *supervisor) requeue(idx int, err error) {
+	s.mu.Lock()
+	if s.completed[idx] || s.fatal != nil {
+		s.mu.Unlock()
+		return
+	}
+	s.attempts[idx]++
+	s.rec.Requeues++
+	var pe panicError
+	if errors.As(err, &pe) {
+		s.rec.PanicsRecovered++
+	}
+	if s.attempts[idx] > s.e.cfg.MaxSubtreeRetries {
+		s.fatal = fmt.Errorf("core: subtree %d failed after %d attempts: %w", idx, s.attempts[idx], err)
+		s.mu.Unlock()
+		s.cancel()
+		return
+	}
+	s.mu.Unlock()
+	s.work <- idx
+}
+
+// workerExited decides what a worker's death means for the campaign:
+// clean exits (drained queue, shutdown) pass; failures spawn a
+// bounded-backoff replacement while the restart budget lasts; past
+// the budget the survivors absorb the queue, and if none remain the
+// campaign fails.
+func (s *supervisor) workerExited(slot int, err error) {
+	s.mu.Lock()
+	s.liveWorkers--
+	if err == nil || s.fatal != nil || s.interrupted || s.ctx.Err() != nil {
+		s.mu.Unlock()
+		return
+	}
+	if s.restarts >= s.e.cfg.MaxWorkerRestarts {
+		if s.liveWorkers == 0 && s.remaining > 0 {
+			s.fatal = fmt.Errorf("core: worker restart budget exhausted (%d): %w", s.restarts, err)
+			s.mu.Unlock()
+			s.cancel()
+			return
+		}
+		s.mu.Unlock()
+		return
+	}
+	s.restarts++
+	gen := s.restarts
+	s.rec.WorkerRestarts++
+	s.liveWorkers++
+	s.mu.Unlock()
+
+	delay := restartBackoff(gen)
+	s.wg.Add(1)
+	go func() {
+		since := time.Now()
+		t := time.NewTimer(delay)
+		defer t.Stop()
+		select {
+		case <-t.C:
+		case <-s.ctx.Done():
+		}
+		s.workerMain(slot, gen, since)
+	}()
+}
+
+// monitor is the heartbeat watchdog: it samples each busy slot's
+// progress counter every HeartbeatInterval and deposes (cancels) a
+// worker whose counter stalls for HeartbeatTimeout. Deposition flows
+// through the ordinary failure path: the worker's subtree errors out
+// with ErrInterrupted, gets requeued, and the retirement spawns a
+// replacement.
+func (s *supervisor) monitor() {
+	defer s.monWG.Done()
+	interval := s.e.cfg.HeartbeatInterval
+	timeout := s.e.cfg.HeartbeatTimeout
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	type watch struct {
+		last  uint64
+		stale time.Duration
+	}
+	states := make([]watch, len(s.slots))
+	for {
+		select {
+		case <-s.monStop:
+			return
+		case <-s.ctx.Done():
+			return
+		case <-ticker.C:
+			for i := range s.slots {
+				s.mu.Lock()
+				sl := s.slots[i]
+				cancel, beat, busy := sl.cancel, sl.beat, sl.busy
+				s.mu.Unlock()
+				if beat == nil || !busy {
+					states[i] = watch{}
+					continue
+				}
+				b := beat.Load()
+				if b != states[i].last {
+					states[i] = watch{last: b}
+					continue
+				}
+				states[i].stale += interval
+				if states[i].stale >= timeout {
+					states[i] = watch{last: b}
+					s.mu.Lock()
+					s.rec.HeartbeatDeaths++
+					s.mu.Unlock()
+					cancel()
+				}
+			}
+		}
+	}
+}
+
+// runSubtree explores one fan-out seed to completion on the rig's
 // private hardware and returns its contribution as deltas. Everything
 // that shapes the outcome is derived from the subtree index — forked
 // searcher stream, state-ID stripe, fault PRNG stream — never from
-// the physical worker or claim order, so a subtree's result is a pure
-// function of the seed and the run is schedule-independent.
-func (e *Engine) runSubtree(idx int, seed *symexec.State, seedMaxID, budget uint64,
-	wtgt target.Interface, wrouter *bus.Router, wsnaps *SnapshotManager,
-	liveHW target.State, liveEdges []bool) (*subtreeResult, error) {
+// the physical worker, claim order or attempt number, so a subtree's
+// result is a pure function of the seed and recovery replays are
+// byte-identical.
+func (s *supervisor) runSubtree(wctx context.Context, idx, attempt int, rig *workerRig, beat *atomic.Uint64) (*subtreeResult, error) {
+	e := s.e
+	// The attempt runs a verbatim clone of the seed bound to its own
+	// snapshot reference: a failed attempt mutates and releases only
+	// its copy, leaving the original pristine for the next attempt (or
+	// for a concurrent attempt by a deposed zombie's replacement).
+	src := s.seeds[idx]
+	seed := src.Clone()
+	if orig := snapshot.ID(src.HWSnapshot); orig != 0 {
+		d, ok := e.snaps.DigestOf(orig)
+		if !ok {
+			return nil, fmt.Errorf("core: subtree %d: seed snapshot %d missing from store", idx, orig)
+		}
+		id, ok := e.snaps.Adopt(d)
+		if !ok {
+			return nil, fmt.Errorf("core: subtree %d: seed snapshot %d no longer live", idx, orig)
+		}
+		seed.HWSnapshot = symexec.SnapshotID(id)
+	}
 	wcfg := e.cfg
 	wcfg.Workers = 1
-	wcfg.MaxInstructions = budget
+	wcfg.MaxInstructions = s.budget
 	wcfg.Searcher = symexec.ForkSearcher(e.cfg.Searcher, int64(idx))
-	wexec := e.exec.Spawn(seedMaxID + uint64(idx+1)*subtreeIDStride)
+	// The nested engine is a plain serial run: no journaling, no
+	// resume, no chaos of its own (chaos arrives via the step hook).
+	wcfg.JournalPath = ""
+	wcfg.Resume = nil
+	wcfg.Chaos = nil
+	wexec := e.exec.Spawn(s.seedMaxID + uint64(idx+1)*subtreeIDStride)
 
-	if wtgt != nil {
+	if rig.tgt != nil {
 		// Re-arm fault injection with a per-subtree stream so fault
 		// sequences do not depend on which worker claimed the subtree.
 		if sched, ok := e.tgt.FaultSchedule(); ok {
-			wtgt.InjectFaults(sched.Derive(idx))
+			rig.tgt.InjectFaults(sched.Derive(idx))
 		}
 	}
+	if rig.snaps != nil {
+		// Subtree boundary: drop the rig's generation/anchor knowledge
+		// so this subtree's first restore is a full one regardless of
+		// what ran on the rig before — its snapshot traffic, and hence
+		// its virtual time, stays a pure function of the subtree.
+		rig.snaps.Forget()
+	}
 
-	weng, err := newEngine(wcfg, wexec, wtgt, wrouter, e.snaps, wsnaps)
+	weng, err := newEngine(wcfg, wexec, rig.tgt, rig.router, e.snaps, rig.snaps)
 	if err != nil {
 		return nil, err
 	}
 	if e.cfg.Mode == ModeRecordReplay && e.tgt != nil {
 		weng.seedIOLog(seed.ID, e.ioLogs[seed.ID])
 	}
-	if e.cfg.Mode == ModeNaiveShared && wtgt != nil {
+	if e.cfg.Mode == ModeNaiveShared && rig.tgt != nil {
 		// Every subtree starts from the fan-out live state, mimicking
 		// "everyone shares the hardware as of the fork".
-		if err := wtgt.AdoptState(liveHW); err != nil {
+		if err := rig.tgt.AdoptState(s.liveHW); err != nil {
 			return nil, err
 		}
-		wrouter.ResetIRQEdges(liveEdges)
+		rig.router.ResetIRQEdges(s.liveEdges)
 	}
 	weng.SetInitialState(seed)
+	weng.stepHook = s.stepHookFor(wctx, idx, attempt, rig, beat)
 
 	var beforeTgt target.Stats
 	var beforeMan SnapManagerStats
-	if wtgt != nil {
-		beforeTgt = wtgt.Stats()
-		beforeMan = wsnaps.Stats()
+	if rig.tgt != nil {
+		beforeTgt = rig.tgt.Stats()
+		beforeMan = rig.snaps.Stats()
 	}
-	rep, err := weng.Run()
+	rep, err := weng.RunContext(wctx)
 	if err != nil {
 		return nil, err
 	}
 	res := &subtreeResult{rep: rep, vt: rep.VirtualTime, bugSnaps: weng.bugSnaps}
-	if wtgt != nil {
-		res.tgt = subTargetStats(wtgt.Stats(), beforeTgt)
-		res.man = subManStats(wsnaps.Stats(), beforeMan)
+	if rig.tgt != nil {
+		res.tgt = subTargetStats(rig.tgt.Stats(), beforeTgt)
+		res.man = subManStats(rig.snaps.Stats(), beforeMan)
 	}
 	return res, nil
+}
+
+// stepHookFor builds the per-step seam for one subtree attempt:
+// heartbeat progress (lock-free atomic) plus scheduled chaos events.
+// Returns nil when neither is configured, keeping undisturbed runs
+// hook-free.
+func (s *supervisor) stepHookFor(wctx context.Context, idx, attempt int, rig *workerRig, beat *atomic.Uint64) func() error {
+	heartbeat := s.e.cfg.HeartbeatInterval > 0
+	ev, at := s.e.cfg.Chaos.plan(idx, attempt)
+	if !heartbeat && ev == chaosNone {
+		return nil
+	}
+	var step uint64
+	return func() error {
+		if heartbeat {
+			beat.Add(1)
+		}
+		if ev == chaosNone {
+			return nil
+		}
+		if step++; step != at {
+			return nil
+		}
+		switch ev {
+		case chaosPanic:
+			panic(fmt.Sprintf("chaos: injected panic in subtree %d", idx))
+		case chaosKill:
+			return fmt.Errorf("chaos: injected worker kill in subtree %d", idx)
+		case chaosHang:
+			// Stop making progress until the heartbeat monitor deposes
+			// this worker (blocking on the worker context means the
+			// goroutine always terminates — no leak).
+			<-wctx.Done()
+			return ErrInterrupted
+		case chaosSever:
+			if sev, ok := rig.tgt.(linkSeverer); ok {
+				_ = sev.SeverLink()
+				s.mu.Lock()
+				s.rec.FailoverEvents++
+				s.mu.Unlock()
+			}
+		}
+		return nil
+	}
 }
 
 // merge combines the seed-phase prefix with every subtree result, in

@@ -79,6 +79,18 @@ func NewSnapshotManager(store *snapshot.Store, tgt target.Interface, router *bus
 // Store exposes the underlying snapshot store (diagnostics).
 func (m *SnapshotManager) Store() *snapshot.Store { return m.store }
 
+// Forget drops the manager's belief about what the hardware currently
+// holds and what the dirty tracking is anchored on. The next restore
+// is a full one and the next save a full scan-out. The parallel
+// engine calls this at every subtree boundary so a subtree's snapshot
+// traffic — and therefore its virtual time — is a pure function of
+// the subtree itself, never of which subtrees happened to run on the
+// same rig before it (claim order is racy; reported time must not be).
+func (m *SnapshotManager) Forget() {
+	m.liveValid = false
+	m.anchorValid = false
+}
+
 // Stats returns a copy of the manager's counters.
 func (m *SnapshotManager) Stats() SnapManagerStats { return m.stats }
 

@@ -29,6 +29,9 @@ type ClientStats struct {
 	StateBytesSent     uint64
 	StateBytesReceived uint64
 	ChunksSkipped      uint64
+	// Reconnects counts successful redial + re-attach recoveries after
+	// the link was lost mid-session.
+	Reconnects uint64
 }
 
 // wireStats is the atomic backing store, shared between a root client
@@ -40,6 +43,7 @@ type wireStats struct {
 	bytesSent     atomic.Uint64
 	bytesReceived atomic.Uint64
 	chunksSkipped atomic.Uint64
+	reconnects    atomic.Uint64
 }
 
 func (w *wireStats) snapshot() ClientStats {
@@ -50,6 +54,7 @@ func (w *wireStats) snapshot() ClientStats {
 		StateBytesSent:     w.bytesSent.Load(),
 		StateBytesReceived: w.bytesReceived.Load(),
 		ChunksSkipped:      w.chunksSkipped.Load(),
+		Reconnects:         w.reconnects.Load(),
 	}
 }
 
@@ -164,6 +169,9 @@ type TargetClient struct {
 	store  *snapshot.Store
 	chunks *chunkCache
 	wire   *wireStats
+
+	// jitterState is the backoff-jitter LCG state (lazily seeded).
+	jitterState uint64
 }
 
 var _ target.Interface = (*TargetClient)(nil)
@@ -221,6 +229,19 @@ func (c *TargetClient) Close() error {
 		return cl.Close()
 	}
 	return nil
+}
+
+// SeverLink forcibly closes the underlying connection without
+// detaching the server session — the injection point for mid-run link
+// loss (the exploration chaos harness severs through this seam). The
+// next operation observes a transport error and recovers through the
+// ordinary redial + re-attach + window-retransmit path; the server's
+// duplicate suppression keeps already-applied frames from replaying.
+func (c *TargetClient) SeverLink() error {
+	if cl, ok := c.conn.(io.Closer); ok {
+		return cl.Close()
+	}
+	return errors.New("remote: connection does not support severing")
 }
 
 // --- wire engine ---------------------------------------------------
@@ -335,10 +356,14 @@ func (c *TargetClient) recoverLink() error {
 	if err != nil {
 		return &transportError{fmt.Errorf("remote: redial: %w", err)}
 	}
+	if old, ok := c.conn.(io.Closer); ok {
+		_ = old.Close()
+	}
 	c.conn = conn
 	if _, err := c.handshake(kAttach, c.token); err != nil {
 		return err
 	}
+	c.wire.reconnects.Add(1)
 	return c.retransmitAll()
 }
 
@@ -364,12 +389,30 @@ func (c *TargetClient) backoffs() (time.Duration, time.Duration) {
 	return backoff, backoffMax
 }
 
+// jittered spreads a backoff delay over [d/2, d): clients that lost
+// the same server redial desynchronized instead of hammering it in
+// lockstep. The PRNG is a client-local LCG — jitter shapes host-side
+// sleeps only and never touches virtual time or results.
+func (c *TargetClient) jittered(d time.Duration) time.Duration {
+	span := uint64(d) / 2
+	if span == 0 {
+		return d
+	}
+	if c.jitterState == 0 {
+		c.jitterState = uint64(c.token)<<32 | 0x9e3779b9
+	}
+	c.jitterState = c.jitterState*6364136223846793005 + 1442695040888963407
+	return time.Duration(span + (c.jitterState>>33)%span)
+}
+
 // recoverRetry drives recoverLink under the retry budget after a
-// send-side transport failure.
+// send-side transport failure. Fatal and integrity errors from the
+// server (a rejected session token, a mismatched design) short-
+// circuit the loop: no amount of redialing cures them.
 func (c *TargetClient) recoverRetry(lastErr error) error {
 	backoff, backoffMax := c.backoffs()
 	for attempt := 1; attempt <= c.MaxRetries; attempt++ {
-		time.Sleep(backoff)
+		time.Sleep(c.jittered(backoff))
 		if backoff < backoffMax {
 			backoff = min(backoff*2, backoffMax)
 		}
@@ -377,6 +420,9 @@ func (c *TargetClient) recoverRetry(lastErr error) error {
 			return nil
 		} else {
 			lastErr = err
+			if !retryable(err) {
+				return err
+			}
 		}
 	}
 	var te *transportError
@@ -417,7 +463,7 @@ func (c *TargetClient) drainOne() error {
 	var lastErr error
 	for attempt := 0; ; attempt++ {
 		if attempt > 0 {
-			time.Sleep(backoff)
+			time.Sleep(c.jittered(backoff))
 			if backoff < backoffMax {
 				backoff = min(backoff*2, backoffMax)
 			}
@@ -425,6 +471,11 @@ func (c *TargetClient) drainOne() error {
 			if errors.As(lastErr, &te) && c.Dial != nil {
 				if err := c.recoverLink(); err != nil {
 					lastErr = err
+					if !retryable(err) {
+						// The server refused the session outright;
+						// retrying cannot cure a fatal rejection.
+						return err
+					}
 					if attempt >= c.MaxRetries {
 						break
 					}

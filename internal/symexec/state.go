@@ -131,6 +131,29 @@ func (st *State) Fork(newID uint64) *State {
 	return c
 }
 
+// Clone copies the state verbatim — same ID, parent, status and steps
+// — so the copy can be executed and mutated without disturbing the
+// original (replayed subtree attempts in the parallel engine). The
+// hardware snapshot reference is carried over as-is; a caller that
+// will release the clone's snapshot must first rebind it to a
+// reference the caller owns.
+func (st *State) Clone() *State {
+	c := *st
+	if st.Mem != nil {
+		c.Mem = st.Mem.Clone()
+	}
+	c.Constraints = append([]*expr.Term(nil), st.Constraints...)
+	c.Console = append([]byte(nil), st.Console...)
+	c.SymInputs = append([]SymInput(nil), st.SymInputs...)
+	if st.Model != nil {
+		c.Model = make(expr.Assignment, len(st.Model))
+		for k, v := range st.Model {
+			c.Model[k] = v
+		}
+	}
+	return &c
+}
+
 // AddConstraint conjoins a path constraint.
 func (st *State) AddConstraint(c *expr.Term) {
 	st.Constraints = append(st.Constraints, c)
