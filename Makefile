@@ -26,7 +26,7 @@ test:
 # window, async flushes and server session live on different
 # goroutines in every test that uses v3Pipe/TCP).
 race:
-	$(GO) test -race ./internal/remote ./internal/target ./internal/core ./internal/snapshot ./internal/solver ./internal/expr ./internal/symexec
+	$(GO) test -race ./internal/remote ./internal/target ./internal/core ./internal/snapshot ./internal/solver ./internal/expr ./internal/symexec ./internal/campaign ./internal/farm
 
 # chaos runs the crash-safety identity matrix under the race detector:
 # deterministic failure injection (panic/kill/hang/sever), journal

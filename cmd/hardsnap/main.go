@@ -11,8 +11,10 @@
 // (simulator or FPGA) and the concretization policy. -journal makes a
 // parallel campaign crash-safe (append-only frontier journal);
 // -resume continues a journaled campaign after an interrupt or crash.
-// The exit status is 2 when bugs are found, 3 when the run was
-// interrupted (SIGINT/SIGTERM) with its journal flushed for resume.
+// -farm submits the campaign to an hsfarm server instead of running
+// it locally. The exit status is 2 when bugs are found, 3 when the
+// run was interrupted (SIGINT/SIGTERM) with its journal flushed for
+// resume.
 package main
 
 import (
@@ -26,8 +28,10 @@ import (
 	"syscall"
 	"time"
 
+	"hardsnap/internal/buildinfo"
+	"hardsnap/internal/campaign"
 	"hardsnap/internal/core"
-	"hardsnap/internal/symexec"
+	"hardsnap/internal/farm"
 	"hardsnap/internal/target"
 )
 
@@ -49,6 +53,10 @@ type runOpts struct {
 	// continues the campaign journaled at this path.
 	Journal string
 	Resume  string
+	// Farm submits the job to an hsfarm server at this address
+	// instead of running locally; Tenant names the submitter.
+	Farm   string
+	Tenant string
 	// Args is the positional firmware path.
 	Args []string
 }
@@ -71,7 +79,14 @@ func main() {
 	flag.StringVar(&opts.ReportDir, "report", "", "write per-bug crash reports (test vector, model, hardware snapshot) to this directory")
 	flag.StringVar(&opts.Journal, "journal", "", "journal the parallel campaign to this file (crash-safe; resume with -resume)")
 	flag.StringVar(&opts.Resume, "resume", "", "resume the journaled campaign at this file (workers default to the journaled count)")
+	flag.StringVar(&opts.Farm, "farm", "", "submit the campaign to the hsfarm server at this address instead of running locally")
+	flag.StringVar(&opts.Tenant, "tenant", "default", "tenant name for -farm submissions")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.Version("hardsnap"))
+		return
+	}
 	opts.Periphs = periphs
 	opts.Asserts = asserts
 	opts.Args = flag.Args()
@@ -102,36 +117,6 @@ func (p *periphFlag) Set(s string) error {
 	return nil
 }
 
-func pickSearcher(name string) (symexec.Searcher, error) {
-	switch name {
-	case "dfs":
-		return symexec.DFS{}, nil
-	case "bfs":
-		return symexec.BFS{}, nil
-	case "round-robin":
-		return &symexec.RoundRobin{}, nil
-	case "random":
-		return symexec.NewRandom(1), nil
-	case "coverage":
-		return symexec.NewCoverage(), nil
-	}
-	return nil, fmt.Errorf("unknown searcher %q", name)
-}
-
-func pickMode(name string) (core.Mode, error) {
-	switch name {
-	case "hardsnap":
-		return core.ModeHardSnap, nil
-	case "naive-reboot":
-		return core.ModeNaiveReboot, nil
-	case "naive-shared":
-		return core.ModeNaiveShared, nil
-	case "record-replay":
-		return core.ModeRecordReplay, nil
-	}
-	return 0, fmt.Errorf("unknown mode %q", name)
-}
-
 type assertFlag []target.HWAssertion
 
 func (a *assertFlag) String() string { return fmt.Sprintf("%v", []target.HWAssertion(*a)) }
@@ -145,38 +130,57 @@ func (a *assertFlag) Set(s string) error {
 	return nil
 }
 
-func run(ctx context.Context, opts runOpts) (int, error) {
+// buildJob compiles the CLI flags into a self-contained campaign job.
+func buildJob(opts runOpts) (campaign.Job, error) {
 	if len(opts.Args) != 1 {
-		return 0, fmt.Errorf("usage: hardsnap [flags] firmware.s")
+		return campaign.Job{}, fmt.Errorf("usage: hardsnap [flags] firmware.s")
 	}
 	src, err := os.ReadFile(opts.Args[0])
 	if err != nil {
-		return 0, err
+		return campaign.Job{}, err
 	}
-	mode, err := pickMode(opts.Mode)
-	if err != nil {
-		return 0, err
-	}
-	searcher, err := pickSearcher(opts.Searcher)
-	if err != nil {
-		return 0, err
-	}
-	pol := symexec.ConcretizeOne
-	if opts.Policy == "all" {
-		pol = symexec.ConcretizeAll
-	} else if opts.Policy != "one" {
-		return 0, fmt.Errorf("unknown policy %q", opts.Policy)
+	if opts.SolverOpt != "on" && opts.SolverOpt != "off" {
+		return campaign.Job{}, fmt.Errorf("-solver-opt must be on or off, got %q", opts.SolverOpt)
 	}
 	workers := opts.Workers
 	if workers < 0 {
-		return 0, fmt.Errorf("-workers must be >= 0, got %d", workers)
+		return campaign.Job{}, fmt.Errorf("-workers must be >= 0, got %d", workers)
 	}
 	if workers == 0 {
 		workers = core.AutoWorkers()
 	}
-	if opts.SolverOpt != "on" && opts.SolverOpt != "off" {
-		return 0, fmt.Errorf("-solver-opt must be on or off, got %q", opts.SolverOpt)
+	job := campaign.Job{
+		Firmware:         string(src),
+		Peripherals:      opts.Periphs,
+		Assertions:       opts.Asserts,
+		Mode:             opts.Mode,
+		Searcher:         opts.Searcher,
+		FPGA:             opts.FPGA,
+		Readback:         opts.Readback,
+		Concretize:       opts.Policy,
+		DisableSolverOpt: opts.SolverOpt == "off",
+		MaxInstructions:  opts.MaxInstr,
+		Workers:          workers,
+		KeepBugSnapshots: opts.ReportDir != "",
 	}
+	if err := job.Validate(); err != nil {
+		return campaign.Job{}, err
+	}
+	return job, nil
+}
+
+func run(ctx context.Context, opts runOpts) (int, error) {
+	job, err := buildJob(opts)
+	if err != nil {
+		return 0, err
+	}
+	if opts.Farm != "" {
+		if opts.Journal != "" || opts.Resume != "" || opts.ReportDir != "" {
+			return 0, fmt.Errorf("-journal, -resume and -report are local-run flags; the farm journals jobs itself")
+		}
+		return runFarm(ctx, opts, job)
+	}
+
 	var cam *core.Campaign
 	journalPath := opts.Journal
 	if opts.Resume != "" {
@@ -191,43 +195,36 @@ func run(ctx context.Context, opts runOpts) (int, error) {
 		if opts.Workers <= 1 {
 			// The journal knows the campaign's worker count; honor it
 			// unless the user explicitly asked for more.
-			workers = cam.Header.Workers
+			job.Workers = cam.Header.Workers
 		}
 		fmt.Printf("resuming campaign %s: %d journaled subtree(s), %d workers\n",
-			opts.Resume, len(cam.Results), workers)
+			opts.Resume, len(cam.Results), job.Workers)
 	}
-	if opts.Journal != "" && workers <= 1 {
+	if opts.Journal != "" && job.Workers <= 1 {
 		return 0, fmt.Errorf("-journal requires parallel exploration (-workers > 1)")
 	}
 
-	analysis, err := core.Setup(core.SetupConfig{
-		Firmware:     string(src),
-		Peripherals:  opts.Periphs,
-		FPGA:         opts.FPGA,
-		Readback:     opts.Readback,
-		HWAssertions: opts.Asserts,
-		Exec:         symexec.Config{Policy: pol, DisableSolverOpt: opts.SolverOpt == "off"},
-		Engine: core.Config{
-			Mode:             mode,
-			Searcher:         searcher,
-			MaxInstructions:  opts.MaxInstr,
-			Workers:          workers,
-			KeepBugSnapshots: opts.ReportDir != "",
-			JournalPath:      opts.Journal,
-			Resume:           cam,
-		},
-	})
-	if err != nil {
-		return 0, err
-	}
-	if len(opts.Periphs) > 0 {
-		fmt.Printf("SoC: %d peripheral(s) on %s target\n", len(opts.Periphs), analysis.Target.Kind())
-		for i, r := range analysis.Router.Regions() {
-			fmt.Printf("  %-10s @ %#x (irq %d)\n", r.Name, analysis.PeriphBase(i), r.IRQ)
+	events := make(chan campaign.Event, 64)
+	printed := make(chan struct{})
+	go func() {
+		defer close(printed)
+		for ev := range events {
+			if ev.Kind == campaign.EventStarted && len(opts.Periphs) > 0 {
+				fmt.Printf("SoC: %d peripheral(s) on %s target\n", len(opts.Periphs), ev.Target)
+				for _, line := range ev.SoC {
+					fmt.Printf("  %s\n", line)
+				}
+			}
 		}
-	}
-
-	rep, err := analysis.Engine.RunContext(ctx)
+	}()
+	res, err := campaign.Runner{}.Run(ctx, job, campaign.RunOptions{
+		Journal:   opts.Journal,
+		Resume:    cam,
+		Events:    events,
+		ReportDir: opts.ReportDir,
+	})
+	close(events)
+	<-printed
 	if errors.Is(err, core.ErrInterrupted) {
 		if journalPath != "" {
 			fmt.Fprintf(os.Stderr, "hardsnap: interrupted; journal flushed — continue with: hardsnap -resume %s %s\n",
@@ -240,7 +237,12 @@ func run(ctx context.Context, opts runOpts) (int, error) {
 	if err != nil {
 		return 0, err
 	}
+	return printResult(res, opts, journalPath), nil
+}
 
+// printResult renders the local-run report and returns the exit code.
+func printResult(res *campaign.Result, opts runOpts, journalPath string) int {
+	rep := res.Report
 	fmt.Printf("\npaths: %d  instructions: %d  context switches: %d  virtual time: %v\n",
 		len(rep.Finished), rep.Stats.Instructions, rep.Stats.ContextSwitches,
 		rep.VirtualTime.Round(time.Microsecond))
@@ -280,22 +282,98 @@ func run(ctx context.Context, opts runOpts) (int, error) {
 			fmt.Println()
 		}
 	}
-	bugs := rep.Bugs()
-	for _, bug := range bugs {
-		fmt.Printf("BUG: %v at pc=%#x\n", bug.Status, bug.PC)
+	for _, bug := range res.Bugs {
+		fmt.Printf("BUG: %s at pc=%#x\n", bug.Status, bug.PC)
 		if bug.Model != nil {
 			fmt.Printf("     model: %v\n", bug.Model)
 		}
 	}
-	if opts.ReportDir != "" && len(bugs) > 0 {
-		n, err := analysis.WriteCrashReports(opts.ReportDir, rep)
-		if err != nil {
-			return 0, err
+	if res.CrashReports > 0 {
+		fmt.Printf("wrote %d crash report(s) to %s\n", res.CrashReports, opts.ReportDir)
+	}
+	if len(res.Bugs) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// runFarm submits the job to an hsfarm server, streams its progress
+// and renders the result. Ctrl-C cancels the remote job.
+func runFarm(ctx context.Context, opts runOpts, job campaign.Job) (int, error) {
+	c, err := farm.Dial(opts.Farm)
+	if err != nil {
+		return 0, err
+	}
+	defer c.Close()
+	id, err := c.Submit(opts.Tenant, job)
+	if err != nil {
+		return 0, err
+	}
+	fmt.Printf("submitted job %s to %s (tenant %s)\n", id, opts.Farm, opts.Tenant)
+
+	// An interrupt cancels the remote job on a second connection (the
+	// first one is consumed by the stream below).
+	watchdog := make(chan struct{})
+	defer close(watchdog)
+	go func() {
+		select {
+		case <-ctx.Done():
+			if cc, err := farm.Dial(opts.Farm); err == nil {
+				_ = cc.Cancel(id)
+				cc.Close()
+			}
+		case <-watchdog:
 		}
-		fmt.Printf("wrote %d crash report(s) to %s\n", n, opts.ReportDir)
+	}()
+
+	err = c.Stream(id, func(ev campaign.Event) {
+		switch ev.Kind {
+		case campaign.EventStarted:
+			if len(opts.Periphs) > 0 {
+				fmt.Printf("SoC: %d peripheral(s) on %s target\n", len(opts.Periphs), ev.Target)
+				for _, line := range ev.SoC {
+					fmt.Printf("  %s\n", line)
+				}
+			}
+		case campaign.EventBug:
+			fmt.Printf("BUG: %s at pc=%#x\n", ev.Bug.Status, ev.Bug.PC)
+			if ev.Bug.Model != nil {
+				fmt.Printf("     model: %v\n", ev.Bug.Model)
+			}
+		}
+	})
+	if err != nil {
+		return 0, err
 	}
-	if len(bugs) > 0 {
-		return 2, nil
+
+	// The stream only ends once the job is terminal; a fresh
+	// connection fetches the authoritative outcome.
+	rc, err := farm.Dial(opts.Farm)
+	if err != nil {
+		return 0, err
 	}
-	return 0, nil
+	defer rc.Close()
+	info, err := rc.Results(id)
+	if err != nil {
+		return 0, err
+	}
+	switch info.Status {
+	case farm.StatusDone:
+		res := info.Result
+		fmt.Printf("\npaths: %d  instructions: %d  solver queries: %d  virtual time: %v\n",
+			res.Paths, res.Instructions, res.SolverQueries, res.VirtualTime.Round(time.Microsecond))
+		fmt.Printf("fingerprint: %s\n", res.Fingerprint)
+		if info.Warm {
+			fmt.Println("admission: warm (pooled target)")
+		}
+		if len(res.Bugs) > 0 {
+			return 2, nil
+		}
+		return 0, nil
+	case farm.StatusCancelled:
+		fmt.Fprintln(os.Stderr, "hardsnap: farm job cancelled")
+		return 3, nil
+	default:
+		return 0, fmt.Errorf("farm job %s: %s", info.Status, info.Error)
+	}
 }

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"hardsnap/internal/core"
+	"hardsnap/internal/farm"
 	"hardsnap/internal/target"
 )
 
@@ -173,5 +174,51 @@ func TestPeriphFlag(t *testing.T) {
 	}
 	if err := p.Set("nope"); err == nil {
 		t.Fatal("bad format must fail")
+	}
+}
+
+// TestRunFarmMode drives the CLI's -farm client mode against an
+// in-process farm server: the submitted job must find the bug (exit
+// 2) exactly like a local run.
+func TestRunFarmMode(t *testing.T) {
+	f, err := farm.New(farm.Config{
+		StateDir: t.TempDir(),
+		Tenants:  map[string]farm.Budget{"default": {}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(f.Close)
+	srv := farm.NewServer(f)
+	addr, err := srv.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+
+	src := writeFirmware(t, buggyFirmware)
+	opts := baseOpts(src)
+	opts.Periphs = []target.PeriphConfig{{Name: "g", Periph: "gpio"}}
+	opts.Workers = 4
+	opts.Farm = addr.String()
+	opts.Tenant = "default"
+	code, err := run(context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 2 {
+		t.Fatalf("farm run: exit %d, want 2 (bug found)", code)
+	}
+
+	// Local-run flags make no sense with -farm.
+	opts.Journal = "j.hsj"
+	if _, err := run(context.Background(), opts); err == nil {
+		t.Fatal("-farm with -journal must fail")
+	}
+	// An undeclared tenant is rejected by the server.
+	opts.Journal = ""
+	opts.Tenant = "ghost"
+	if _, err := run(context.Background(), opts); err == nil {
+		t.Fatal("unknown tenant must fail")
 	}
 }

@@ -15,6 +15,7 @@ import (
 	"sort"
 
 	"hardsnap/internal/asm"
+	"hardsnap/internal/buildinfo"
 	"hardsnap/internal/isa"
 )
 
@@ -23,7 +24,12 @@ func main() {
 	base := flag.Uint64("base", 0, "load address")
 	symbols := flag.Bool("symbols", false, "print the symbol table")
 	disasm := flag.Bool("d", false, "disassemble a binary image instead of assembling")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.Version("hsasm"))
+		return
+	}
 	if *disasm {
 		if err := runDisasm(uint32(*base), flag.Args()); err != nil {
 			fmt.Fprintln(os.Stderr, "hsasm:", err)

@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"hardsnap/internal/bench"
+	"hardsnap/internal/buildinfo"
 )
 
 // runOpts carries the CLI configuration into run.
@@ -51,7 +52,12 @@ func main() {
 		"write a CPU profile of the selected experiments to this file")
 	flag.StringVar(&opts.memProfile, "memprofile", "",
 		"write a heap profile (after the experiments complete) to this file")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.Version("hsbench"))
+		return
+	}
 	opts.args = flag.Args()
 	if err := run(opts); err != nil {
 		fmt.Fprintln(os.Stderr, "hsbench:", err)

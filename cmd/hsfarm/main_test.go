@@ -1,0 +1,66 @@
+package main
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"hardsnap/internal/farm"
+)
+
+func TestTenantFlag(t *testing.T) {
+	tf := tenantFlag{}
+	if err := tf.Set("acme"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tf.Set("widgets:250ms"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tf.Set("labs:1s:5000"); err != nil {
+		t.Fatal(err)
+	}
+	if b := tf["acme"]; b != (farm.Budget{}) {
+		t.Errorf("bare tenant budget: %+v", b)
+	}
+	if b := tf["widgets"]; b.VirtualTime != 250*time.Millisecond || b.SolverQueries != 0 {
+		t.Errorf("widgets budget: %+v", b)
+	}
+	if b := tf["labs"]; b.VirtualTime != time.Second || b.SolverQueries != 5000 {
+		t.Errorf("labs budget: %+v", b)
+	}
+	for _, bad := range []string{"", ":1s", "x:forever", "x:1s:many"} {
+		if err := tf.Set(bad); err == nil {
+			t.Errorf("%q accepted", bad)
+		}
+	}
+}
+
+// TestRunStartsAndStops: the server binary comes up on an ephemeral
+// port and shuts down cleanly on context cancellation.
+func TestRunStartsAndStops(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, farm.Config{
+			StateDir: t.TempDir(),
+			Tenants:  map[string]farm.Budget{"default": {}},
+		}, "127.0.0.1:0")
+	}()
+	time.Sleep(50 * time.Millisecond) // let it bind and print
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not shut down")
+	}
+
+	// A bad listen address must error out, not hang.
+	if err := run(context.Background(), farm.Config{
+		Tenants: map[string]farm.Budget{"default": {}},
+	}, "256.0.0.1:bogus"); err == nil {
+		t.Fatal("bad listen address accepted")
+	}
+}

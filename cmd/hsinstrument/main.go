@@ -17,6 +17,7 @@ import (
 	"strconv"
 	"strings"
 
+	"hardsnap/internal/buildinfo"
 	"hardsnap/internal/scanchain"
 	"hardsnap/internal/verilog"
 )
@@ -27,7 +28,12 @@ func main() {
 	exclude := flag.String("exclude", "", "comma-separated register/memory names to skip")
 	var params paramFlag
 	flag.Var(&params, "param", "parameter override NAME=VALUE (repeatable)")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.Version("hsinstrument"))
+		return
+	}
 	if err := run(*top, *out, *exclude, params, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "hsinstrument:", err)
 		os.Exit(1)

@@ -22,6 +22,7 @@ import (
 	"net"
 	"os"
 
+	"hardsnap/internal/buildinfo"
 	"hardsnap/internal/bus"
 	"hardsnap/internal/remote"
 	"hardsnap/internal/target"
@@ -37,7 +38,12 @@ func main() {
 	faultRate := flag.Float64("fault-rate", 0, "probability of dropping a protocol frame (half of it is also applied as bit corruption)")
 	faultSeed := flag.Int64("fault-seed", 1, "seed for the deterministic fault schedule")
 	latencyJitter := flag.Duration("latency-jitter", 0, "uniform extra per-frame latency in [0, jitter)")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.Version("hssim"))
+		return
+	}
 	sched := target.FaultSchedule{
 		Seed:          *faultSeed,
 		DropRate:      *faultRate,

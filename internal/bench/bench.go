@@ -114,6 +114,7 @@ func All() []Experiment {
 		{"E12", "remote-protocol latency: batched/pipelined v3 vs one-op-per-frame v2", E12},
 		{"E13", "solver optimization stack: effort and throughput with the stack on vs off", E13},
 		{"E14", "crash-safe exploration: journal overhead, chaos recovery, kill + resume", E14},
+		{"E15", "exploration as a service: farm identity and warm-pool admission", E15},
 	}
 }
 

@@ -1,0 +1,46 @@
+// Package buildinfo reports the module version and VCS revision every
+// cmd/ binary prints for -version, read from the build info the Go
+// toolchain embeds in the binary (no ldflags stamping required).
+package buildinfo
+
+import (
+	"fmt"
+	"runtime/debug"
+	"strings"
+)
+
+// Version renders a one-line version string for the named binary:
+// module version, VCS revision (short) and dirty marker when the
+// binary was built from a modified tree. Binaries built without build
+// info (unusual outside `go test`) report "devel".
+func Version(binary string) string {
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return fmt.Sprintf("%s devel (no build info)", binary)
+	}
+	ver := info.Main.Version
+	if ver == "" || ver == "(devel)" {
+		ver = "devel"
+	}
+	var rev, dirty string
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			if s.Value == "true" {
+				dirty = "-dirty"
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s %s", binary, ver)
+	if rev != "" {
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		fmt.Fprintf(&b, " (%s%s)", rev, dirty)
+	}
+	fmt.Fprintf(&b, " %s", info.GoVersion)
+	return b.String()
+}

@@ -1,0 +1,177 @@
+package core
+
+import (
+	"path/filepath"
+	"testing"
+	"time"
+
+	"hardsnap/internal/symexec"
+	"hardsnap/internal/target"
+)
+
+// TestVirtualTimeBudget: a run capped at half the uncapped virtual
+// time must stop at a scheduling boundary near the cap, with leftover
+// states finished as StatusBudget.
+func TestVirtualTimeBudget(t *testing.T) {
+	setup := SetupConfig{
+		Firmware:    scalingFirmware,
+		Peripherals: []target.PeriphConfig{{Name: "gpio0", Periph: "gpio"}},
+		Engine: Config{
+			Mode:            ModeHardSnap,
+			Searcher:        symexec.BFS{},
+			MaxInstructions: 1_000_000,
+		},
+	}
+	_, free := run(t, setup)
+	if free.VirtualTime == 0 {
+		t.Fatal("uncapped run consumed no virtual time")
+	}
+
+	cap := free.VirtualTime / 2
+	setup.Engine.MaxVirtualTime = cap
+	_, capped := run(t, setup)
+	if capped.CountStatus(symexec.StatusBudget) == 0 {
+		t.Fatalf("no budget-killed states (vt %v, cap %v)", capped.VirtualTime, cap)
+	}
+	if len(capped.Finished) >= len(free.Finished) {
+		t.Fatalf("cap did not shrink the run: %d paths vs %d uncapped",
+			len(capped.Finished), len(free.Finished))
+	}
+	// The budget is checked between steps, so overshoot is bounded by
+	// one step's cost — far less than the remaining half of the run.
+	if capped.VirtualTime >= free.VirtualTime {
+		t.Fatalf("capped vt %v not below uncapped %v", capped.VirtualTime, free.VirtualTime)
+	}
+}
+
+// TestSolverQueryBudget mirrors the virtual-time gate for solver
+// queries.
+func TestSolverQueryBudget(t *testing.T) {
+	setup := SetupConfig{
+		Firmware: scalingFirmware,
+		Engine: Config{
+			Searcher:        symexec.BFS{},
+			MaxInstructions: 1_000_000,
+		},
+	}
+	_, free := run(t, setup)
+	if free.Solver.Queries == 0 {
+		t.Fatal("uncapped run issued no solver queries")
+	}
+
+	cap := uint64(free.Solver.Queries) / 2
+	setup.Engine.MaxSolverQueries = cap
+	_, capped := run(t, setup)
+	if capped.CountStatus(symexec.StatusBudget) == 0 {
+		t.Fatal("no budget-killed states under solver cap")
+	}
+	if uint64(capped.Solver.Queries) >= uint64(free.Solver.Queries) {
+		t.Fatalf("capped queries %d not below uncapped %d",
+			capped.Solver.Queries, free.Solver.Queries)
+	}
+}
+
+// TestVirtualTimeBudgetParallel: the cap also binds fan-out subtrees
+// (each independently receives the post-seed remainder, like
+// MaxInstructions).
+func TestVirtualTimeBudgetParallel(t *testing.T) {
+	setup := chaosSetup(nil, "", nil, symexec.BFS{})
+	_, free := run(t, setup)
+
+	setup.Engine.MaxVirtualTime = free.VirtualTime / 4
+	_, capped := run(t, setup)
+	if capped.CountStatus(symexec.StatusBudget) == 0 {
+		t.Fatal("parallel run ignored the virtual-time cap")
+	}
+	if len(capped.Finished) >= len(free.Finished) {
+		t.Fatalf("parallel cap did not shrink the run: %d vs %d paths",
+			len(capped.Finished), len(free.Finished))
+	}
+}
+
+// TestBudgetsInFingerprint: budget knobs shape the outcome, so resume
+// must reject a journal recorded under different budgets.
+func TestBudgetsInFingerprint(t *testing.T) {
+	base := Config{}
+	vt := base
+	vt.MaxVirtualTime = time.Second
+	q := base
+	q.MaxSolverQueries = 10
+	if base.runFingerprint() == vt.runFingerprint() {
+		t.Error("MaxVirtualTime not in run fingerprint")
+	}
+	if base.runFingerprint() == q.runFingerprint() {
+		t.Error("MaxSolverQueries not in run fingerprint")
+	}
+}
+
+// TestJournalIntervalResolution pins the zero-value contract: 0 keeps
+// the defaults, negatives mean every completion.
+func TestJournalIntervalResolution(t *testing.T) {
+	for _, tc := range []struct {
+		set, syncWant, compactWant int
+	}{
+		{0, syncEvery, compactEvery},
+		{-1, 1, 1},
+		{7, 7, 7},
+	} {
+		c := Config{JournalSyncEvery: tc.set, JournalCompactEvery: tc.set}
+		if got := c.journalSyncEvery(); got != tc.syncWant {
+			t.Errorf("JournalSyncEvery=%d: sync interval %d, want %d", tc.set, got, tc.syncWant)
+		}
+		if got := c.journalCompactEvery(); got != tc.compactWant {
+			t.Errorf("JournalCompactEvery=%d: compact interval %d, want %d", tc.set, got, tc.compactWant)
+		}
+	}
+}
+
+// TestJournalIntervalIdentity: sync/compaction cadence is a
+// durability knob, never a results knob — an every-completion
+// journaled campaign fingerprints identically to the default cadence,
+// and its journal still resumes.
+func TestJournalIntervalIdentity(t *testing.T) {
+	_, clean := run(t, chaosSetup(nil, "", nil, symexec.BFS{}))
+	want := Fingerprint(clean)
+
+	jpath := filepath.Join(t.TempDir(), "campaign.hsj")
+	setup := chaosSetup(nil, jpath, nil, symexec.BFS{})
+	setup.Engine.JournalSyncEvery = -1
+	setup.Engine.JournalCompactEvery = -1
+	_, rep := run(t, setup)
+	if got := Fingerprint(rep); got != want {
+		t.Fatalf("eager-journal run diverged: %s vs %s", got, want)
+	}
+
+	cam, err := LoadCampaign(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cam.Complete {
+		t.Fatal("journal not marked complete")
+	}
+
+	// Kill an eager-journal campaign mid-run and resume it: the
+	// every-completion cadence must leave a resumable journal too.
+	jpath2 := filepath.Join(t.TempDir(), "killed.hsj")
+	killed := chaosSetup(&ChaosSchedule{DieAfterSubtrees: 3}, jpath2, nil, symexec.BFS{})
+	killed.Engine.JournalSyncEvery = -1
+	killed.Engine.JournalCompactEvery = -1
+	a, err := Setup(killed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Engine.Run(); err == nil {
+		t.Fatal("chaos kill did not interrupt the run")
+	}
+	cam2, err := LoadCampaign(jpath2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed := chaosSetup(nil, jpath2, cam2, symexec.BFS{})
+	resumed.Engine.JournalSyncEvery = -1
+	resumed.Engine.JournalCompactEvery = -1
+	_, rep2 := run(t, resumed)
+	if got := Fingerprint(rep2); got != want {
+		t.Fatalf("resume of eager journal diverged: %s vs %s", got, want)
+	}
+}

@@ -64,6 +64,31 @@ const compactEvery = 64
 // fsync cost (measured in E14).
 const syncEvery = 4
 
+// journalSyncEvery resolves Config.JournalSyncEvery against the
+// default group-commit interval: 0 keeps syncEvery, negative values
+// fsync after every completion.
+func (c *Config) journalSyncEvery() int {
+	switch {
+	case c.JournalSyncEvery > 0:
+		return c.JournalSyncEvery
+	case c.JournalSyncEvery < 0:
+		return 1
+	}
+	return syncEvery
+}
+
+// journalCompactEvery resolves Config.JournalCompactEvery the same
+// way against the default compaction threshold.
+func (c *Config) journalCompactEvery() int {
+	switch {
+	case c.JournalCompactEvery > 0:
+		return c.JournalCompactEvery
+	case c.JournalCompactEvery < 0:
+		return 1
+	}
+	return compactEvery
+}
+
 // campaignHeader identifies a campaign so a resume can prove it is
 // continuing the same run it would otherwise restart.
 type campaignHeader struct {
@@ -228,9 +253,10 @@ func gobDecode(data []byte, v any) error {
 // seed-phase hash in the campaign header.
 func (c *Config) runFingerprint() string {
 	h := sha256.New()
-	fmt.Fprintf(h, "mode=%d searcher=%T maxi=%d maxs=%d cpi=%d workers=%d bugsnaps=%v",
+	fmt.Fprintf(h, "mode=%d searcher=%T maxi=%d maxs=%d cpi=%d workers=%d bugsnaps=%v maxvt=%d maxq=%d",
 		c.Mode, c.Searcher, c.MaxInstructions, c.MaxStates,
-		c.CyclesPerInstruction, c.Workers, c.KeepBugSnapshots)
+		c.CyclesPerInstruction, c.Workers, c.KeepBugSnapshots,
+		c.MaxVirtualTime, c.MaxSolverQueries)
 	return fmt.Sprintf("%x", h.Sum(nil))
 }
 

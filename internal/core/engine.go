@@ -104,10 +104,33 @@ type Config struct {
 	// results, only skips repeated identical queries.
 	SolverCacheSize int
 
+	// MaxVirtualTime bounds the virtual time a run may consume (0 =
+	// unlimited): the run stops at the next scheduling boundary once
+	// the clock passes the budget, finishing leftover states as
+	// StatusBudget. The campaign farm uses this to enforce per-tenant
+	// virtual-time quotas. Like MaxInstructions, a parallel run gives
+	// each subtree the remaining budget independently.
+	MaxVirtualTime time.Duration
+	// MaxSolverQueries bounds the total solver queries issued (0 =
+	// unlimited), checked at scheduling boundaries; the farm's
+	// per-tenant solver quotas ride on it. The parallel caveat of
+	// MaxVirtualTime applies.
+	MaxSolverQueries uint64
+
 	// JournalPath, when set on a parallel run (Workers > 1), records
 	// campaign progress to an append-only crash-safe journal so a
 	// killed run can be continued with Resume. See campaign.go.
 	JournalPath string
+	// JournalSyncEvery overrides the journal group-commit interval:
+	// how many subtree completions pass between fsyncs (0 keeps the
+	// default of 4; values < 0 sync every completion). A crash between
+	// syncs re-explores at most the journal-lost subtrees on resume.
+	JournalSyncEvery int
+	// JournalCompactEvery overrides how many completions pass between
+	// atomic journal compactions that drop superseded frontier
+	// records (0 keeps the default of 64; values < 0 compact on every
+	// completion).
+	JournalCompactEvery int
 	// Resume continues a journaled campaign (LoadCampaign): the seed
 	// phase is re-run and validated against the journal header, then
 	// completed subtrees are replayed from the journal instead of
@@ -129,6 +152,25 @@ type Config struct {
 	// MaxWorkerRestarts bounds replacement-worker spawns per campaign
 	// (default 2×Workers).
 	MaxWorkerRestarts int
+
+	// Progress, when set, receives observation-only progress
+	// callbacks: periodically during serial exploration and after
+	// every completed subtree of a parallel run. The callback must be
+	// fast and must not call back into the engine; it may run on
+	// worker goroutines. It never influences results — streaming
+	// consumers (the campaign runner) drop events they cannot keep up
+	// with.
+	Progress func(ProgressEvent)
+}
+
+// ProgressEvent is one observation-only progress sample.
+type ProgressEvent struct {
+	// Instructions retired so far (serial phase samples only).
+	Instructions uint64
+	// SubtreesDone / Subtrees report parallel fan-out progress
+	// (zero for serial samples).
+	SubtreesDone int
+	Subtrees     int
 }
 
 // AutoWorkers returns the worker count a "use all CPUs" configuration
@@ -317,6 +359,13 @@ type Engine struct {
 
 	// initial overrides the executor's entry state (fast-forwarding).
 	initial *symexec.State
+
+	// vtStart anchors the MaxVirtualTime budget to the clock value at
+	// run start (worker rigs share one clock across subtrees, so the
+	// budget must be relative).
+	vtStart time.Duration
+	// progressAt is the instruction count of the last Progress sample.
+	progressAt uint64
 
 	// ctx cancels the run (checked between scheduling iterations, a
 	// few dozen steps apart to stay off the hot path); stepHook is the
@@ -647,6 +696,7 @@ func (e *Engine) RunContext(ctx context.Context) (*Report, error) {
 		return nil, errors.New("core: campaign journaling requires Workers > 1")
 	}
 	start := e.clock.Now()
+	e.vtStart = start
 	e.initActive()
 	if err := e.loop(nil); err != nil {
 		return nil, err
@@ -673,12 +723,27 @@ func (e *Engine) seedIOLog(id uint64, log []ioRecord) {
 	e.ioLogs[id] = append([]ioRecord(nil), log...)
 }
 
-// loop runs scheduling iterations until the active set drains, the
-// instruction budget is exhausted, or stop returns true (checked
-// between iterations; nil means run to completion). The parallel seed
-// phase uses stop to pause at the fan-out width.
+// budgetExhausted reports whether the virtual-time or solver-query
+// budget is spent (instruction exhaustion is loop's own condition).
+// Checked between scheduling iterations, so a run can overshoot a
+// budget by at most one step's worth of work.
+func (e *Engine) budgetExhausted() bool {
+	if e.cfg.MaxVirtualTime > 0 && e.clock.Now()-e.vtStart >= e.cfg.MaxVirtualTime {
+		return true
+	}
+	if e.cfg.MaxSolverQueries > 0 && uint64(e.exec.Solver.Stats.Queries) >= e.cfg.MaxSolverQueries {
+		return true
+	}
+	return false
+}
+
+// loop runs scheduling iterations until the active set drains, a
+// budget (instructions, virtual time, solver queries) is exhausted,
+// or stop returns true (checked between iterations; nil means run to
+// completion). The parallel seed phase uses stop to pause at the
+// fan-out width.
 func (e *Engine) loop(stop func() bool) error {
-	for len(e.active) > 0 && e.stats.Instructions < e.cfg.MaxInstructions {
+	for len(e.active) > 0 && e.stats.Instructions < e.cfg.MaxInstructions && !e.budgetExhausted() {
 		if stop != nil && stop() {
 			return nil
 		}
@@ -695,6 +760,10 @@ func (e *Engine) loop(stop func() bool) error {
 		}
 		if err := e.step(); err != nil {
 			return err
+		}
+		if e.cfg.Progress != nil && e.stats.Instructions-e.progressAt >= 4096 {
+			e.progressAt = e.stats.Instructions
+			e.cfg.Progress(ProgressEvent{Instructions: e.stats.Instructions})
 		}
 	}
 	return nil

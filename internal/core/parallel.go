@@ -151,13 +151,14 @@ func addStats(dst *Stats, s Stats) {
 func (e *Engine) runParallel(ctx context.Context) (*Report, error) {
 	workers := e.cfg.Workers
 	start := e.clock.Now()
+	e.vtStart = start
 	e.initActive()
 
 	fanout := seedFanout(workers, e.cfg.MaxStates)
 	if err := e.loop(func() bool { return len(e.active) >= fanout }); err != nil {
 		return nil, err
 	}
-	if len(e.active) == 0 || e.stats.Instructions >= e.cfg.MaxInstructions {
+	if len(e.active) == 0 || e.stats.Instructions >= e.cfg.MaxInstructions || e.budgetExhausted() {
 		// The tree drained (or the budget died) before the fan-out
 		// width was reached: the serial result is the result.
 		if err := e.journalSerialDrain(); err != nil {
@@ -195,8 +196,20 @@ func (e *Engine) runParallel(ctx context.Context) (*Report, error) {
 	remaining := e.cfg.MaxInstructions - e.stats.Instructions
 	seedMaxID := e.exec.NextID()
 	seedVT := e.clock.Now() - start
+	// Like the instruction budget, each subtree independently gets
+	// what is left of the virtual-time and solver-query budgets after
+	// the seed phase (budgetExhausted above guarantees both are
+	// positive when capped).
+	var vtBudget time.Duration
+	if e.cfg.MaxVirtualTime > 0 {
+		vtBudget = e.cfg.MaxVirtualTime - seedVT
+	}
+	var solverBudget uint64
+	if e.cfg.MaxSolverQueries > 0 {
+		solverBudget = e.cfg.MaxSolverQueries - uint64(e.exec.Solver.Stats.Queries)
+	}
 
-	sup, err := e.newSupervisor(ctx, seeds, seedMaxID, remaining, liveHW, liveEdges)
+	sup, err := e.newSupervisor(ctx, seeds, seedMaxID, remaining, vtBudget, solverBudget, liveHW, liveEdges)
 	if err != nil {
 		return nil, err
 	}
@@ -298,8 +311,12 @@ type supervisor struct {
 	seeds     []*symexec.State
 	seedMaxID uint64
 	budget    uint64
-	liveHW    target.State
-	liveEdges []bool
+	// vtBudget / solverBudget are the per-subtree remainders of
+	// Config.MaxVirtualTime / MaxSolverQueries (0 = unlimited).
+	vtBudget     time.Duration
+	solverBudget uint64
+	liveHW       target.State
+	liveEdges    []bool
 
 	work     chan int      // pending subtree indexes (cap = len(seeds))
 	workDone chan struct{} // closed when every subtree has completed
@@ -331,11 +348,13 @@ type supervisor struct {
 }
 
 func (e *Engine) newSupervisor(ctx context.Context, seeds []*symexec.State,
-	seedMaxID, budget uint64, liveHW target.State, liveEdges []bool) (*supervisor, error) {
+	seedMaxID, budget uint64, vtBudget time.Duration, solverBudget uint64,
+	liveHW target.State, liveEdges []bool) (*supervisor, error) {
 	sctx, cancel := context.WithCancel(ctx)
 	s := &supervisor{
 		e: e, ctx: sctx, cancel: cancel,
 		seeds: seeds, seedMaxID: seedMaxID, budget: budget,
+		vtBudget: vtBudget, solverBudget: solverBudget,
 		liveHW: liveHW, liveEdges: liveEdges,
 		work:      make(chan int, len(seeds)),
 		workDone:  make(chan struct{}),
@@ -642,7 +661,11 @@ func (s *supervisor) complete(idx, attempt int, res *subtreeResult) {
 		s.interrupted = true
 	}
 	done := s.remaining == 0
+	doneCount := len(s.seeds) - s.remaining
 	s.mu.Unlock()
+	if p := s.e.cfg.Progress; p != nil {
+		p(ProgressEvent{SubtreesDone: doneCount, Subtrees: len(s.seeds)})
+	}
 	if die {
 		s.cancel()
 	}
@@ -674,13 +697,13 @@ func (s *supervisor) appendSubtreeLocked(idx int, res *subtreeResult) error {
 	if err := s.appendFrontierLocked(); err != nil {
 		return err
 	}
-	if s.sinceSync++; s.sinceSync >= syncEvery || s.remaining == 0 {
+	if s.sinceSync++; s.sinceSync >= s.e.cfg.journalSyncEvery() || s.remaining == 0 {
 		s.sinceSync = 0
 		if err := s.jw.Sync(); err != nil {
 			return err
 		}
 	}
-	if s.sinceCompact++; s.sinceCompact >= compactEvery {
+	if s.sinceCompact++; s.sinceCompact >= s.e.cfg.journalCompactEvery() {
 		s.sinceCompact = 0
 		return s.jw.Compact(func(rs []journal.Record) []journal.Record {
 			kept := rs[:0]
@@ -864,6 +887,8 @@ func (s *supervisor) runSubtree(wctx context.Context, idx, attempt int, rig *wor
 	wcfg := e.cfg
 	wcfg.Workers = 1
 	wcfg.MaxInstructions = s.budget
+	wcfg.MaxVirtualTime = s.vtBudget
+	wcfg.MaxSolverQueries = s.solverBudget
 	wcfg.Searcher = symexec.ForkSearcher(e.cfg.Searcher, int64(idx))
 	// The nested engine is a plain serial run: no journaling, no
 	// resume, no chaos of its own (chaos arrives via the step hook).

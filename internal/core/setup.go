@@ -24,11 +24,12 @@ type SetupConfig struct {
 	// Peripherals are placed at MMIOBase + i*PeriphRegionSize with
 	// IRQ line i.
 	Peripherals []target.PeriphConfig
-	// Target, when set, is a pre-built execution vehicle — typically a
-	// remote.TargetClient — used instead of constructing a local
-	// simulator/FPGA. Peripherals then only lay out the bus regions
-	// and must name ports the target exposes, in the target's index
-	// order. HWAssertions are unsupported in this mode.
+	// Target, when set, is a pre-built execution vehicle — a
+	// remote.TargetClient or a pooled *target.Target — used instead of
+	// constructing a local simulator/FPGA. Peripherals then only lay
+	// out the bus regions and must name ports the target exposes, in
+	// the target's index order. HWAssertions require the vehicle to be
+	// a concrete *target.Target.
 	Target target.Interface
 	// FPGA selects the FPGA target instead of the simulator.
 	FPGA bool
@@ -91,7 +92,9 @@ func SetupProgram(cfg SetupConfig, prog *asm.Program) (*Analysis, error) {
 			}
 			vehicle = tgt
 		} else {
-			if len(cfg.HWAssertions) > 0 {
+			if lt, ok := vehicle.(*target.Target); ok {
+				tgt = lt
+			} else if len(cfg.HWAssertions) > 0 {
 				return nil, fmt.Errorf("core: hardware assertions require a local target")
 			}
 			clock = vehicle.Clock()

@@ -1,0 +1,141 @@
+package farm
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"time"
+
+	"hardsnap/internal/campaign"
+)
+
+// Client speaks the farm's line-JSON protocol. It is not safe for
+// concurrent use; open one client per goroutine.
+type Client struct {
+	conn net.Conn
+	enc  *json.Encoder
+	dec  *json.Decoder
+}
+
+// Dial connects to a farm server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{conn: conn, enc: json.NewEncoder(conn), dec: json.NewDecoder(conn)}, nil
+}
+
+// Close drops the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+func (c *Client) roundTrip(req Request) (Response, error) {
+	if err := c.enc.Encode(req); err != nil {
+		return Response{}, err
+	}
+	var resp Response
+	if err := c.dec.Decode(&resp); err != nil {
+		return Response{}, err
+	}
+	if resp.Error != "" {
+		return resp, fmt.Errorf("farm: %s", resp.Error)
+	}
+	return resp, nil
+}
+
+// Submit enqueues a job for the tenant and returns the job ID.
+func (c *Client) Submit(tenant string, job campaign.Job) (string, error) {
+	resp, err := c.roundTrip(Request{Op: "submit", Tenant: tenant, Job: &job})
+	if err != nil {
+		return "", err
+	}
+	return resp.ID, nil
+}
+
+// Status fetches a job's lifecycle state (without the result body).
+func (c *Client) Status(id string) (JobInfo, error) {
+	resp, err := c.roundTrip(Request{Op: "status", ID: id})
+	if err != nil {
+		return JobInfo{}, err
+	}
+	return *resp.Job, nil
+}
+
+// Results fetches a job's state including its full result.
+func (c *Client) Results(id string) (JobInfo, error) {
+	resp, err := c.roundTrip(Request{Op: "results", ID: id})
+	if err != nil {
+		return JobInfo{}, err
+	}
+	return *resp.Job, nil
+}
+
+// Cancel stops a queued or running job.
+func (c *Client) Cancel(id string) error {
+	_, err := c.roundTrip(Request{Op: "cancel", ID: id})
+	return err
+}
+
+// Tenants fetches every tenant's budget accounting.
+func (c *Client) Tenants() ([]TenantUsage, error) {
+	resp, err := c.roundTrip(Request{Op: "tenants"})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Tenants, nil
+}
+
+// PoolStats fetches the warm-pool counters.
+func (c *Client) PoolStats() (PoolStats, error) {
+	resp, err := c.roundTrip(Request{Op: "pool"})
+	if err != nil {
+		return PoolStats{}, err
+	}
+	if resp.Pool == nil {
+		return PoolStats{}, fmt.Errorf("farm: empty pool response")
+	}
+	return *resp.Pool, nil
+}
+
+// Stream consumes the job's event feed, invoking fn per event, until
+// the job reaches a terminal state. It consumes the connection: use
+// a dedicated client.
+func (c *Client) Stream(id string, fn func(campaign.Event)) error {
+	if err := c.enc.Encode(Request{Op: "stream", ID: id}); err != nil {
+		return err
+	}
+	for {
+		var resp Response
+		if err := c.dec.Decode(&resp); err != nil {
+			return err
+		}
+		if resp.Error != "" {
+			return fmt.Errorf("farm: %s", resp.Error)
+		}
+		if resp.Done {
+			return nil
+		}
+		if resp.Event != nil && fn != nil {
+			fn(*resp.Event)
+		}
+	}
+}
+
+// WaitJob polls status until the job is terminal, then fetches the
+// full result. The interval bounds polling frequency (default
+// 10ms).
+func (c *Client) WaitJob(id string, interval time.Duration) (JobInfo, error) {
+	if interval <= 0 {
+		interval = 10 * time.Millisecond
+	}
+	for {
+		info, err := c.Status(id)
+		if err != nil {
+			return JobInfo{}, err
+		}
+		if info.Status.terminal() {
+			return c.Results(id)
+		}
+		time.Sleep(interval)
+	}
+}

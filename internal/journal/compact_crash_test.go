@@ -1,0 +1,146 @@
+package journal
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"testing"
+)
+
+// fillJournal creates a journal holding n small records.
+func fillJournal(t *testing.T, path string, n int) *Writer {
+	t.Helper()
+	w, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if err := w.Append(byte(i%3+1), []byte(fmt.Sprintf("record-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func scanRecords(t *testing.T, path string) *ScanResult {
+	t.Helper()
+	res, err := Scan(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestCompactCrashWindows kills a compaction at each window between
+// the temp-file write and the rename. In every window the original
+// journal must scan clean with all its records, and an AppendTo on it
+// (the resume path) must work — the crash can only cost the
+// compaction, never the log.
+func TestCompactCrashWindows(t *testing.T) {
+	errBoom := errors.New("injected crash")
+	for _, stage := range []string{"written", "synced"} {
+		t.Run(stage, func(t *testing.T) {
+			dir := t.TempDir()
+			path := filepath.Join(dir, "camp.hsj")
+			w := fillJournal(t, path, 9)
+
+			compactFailpoint = func(s string) error {
+				if s == stage {
+					return errBoom
+				}
+				return nil
+			}
+			defer func() { compactFailpoint = nil }()
+			err := w.Compact(func(recs []Record) []Record {
+				return recs[len(recs)-3:] // drop all but the tail
+			})
+			if !errors.Is(err, errBoom) {
+				t.Fatalf("Compact err = %v, want injected crash", err)
+			}
+			w.Close() // the "crashed" process is gone
+			compactFailpoint = nil
+
+			// The original journal is fully intact: nothing compacted.
+			res := scanRecords(t, path)
+			if res.Truncated || len(res.Records) != 9 {
+				t.Fatalf("after crashed compaction: truncated=%v records=%d, want clean 9",
+					res.Truncated, len(res.Records))
+			}
+			// The crash left a stale temp file behind; it must not be
+			// mistaken for the journal.
+			stale, err := filepath.Glob(filepath.Join(dir, "camp.hsj.compact-*"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(stale) != 1 {
+				t.Fatalf("stale temp files: %v, want exactly 1", stale)
+			}
+
+			// Resume: append to the surviving journal and land new
+			// records after the old ones.
+			w2, scanned, err := AppendTo(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(scanned.Records) != 9 {
+				t.Fatalf("AppendTo recovered %d records, want 9", len(scanned.Records))
+			}
+			if err := w2.Append(7, []byte("post-crash")); err != nil {
+				t.Fatal(err)
+			}
+			if err := w2.Close(); err != nil {
+				t.Fatal(err)
+			}
+			res = scanRecords(t, path)
+			if res.Truncated || len(res.Records) != 10 {
+				t.Fatalf("after resume append: truncated=%v records=%d, want clean 10",
+					res.Truncated, len(res.Records))
+			}
+			if string(res.Records[9].Payload) != "post-crash" {
+				t.Fatalf("tail record: %q", res.Records[9].Payload)
+			}
+		})
+	}
+}
+
+// TestCompactAfterCrashedCompaction: a writer that survives a failed
+// compaction attempt (e.g. a transient disk error at the failpoint)
+// keeps appending to the original file, and a later compaction
+// succeeds and cleans the log down to the kept records.
+func TestCompactAfterCrashedCompaction(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "camp.hsj")
+	w := fillJournal(t, path, 6)
+	defer w.Close()
+
+	errBoom := errors.New("injected crash")
+	compactFailpoint = func(string) error { return errBoom }
+	if err := w.Compact(func(r []Record) []Record { return r }); !errors.Is(err, errBoom) {
+		t.Fatalf("Compact err = %v", err)
+	}
+	compactFailpoint = nil
+
+	// The writer is still on the original file: appends keep working.
+	if err := w.Append(9, []byte("alive")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Compact(func(recs []Record) []Record {
+		return recs[len(recs)-2:]
+	}); err != nil {
+		t.Fatal(err)
+	}
+	res := scanRecords(t, path)
+	if res.Truncated || len(res.Records) != 2 {
+		t.Fatalf("after successful compaction: truncated=%v records=%d, want clean 2",
+			res.Truncated, len(res.Records))
+	}
+	if string(res.Records[1].Payload) != "alive" {
+		t.Fatalf("kept tail: %q", res.Records[1].Payload)
+	}
+	if st := w.Stats(); st.Compactions != 1 || st.Records != 2 {
+		t.Fatalf("stats after compaction: %+v", st)
+	}
+}

@@ -244,6 +244,21 @@ func (w *Writer) Close() error {
 	return err
 }
 
+// compactFailpoint, when set (tests only), is invoked between
+// compaction stages: "written" after the kept records are in the temp
+// file, "synced" after the temp file is synced and closed, just
+// before the rename. Returning an error aborts the compaction at that
+// exact point the way a crash would — the temp file stays behind and
+// the original journal is untouched.
+var compactFailpoint func(stage string) error
+
+func failpoint(stage string) error {
+	if compactFailpoint == nil {
+		return nil
+	}
+	return compactFailpoint(stage)
+}
+
 // Compact atomically rewrites the journal to hold exactly the records
 // keep returns, given every intact record currently in the file. The
 // rewrite goes through a temp file in the same directory, is synced,
@@ -282,11 +297,18 @@ func (w *Writer) Compact(keep func([]Record) []Record) error {
 		}
 		bytes += uint64(len(buf))
 	}
+	if err := failpoint("written"); err != nil {
+		tmp.Close() // simulated crash: the temp file stays behind
+		return err
+	}
 	if err := tmp.Sync(); err != nil {
 		return fail(err)
 	}
 	if err := tmp.Close(); err != nil {
 		return fail(err)
+	}
+	if err := failpoint("synced"); err != nil {
+		return err // simulated crash between sync and rename
 	}
 	if err := os.Rename(tmpName, w.path); err != nil {
 		os.Remove(tmpName)

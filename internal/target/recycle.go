@@ -1,0 +1,43 @@
+package target
+
+// Recycle wipes the target back to the state a fresh build comes up
+// in, so a pool can hand it to the next job without paying the
+// elaboration cost of Spawn: the hardware is restored to the power-on
+// snapshot, assertions, violations, fault injection, retry policy,
+// standby wiring and the failover journal are cleared, the cumulative
+// stats are zeroed and the clock rewinds to zero. The mutation
+// generation and anchor sequence keep counting — they only ever
+// prove identity within one run, and each run anchors afresh.
+//
+// LiveState returns a cost-free deep copy of the current hardware
+// state, without charging snapshot virtual time or touching the
+// stats: orchestration-level bookkeeping (the pool's post-recycle
+// integrity check), not an analysis operation.
+func (t *Target) LiveState() State { return t.snapshotRaw() }
+
+// Recycle fails only if the target is dead (an unrecoverable link or
+// integrity failure); a dead target must be discarded, not pooled.
+func (t *Target) Recycle() error {
+	if t.dead {
+		return fatalf("recycle", "target %s is dead after an unrecoverable failure", t.name)
+	}
+	for _, inst := range t.order {
+		hw := t.powerOn[inst.cfg.Name]
+		if err := inst.sim.Restore(hw); err != nil {
+			return integrityf("recycle "+inst.cfg.Name, "%v", err)
+		}
+		inst.asserts = nil
+	}
+	t.asserts = nil
+	t.violations = nil
+	t.faults = nil
+	t.retry = RetryPolicy{}
+	t.standby = nil
+	t.journal = nil
+	t.journalFull = false
+	t.lastGood = t.powerOn.Clone()
+	t.stats = Stats{}
+	t.reanchor(true)
+	t.clock.Reset()
+	return nil
+}
