@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race chaos bench-smoke bench-json bench-scale bench-remote bench-solver
+.PHONY: check fmt vet build test race chaos bench-smoke bench-json bench-scale bench-remote bench-solver bench-sim
 
 # Full gate: formatting, static checks, build, tests, race detector on
 # the concurrency-sensitive packages, chaos/recovery identity matrix.
@@ -63,6 +63,14 @@ bench-scale:
 bench-remote:
 	$(GO) run ./cmd/hsbench -latency 0 e12
 	$(GO) run ./cmd/hsbench -latency 500us e12
+
+# bench-sim runs the RTL-engine study (E16). The experiment gates
+# itself: >=5x compiled-vs-interpreter on busy logic, >=20x with
+# activation on a quiescent SoC, cycle-exact differential identity and
+# an unchanged exploration fingerprint — so this target fails on any
+# engine semantics or performance regression.
+bench-sim:
+	$(GO) run ./cmd/hsbench e16
 
 # bench-solver A/B-tests the solver optimization stack (E13): the
 # experiment itself gates on identical paths/bugs/virtual times with

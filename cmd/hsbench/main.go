@@ -1,5 +1,5 @@
 // Command hsbench regenerates the paper's evaluation tables and
-// figures (experiments E1-E12; see DESIGN.md for the experiment
+// figures (experiments E1-E16; see DESIGN.md for the experiment
 // index).
 //
 // Usage:
@@ -26,12 +26,14 @@ import (
 
 	"hardsnap/internal/bench"
 	"hardsnap/internal/buildinfo"
+	"hardsnap/internal/sim"
 )
 
 // runOpts carries the CLI configuration into run.
 type runOpts struct {
 	list       bool
 	jsonOut    bool
+	interp     bool
 	workers    int
 	latency    time.Duration
 	cpuProfile string
@@ -44,6 +46,8 @@ func main() {
 	flag.BoolVar(&opts.list, "list", false, "list experiments and exit")
 	flag.BoolVar(&opts.jsonOut, "json", false,
 		"emit machine-readable metrics as a JSON array of {experiment, metric, value, unit}")
+	flag.BoolVar(&opts.interp, "interp", false,
+		"run every experiment on the interpreter RTL engine instead of compiled bytecode")
 	flag.IntVar(&opts.workers, "workers", 0,
 		"cap the worker counts swept by the scaling experiment (E11); 0 keeps the default sweep")
 	flag.DurationVar(&opts.latency, "latency", -1,
@@ -66,6 +70,9 @@ func main() {
 }
 
 func run(opts runOpts) error {
+	if opts.interp {
+		sim.SetDefaultEngine(sim.EngineInterp)
+	}
 	bench.SetMaxWorkers(opts.workers)
 	bench.SetRemoteLatency(opts.latency)
 	if opts.list {

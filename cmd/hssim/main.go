@@ -21,10 +21,14 @@ import (
 	"fmt"
 	"net"
 	"os"
+	"os/signal"
+	"runtime/pprof"
+	"syscall"
 
 	"hardsnap/internal/buildinfo"
 	"hardsnap/internal/bus"
 	"hardsnap/internal/remote"
+	"hardsnap/internal/sim"
 	"hardsnap/internal/target"
 	"hardsnap/internal/vtime"
 )
@@ -35,6 +39,9 @@ func main() {
 	top := flag.String("top", "", "top module of -source")
 	listen := flag.String("listen", "127.0.0.1:0", "TCP listen address")
 	fpga := flag.Bool("fpga", false, "model the FPGA target instead of the simulator")
+	interp := flag.Bool("interp", false, "use the interpreter RTL engine instead of compiled bytecode")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	faultRate := flag.Float64("fault-rate", 0, "probability of dropping a protocol frame (half of it is also applied as bit corruption)")
 	faultSeed := flag.Int64("fault-seed", 1, "seed for the deterministic fault schedule")
 	latencyJitter := flag.Duration("latency-jitter", 0, "uniform extra per-frame latency in [0, jitter)")
@@ -43,6 +50,49 @@ func main() {
 	if *version {
 		fmt.Println(buildinfo.Version("hssim"))
 		return
+	}
+	if *interp {
+		sim.SetDefaultEngine(sim.EngineInterp)
+	}
+	// The server runs until killed, so profiles flush from a signal
+	// handler (SIGINT/SIGTERM) rather than a defer that would never
+	// run.
+	flush := func() {}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hssim:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "hssim:", err)
+			os.Exit(1)
+		}
+		flush = pprof.StopCPUProfile
+	}
+	if *memprofile != "" {
+		memPath, cpuFlush := *memprofile, flush
+		flush = func() {
+			cpuFlush()
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "hssim:", err)
+				return
+			}
+			defer f.Close()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "hssim:", err)
+			}
+		}
+	}
+	if *cpuprofile != "" || *memprofile != "" {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		go func() {
+			<-sig
+			flush()
+			os.Exit(0)
+		}()
 	}
 	sched := target.FaultSchedule{
 		Seed:          *faultSeed,
@@ -53,7 +103,9 @@ func main() {
 	if *faultRate == 0 && *latencyJitter == 0 {
 		sched = target.FaultSchedule{}
 	}
-	if err := run(*periphName, *source, *top, *listen, *fpga, sched); err != nil {
+	err := run(*periphName, *source, *top, *listen, *fpga, sched)
+	flush()
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "hssim:", err)
 		os.Exit(1)
 	}

@@ -115,6 +115,7 @@ func All() []Experiment {
 		{"E13", "solver optimization stack: effort and throughput with the stack on vs off", E13},
 		{"E14", "crash-safe exploration: journal overhead, chaos recovery, kill + resume", E14},
 		{"E15", "exploration as a service: farm identity and warm-pool admission", E15},
+		{"E16", "RTL engine: interpreter vs compiled bytecode vs event-driven activation", E16},
 	}
 }
 

@@ -33,6 +33,11 @@ type SetupConfig struct {
 	Target target.Interface
 	// FPGA selects the FPGA target instead of the simulator.
 	FPGA bool
+	// Interp forces the interpreter RTL engine on every locally built
+	// peripheral instead of the compiled-bytecode default. Used for
+	// debugging and the E16 differential/ablation runs; results are
+	// bit-identical either way, only speed differs.
+	Interp bool
 	// Readback selects the readback snapshot method on the FPGA.
 	Readback bool
 	// HWAssertions are hardware properties checked every cycle
@@ -82,10 +87,18 @@ func SetupProgram(cfg SetupConfig, prog *asm.Program) (*Analysis, error) {
 		var err error
 		vehicle := cfg.Target
 		if vehicle == nil {
+			periphs := cfg.Peripherals
+			if cfg.Interp {
+				periphs = make([]target.PeriphConfig, len(cfg.Peripherals))
+				copy(periphs, cfg.Peripherals)
+				for i := range periphs {
+					periphs[i].Interp = true
+				}
+			}
 			if cfg.FPGA {
-				tgt, err = target.NewFPGA("fpga0", clock, cfg.Peripherals, cfg.Readback)
+				tgt, err = target.NewFPGA("fpga0", clock, periphs, cfg.Readback)
 			} else {
-				tgt, err = target.NewSimulator("sim0", clock, cfg.Peripherals)
+				tgt, err = target.NewSimulator("sim0", clock, periphs)
 			}
 			if err != nil {
 				return nil, err

@@ -139,6 +139,13 @@ type Farm struct {
 	running int
 	closed  bool
 
+	// beforeSettle, when set (by tests, before the first Submit),
+	// runs after a job's campaign completes but before settle charges
+	// the tenant and frees the slot. It lets scheduling tests hold a
+	// slot deterministically instead of racing the job's wall-clock
+	// duration, which shrinks with every simulator speedup.
+	beforeSettle func(jobID string)
+
 	wg sync.WaitGroup
 }
 
@@ -357,6 +364,9 @@ func (f *Farm) runJob(ctx context.Context, js *jobState, run campaign.Job, resVT
 	// channels, and every event must reach them first.
 	close(events)
 	<-done
+	if f.beforeSettle != nil {
+		f.beforeSettle(js.id)
+	}
 	f.settle(js, res, err, resVT, resQ)
 }
 

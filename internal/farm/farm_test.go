@@ -7,6 +7,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -241,11 +242,23 @@ func TestFarmFairShare(t *testing.T) {
 		Tenants:  map[string]Budget{"heavy": {}, "light": {}},
 	})
 
+	// Hold the first job's settle open until both contenders are
+	// queued: jobs finish in milliseconds, so racing the submits
+	// against b1's real wall-clock duration is a coin flip.
+	release := make(chan struct{})
+	var first atomic.Bool
+	f.beforeSettle = func(string) {
+		if first.CompareAndSwap(false, true) {
+			<-release
+		}
+	}
+
 	// Occupy the single slot, then queue the contenders behind it.
 	b1 := mustSubmit(t, f, "heavy", job)
 	waitStatus(t, f, b1, StatusRunning)
 	h2 := mustSubmit(t, f, "heavy", job)
 	l1 := mustSubmit(t, f, "light", job)
+	close(release)
 
 	// When b1 settles, heavy has charged a full run and light nothing,
 	// so the scheduler must hand the slot to light despite heavy's job

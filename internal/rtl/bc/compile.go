@@ -1,0 +1,608 @@
+package bc
+
+import (
+	"fmt"
+
+	"hardsnap/internal/rtl"
+	"hardsnap/internal/verilog"
+)
+
+// maskOf returns a bitmask with the w low bits set (mirror of
+// rtl.mask, which is unexported).
+func maskOf(w uint) uint64 {
+	if w >= 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << w) - 1
+}
+
+// Compile lowers an elaborated design to bytecode. It returns an
+// error for any construct whose compiled form could diverge from the
+// interpreter — unknown identifiers, non-constant part-select bounds,
+// lvalue shapes assignTo rejects, or write-ordering patterns the
+// activation engine cannot preserve (a register written by more than
+// one sequential block, a memory written by more than one comb node).
+// Callers fall back to the interpreter on error.
+func Compile(d *rtl.Design) (*Program, error) {
+	p := &Program{
+		design:         d,
+		signals:        d.Signals,
+		mems:           d.Memories,
+		sigCombReaders: make([][]int32, len(d.Signals)),
+		sigCombDriver:  make([]int32, len(d.Signals)),
+		sigSeqTouch:    make([][]int32, len(d.Signals)),
+		memCombReaders: make([][]int32, len(d.Memories)),
+		memCombWriters: make([][]int32, len(d.Memories)),
+		memSeqTouch:    make([][]int32, len(d.Memories)),
+	}
+	for i := range p.sigCombDriver {
+		p.sigCombDriver[i] = -1
+	}
+	p.combs = make([][]op, 0, len(d.Combs))
+	for i, node := range d.Combs {
+		c := newComp(node.Scope, false)
+		var err error
+		if node.Assign != nil {
+			err = c.assign(node.Assign.LHS, node.Assign.RHS)
+		} else {
+			err = c.stmt(node.Block)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("bc: comb node %d: %w", i, err)
+		}
+		if c.cur != 0 {
+			return nil, fmt.Errorf("bc: internal: comb node %d leaves stack depth %d", i, c.cur)
+		}
+		p.combs = append(p.combs, c.ops)
+		if c.max > p.stackMax {
+			p.stackMax = c.max
+		}
+		for id := range c.reads {
+			p.sigCombReaders[id] = append(p.sigCombReaders[id], int32(i))
+		}
+		for id := range c.writes {
+			p.sigCombDriver[id] = int32(i)
+		}
+		for id := range c.memReads {
+			p.memCombReaders[id] = append(p.memCombReaders[id], int32(i))
+		}
+		for id := range c.memWrites {
+			// Two comb nodes writing one memory: the interpreter
+			// re-runs both every sweep, so readers ordered between
+			// them observe the earlier node's value; activation would
+			// skip the quiescent one and break that ordering.
+			if len(p.memCombWriters[id]) > 0 {
+				return nil, fmt.Errorf("bc: memory %s written by multiple comb nodes", d.Memories[id].Name)
+			}
+			p.memCombWriters[id] = append(p.memCombWriters[id], int32(i))
+		}
+	}
+	p.seqs = make([][]op, 0, len(d.Seqs))
+	seqSigWriter := make(map[int]int)
+	seqMemWriter := make(map[int]int)
+	for i, b := range d.Seqs {
+		c := newComp(b.Scope, true)
+		if err := c.stmt(b.Body); err != nil {
+			return nil, fmt.Errorf("bc: seq block %d: %w", i, err)
+		}
+		if c.cur != 0 {
+			return nil, fmt.Errorf("bc: internal: seq block %d leaves stack depth %d", i, c.cur)
+		}
+		p.seqs = append(p.seqs, c.ops)
+		if c.max > p.stackMax {
+			p.stackMax = c.max
+		}
+		for id := range c.writes {
+			// Last-write-wins across blocks requires running every
+			// writer every cycle; activation cannot guarantee that,
+			// so multi-driven registers fall back to the interpreter.
+			if prev, dup := seqSigWriter[id]; dup && prev != i {
+				return nil, fmt.Errorf("bc: register %s written by multiple sequential blocks", d.Signals[id].Name)
+			}
+			seqSigWriter[id] = i
+		}
+		for id := range c.memWrites {
+			if prev, dup := seqMemWriter[id]; dup && prev != i {
+				return nil, fmt.Errorf("bc: memory %s written by multiple sequential blocks", d.Memories[id].Name)
+			}
+			seqMemWriter[id] = i
+		}
+		touched := func(ids map[int]struct{}, fan [][]int32) {
+			for id := range ids {
+				n := len(fan[id])
+				if n > 0 && fan[id][n-1] == int32(i) {
+					continue // already recorded via the other set
+				}
+				fan[id] = append(fan[id], int32(i))
+			}
+		}
+		touched(c.reads, p.sigSeqTouch)
+		touched(c.writes, p.sigSeqTouch)
+		touched(c.memReads, p.memSeqTouch)
+		touched(c.memWrites, p.memSeqTouch)
+	}
+	if p.stackMax == 0 {
+		p.stackMax = 1
+	}
+	return p, nil
+}
+
+// comp compiles one comb node or sequential block.
+type comp struct {
+	scope *rtl.Scope
+	seq   bool // nonblocking store opcodes
+	ops   []op
+
+	// cur/max track value-stack depth so the engine can size its
+	// stack once; every statement is depth-neutral, every expression
+	// nets exactly one push.
+	cur, max int
+
+	reads     map[int]struct{}
+	writes    map[int]struct{}
+	memReads  map[int]struct{}
+	memWrites map[int]struct{}
+}
+
+func newComp(scope *rtl.Scope, seq bool) *comp {
+	return &comp{
+		scope:     scope,
+		seq:       seq,
+		reads:     make(map[int]struct{}),
+		writes:    make(map[int]struct{}),
+		memReads:  make(map[int]struct{}),
+		memWrites: make(map[int]struct{}),
+	}
+}
+
+func (c *comp) emit(o op) int {
+	c.ops = append(c.ops, o)
+	return len(c.ops) - 1
+}
+
+func (c *comp) push() {
+	c.cur++
+	if c.cur > c.max {
+		c.max = c.cur
+	}
+}
+
+func (c *comp) pop(n int) { c.cur -= n }
+
+// patch sets the jump target of instruction i to the next emitted op.
+func (c *comp) patch(i int) { c.ops[i].a = int32(len(c.ops)) }
+
+func (c *comp) assign(lhs, rhs verilog.Expr) error {
+	if err := c.expr(rhs); err != nil {
+		return err
+	}
+	return c.store(lhs)
+}
+
+func (c *comp) stmt(s verilog.Stmt) error {
+	switch v := s.(type) {
+	case *verilog.Block:
+		for _, sub := range v.Stmts {
+			if err := c.stmt(sub); err != nil {
+				return err
+			}
+		}
+		return nil
+
+	case *verilog.If:
+		if err := c.expr(v.Cond); err != nil {
+			return err
+		}
+		jz := c.emit(op{code: opJz})
+		c.pop(1)
+		if err := c.stmt(v.Then); err != nil {
+			return err
+		}
+		if v.Else == nil {
+			c.patch(jz)
+			return nil
+		}
+		jmp := c.emit(op{code: opJmp})
+		c.patch(jz)
+		if err := c.stmt(v.Else); err != nil {
+			return err
+		}
+		c.patch(jmp)
+		return nil
+
+	case *verilog.Case:
+		return c.caseStmt(v)
+
+	case *verilog.NonBlocking:
+		return c.assign(v.LHS, v.RHS)
+
+	case *verilog.Blocking:
+		return c.assign(v.LHS, v.RHS)
+	}
+	return fmt.Errorf("cannot compile statement %T", s)
+}
+
+// caseStmt lays out a case as: subject eval, then all label
+// comparisons (first match jumps to its body, preserving the
+// interpreter's first-match-in-item-order priority), fallthrough jump
+// to the default, then the bodies; each body pops the subject first.
+// Labels are pure expressions, so evaluating them eagerly (where the
+// interpreter stops at the first match) cannot change the outcome.
+func (c *comp) caseStmt(v *verilog.Case) error {
+	if err := c.expr(v.Subject); err != nil {
+		return err
+	}
+	entry := c.cur // depth with the subject on the stack
+	var matches [][]int
+	var deflt verilog.Stmt
+	for _, item := range v.Items {
+		if item.Labels == nil {
+			// Like the interpreter, a later default wins.
+			deflt = item.Body
+			continue
+		}
+		var js []int
+		for _, l := range item.Labels {
+			if err := c.expr(l); err != nil {
+				return err
+			}
+			js = append(js, c.emit(op{code: opCaseEq}))
+			c.pop(1)
+		}
+		matches = append(matches, js)
+	}
+	toDefault := c.emit(op{code: opJmp})
+	var ends []int
+	mi := 0
+	for _, item := range v.Items {
+		if item.Labels == nil {
+			continue
+		}
+		for _, j := range matches[mi] {
+			c.patch(j)
+		}
+		mi++
+		c.cur = entry
+		c.emit(op{code: opPop})
+		c.pop(1)
+		if err := c.stmt(item.Body); err != nil {
+			return err
+		}
+		ends = append(ends, c.emit(op{code: opJmp}))
+	}
+	c.patch(toDefault)
+	c.cur = entry
+	c.emit(op{code: opPop})
+	c.pop(1)
+	if deflt != nil {
+		if err := c.stmt(deflt); err != nil {
+			return err
+		}
+	}
+	for _, j := range ends {
+		c.patch(j)
+	}
+	return nil
+}
+
+// binOp maps a binary operator to its opcode and whether the result
+// is masked to the width of the whole expression.
+var binOps = map[string]struct {
+	code   opcode
+	masked bool
+}{
+	"+": {opAdd, true}, "-": {opSub, true}, "*": {opMul, true},
+	"/": {opDiv, true}, "%": {opMod, true},
+	"&": {opAnd, false}, "|": {opOr, true}, "^": {opXor, true},
+	"&&": {opLogAnd, false}, "||": {opLogOr, false},
+	"==": {opEq, false}, "!=": {opNe, false},
+	"<": {opLt, false}, "<=": {opLe, false},
+	">": {opGt, false}, ">=": {opGe, false},
+	"<<": {opShl, true}, ">>": {opShr, false},
+}
+
+// expr emits ops that push the expression's value; net stack effect
+// is exactly +1. Every WidthOf the interpreter would perform at eval
+// time happens here, so sizing errors become compile errors.
+func (c *comp) expr(x verilog.Expr) error {
+	switch v := x.(type) {
+	case *verilog.Number:
+		val := v.Value
+		if v.Width != 0 {
+			val &= maskOf(v.Width)
+		}
+		c.emit(op{code: opConst, val: val})
+		c.push()
+		return nil
+
+	case *verilog.Ident:
+		if s, ok := c.scope.Signal(v.Name); ok {
+			c.emit(op{code: opLoad, a: int32(s.ID), val: maskOf(s.Width)})
+			c.push()
+			c.reads[s.ID] = struct{}{}
+			return nil
+		}
+		if pv, ok := c.scope.Param(v.Name); ok {
+			// Parameters evaluate unmasked, exactly like EvalExpr.
+			c.emit(op{code: opConst, val: pv})
+			c.push()
+			return nil
+		}
+		return fmt.Errorf("unknown identifier %q", v.Name)
+
+	case *verilog.Unary:
+		if err := c.expr(v.X); err != nil {
+			return err
+		}
+		// The interpreter computes the operand width before
+		// dispatching on the operator, so an un-sizable operand is an
+		// error even for width-independent operators; mirror that.
+		w, err := rtl.WidthOf(v.X, c.scope)
+		if err != nil {
+			return err
+		}
+		switch v.Op {
+		case "~":
+			c.emit(op{code: opNot, val: maskOf(w)})
+		case "-":
+			c.emit(op{code: opNeg, val: maskOf(w)})
+		case "!":
+			c.emit(op{code: opLogNot})
+		case "&":
+			c.emit(op{code: opRedAnd, val: maskOf(w)})
+		case "|":
+			c.emit(op{code: opRedOr})
+		case "^":
+			c.emit(op{code: opRedXor})
+		default:
+			return fmt.Errorf("unknown unary operator %q", v.Op)
+		}
+		return nil
+
+	case *verilog.Binary:
+		if err := c.expr(v.X); err != nil {
+			return err
+		}
+		if err := c.expr(v.Y); err != nil {
+			return err
+		}
+		spec, ok := binOps[v.Op]
+		if !ok {
+			return fmt.Errorf("unknown binary operator %q", v.Op)
+		}
+		// Unconditional, like EvalExpr: WidthOf runs for every
+		// operator even when the mask is unused.
+		w, err := rtl.WidthOf(x, c.scope)
+		if err != nil {
+			return err
+		}
+		o := op{code: spec.code}
+		if spec.masked || spec.code == opDiv || spec.code == opMod {
+			o.val = maskOf(w)
+		}
+		c.emit(o)
+		c.pop(1)
+		return nil
+
+	case *verilog.Ternary:
+		if err := c.expr(v.Cond); err != nil {
+			return err
+		}
+		jz := c.emit(op{code: opJz})
+		c.pop(1)
+		d := c.cur
+		if err := c.expr(v.Then); err != nil {
+			return err
+		}
+		jmp := c.emit(op{code: opJmp})
+		c.patch(jz)
+		c.cur = d
+		if err := c.expr(v.Else); err != nil {
+			return err
+		}
+		c.patch(jmp)
+		return nil
+
+	case *verilog.Index:
+		if base, ok := v.X.(*verilog.Ident); ok {
+			if m, isMem := c.scope.Memory(base.Name); isMem {
+				if err := c.expr(v.Idx); err != nil {
+					return err
+				}
+				c.emit(op{code: opLoadMem, a: int32(m.ID), b: int32(m.Depth), val: maskOf(m.Width)})
+				c.memReads[m.ID] = struct{}{}
+				return nil // pops idx, pushes element: net +1 overall
+			}
+		}
+		if err := c.expr(v.X); err != nil {
+			return err
+		}
+		if err := c.expr(v.Idx); err != nil {
+			return err
+		}
+		c.emit(op{code: opBit})
+		c.pop(1)
+		return nil
+
+	case *verilog.RangeSel:
+		if err := c.expr(v.X); err != nil {
+			return err
+		}
+		hi, err := rtl.ConstEval(v.MSB, c.scope)
+		if err != nil {
+			return err
+		}
+		lo, err := rtl.ConstEval(v.LSB, c.scope)
+		if err != nil {
+			return err
+		}
+		if hi < lo || hi-lo+1 > 64 {
+			return fmt.Errorf("bad part select [%d:%d]", hi, lo)
+		}
+		sh := lo
+		if sh > 64 {
+			sh = 64 // uint64>>64 is 0 in Go, same as the interpreter's x>>lo
+		}
+		c.emit(op{code: opRange, b: int32(sh), val: maskOf(uint(hi-lo) + 1)})
+		return nil
+
+	case *verilog.Concat:
+		// Seed with 0 so the first part is masked into it exactly as
+		// the interpreter's out<<pw | pv&mask(pw) fold does.
+		c.emit(op{code: opConst})
+		c.push()
+		for _, part := range v.Parts {
+			if err := c.expr(part); err != nil {
+				return err
+			}
+			w, err := rtl.WidthOf(part, c.scope)
+			if err != nil {
+				return err
+			}
+			c.emit(op{code: opConcat, b: int32(w), val: maskOf(w)})
+			c.pop(1)
+		}
+		return nil
+
+	case *verilog.Repeat:
+		n, err := rtl.ConstEval(v.Count, c.scope)
+		if err != nil {
+			return err
+		}
+		if err := c.expr(v.X); err != nil {
+			return err
+		}
+		w, err := rtl.WidthOf(v.X, c.scope)
+		if err != nil {
+			return err
+		}
+		// Beyond 64 iterations every earlier term has shifted out of
+		// the 64-bit result (w >= 1), so cap the unrolled count.
+		if n > 64 {
+			n = 64
+		}
+		c.emit(op{code: opRepeat, a: int32(n), b: int32(w), val: maskOf(w)})
+		return nil
+	}
+	return fmt.Errorf("cannot compile expression %T", x)
+}
+
+// store pops the value on top of the stack into the lvalue, mirroring
+// assignTo: full-signal writes mask to signal width, bit writes drop
+// out-of-range indexes, memory writes defer masking to commit time
+// (sequential) or mask immediately (comb), part selects merge under a
+// shifted mask, concats split MSB-first.
+func (c *comp) store(lhs verilog.Expr) error {
+	switch v := lhs.(type) {
+	case *verilog.Ident:
+		sig, ok := c.scope.Signal(v.Name)
+		if !ok {
+			return fmt.Errorf("unknown lvalue %q", v.Name)
+		}
+		code := opStore
+		if c.seq {
+			code = opNBStore
+		}
+		c.emit(op{code: code, a: int32(sig.ID), val: maskOf(sig.Width)})
+		c.pop(1)
+		c.writes[sig.ID] = struct{}{}
+		return nil
+
+	case *verilog.Index:
+		base, ok := v.X.(*verilog.Ident)
+		if !ok {
+			return fmt.Errorf("unsupported indexed lvalue")
+		}
+		if m, isMem := c.scope.Memory(base.Name); isMem {
+			if err := c.expr(v.Idx); err != nil {
+				return err
+			}
+			code := opStoreMem
+			if c.seq {
+				code = opNBStoreMem
+			}
+			c.emit(op{code: code, a: int32(m.ID), b: int32(m.Depth), val: maskOf(m.Width)})
+			c.pop(2)
+			c.memWrites[m.ID] = struct{}{}
+			return nil
+		}
+		sig, ok := c.scope.Signal(base.Name)
+		if !ok {
+			return fmt.Errorf("unknown lvalue %q", base.Name)
+		}
+		if err := c.expr(v.Idx); err != nil {
+			return err
+		}
+		code := opStoreBit
+		if c.seq {
+			code = opNBStoreBit
+		}
+		c.emit(op{code: code, a: int32(sig.ID), b: int32(sig.Width)})
+		c.pop(2)
+		c.writes[sig.ID] = struct{}{}
+		c.reads[sig.ID] = struct{}{} // read-modify-write
+		return nil
+
+	case *verilog.RangeSel:
+		base, ok := v.X.(*verilog.Ident)
+		if !ok {
+			return fmt.Errorf("unsupported part-select lvalue")
+		}
+		sig, ok := c.scope.Signal(base.Name)
+		if !ok {
+			return fmt.Errorf("unknown lvalue %q", base.Name)
+		}
+		hi, err := rtl.ConstEval(v.MSB, c.scope)
+		if err != nil {
+			return err
+		}
+		lo, err := rtl.ConstEval(v.LSB, c.scope)
+		if err != nil {
+			return err
+		}
+		if hi < lo || hi >= uint64(sig.Width) {
+			return fmt.Errorf("part-select [%d:%d] out of range of %s", hi, lo, sig.Name)
+		}
+		w := uint(hi-lo) + 1
+		code := opStoreRange
+		if c.seq {
+			code = opNBStoreRange
+		}
+		c.emit(op{code: code, a: int32(sig.ID), b: int32(lo), val: maskOf(w) << lo})
+		c.pop(1)
+		c.writes[sig.ID] = struct{}{}
+		c.reads[sig.ID] = struct{}{} // read-modify-write
+		return nil
+
+	case *verilog.Concat:
+		// MSB-first split of the RHS value sitting on the stack.
+		widths := make([]uint, len(v.Parts))
+		var total uint
+		for i, part := range v.Parts {
+			w, err := rtl.WidthOf(part, c.scope)
+			if err != nil {
+				return err
+			}
+			widths[i] = w
+			total += w
+		}
+		shift := total
+		for i, part := range v.Parts {
+			shift -= widths[i]
+			if i < len(v.Parts)-1 {
+				c.emit(op{code: opDup})
+				c.push()
+			}
+			sh := shift
+			if sh > 64 {
+				sh = 64
+			}
+			c.emit(op{code: opRange, b: int32(sh), val: maskOf(widths[i])})
+			if err := c.store(part); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return fmt.Errorf("unsupported lvalue %T", lhs)
+}

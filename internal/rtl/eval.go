@@ -228,6 +228,15 @@ func WidthOf(x verilog.Expr, scope *Scope) (uint, error) {
 	return 0, fmt.Errorf("rtl: cannot size expression %T", x)
 }
 
+// ConstEval evaluates an expression using only literals and
+// parameters — the same folding EvalExpr applies to part-select
+// bounds and repeat counts. The bytecode compiler (internal/rtl/bc)
+// uses it to resolve those bounds at compile time, so the two engines
+// agree bit-for-bit on every constant.
+func ConstEval(x verilog.Expr, scope *Scope) (uint64, error) {
+	return constOnly(x, scope)
+}
+
 // constOnly evaluates an expression using only literals and params.
 func constOnly(x verilog.Expr, scope *Scope) (uint64, error) {
 	switch v := x.(type) {

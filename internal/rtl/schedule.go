@@ -211,7 +211,11 @@ func (e *elaborator) schedule() error {
 	indeg := make([]int, n)
 	for i, c := range e.d.Combs {
 		seen := make(map[int]bool)
-		for id := range c.reads {
+		// Iterate reads in sorted ID order, not map order: edge
+		// insertion order decides Kahn tie-breaks, and elaborating
+		// the same source must yield the same comb evaluation order
+		// in every process (the repo gates on fingerprint identity).
+		for _, id := range c.Reads() {
 			sig := e.d.Signals[id]
 			if sig.IsReg || sig.IsInput {
 				continue
@@ -244,13 +248,14 @@ func (e *elaborator) schedule() error {
 		}
 	}
 	if len(order) != n {
-		// Report one signal on the cycle for diagnosis.
+		// Report one signal on the cycle for diagnosis
+		// (deterministically: the lowest-ID write of the first stuck
+		// node).
 		for i := 0; i < n; i++ {
 			if indeg[i] > 0 {
 				var name string
-				for id := range e.d.Combs[i].writes {
-					name = e.d.Signals[id].Name
-					break
+				if ids := e.d.Combs[i].Writes(); len(ids) > 0 {
+					name = e.d.Signals[ids[0]].Name
 				}
 				return fmt.Errorf("rtl: combinational loop involving %s", name)
 			}

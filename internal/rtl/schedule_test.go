@@ -1,0 +1,56 @@
+package rtl
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestScheduleDeterministic pins that elaborating the same source
+// repeatedly yields an identical comb evaluation order. The schedule
+// has many valid topological orders; Kahn tie-breaks are decided by
+// edge insertion order, which used to follow map iteration — every
+// process could evaluate comb logic in a different (valid) order,
+// undermining the repo's fingerprint-identity gates. The workload is
+// a diamond fan-out wide enough that ties are plentiful.
+func TestScheduleDeterministic(t *testing.T) {
+	src := `
+module dia (
+  input wire clk,
+  input wire [7:0] a
+);
+  wire [7:0] s = a ^ 8'h5a;
+`
+	// 12 independent mid-level wires (all tie candidates), then a
+	// reduction layer reading several of them.
+	for i := 0; i < 12; i++ {
+		src += fmt.Sprintf("  wire [7:0] m%d = s + %d;\n", i, i)
+	}
+	src += "  wire [7:0] z0 = m0 ^ m5 ^ m11;\n"
+	src += "  wire [7:0] z1 = m3 + m7 + m9;\n"
+	src += "  wire [7:0] z2 = z0 & z1 & m1;\n"
+	src += "endmodule\n"
+
+	orderOf := func() []string {
+		d := elab(t, src, "dia", nil)
+		names := make([]string, 0, len(d.Combs))
+		for _, c := range d.Combs {
+			if w := c.Writes(); len(w) > 0 {
+				names = append(names, d.Signals[w[0]].Name)
+			}
+		}
+		return names
+	}
+
+	want := orderOf()
+	for i := 0; i < 20; i++ {
+		got := orderOf()
+		if len(got) != len(want) {
+			t.Fatalf("run %d: %d comb nodes, want %d", i, len(got), len(want))
+		}
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("run %d: comb order diverged at %d: %v vs %v", i, j, got, want)
+			}
+		}
+	}
+}

@@ -13,16 +13,69 @@ package sim
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"hardsnap/internal/rtl"
+	"hardsnap/internal/rtl/bc"
 	"hardsnap/internal/verilog"
 )
+
+// EngineKind selects how a Simulator evaluates the netlist.
+type EngineKind int
+
+const (
+	// EngineAuto compiles the design to bytecode and silently falls
+	// back to the interpreter if compilation is rejected. This is the
+	// default: compiled designs run the bc engine with event-driven
+	// activation, everything else behaves exactly as before.
+	EngineAuto EngineKind = iota
+	// EngineCompiled requires bytecode; construction fails if the
+	// design cannot be compiled.
+	EngineCompiled
+	// EngineCompiledFull is bytecode with activation disabled (every
+	// node runs every cycle) — the ablation baseline E16 measures.
+	EngineCompiledFull
+	// EngineInterp forces the AST interpreter.
+	EngineInterp
+)
+
+// String names the engine for reports and flags.
+func (k EngineKind) String() string {
+	switch k {
+	case EngineAuto:
+		return "auto"
+	case EngineCompiled:
+		return "compiled"
+	case EngineCompiledFull:
+		return "compiled-full"
+	case EngineInterp:
+		return "interp"
+	}
+	return "?"
+}
+
+// defaultEngine is the process-wide engine used by New; hsbench's
+// -interp flag flips it for A/B runs.
+var defaultEngine atomic.Int32
+
+// SetDefaultEngine changes the engine New uses.
+func SetDefaultEngine(k EngineKind) { defaultEngine.Store(int32(k)) }
+
+// DefaultEngine returns the engine New uses.
+func DefaultEngine() EngineKind { return EngineKind(defaultEngine.Load()) }
 
 // Simulator drives one elaborated design instance.
 type Simulator struct {
 	design *rtl.Design
 	state  *rtl.State
 	cycles uint64
+
+	// eng is the compiled bytecode engine, nil when interpreting. It
+	// shares s.state, so Peek/Poke/Snapshot/EvalAssertion observe the
+	// same values either way; external state changes must be reported
+	// to it so event-driven activation re-runs affected nodes.
+	eng  *bc.Engine
+	kind EngineKind
 
 	// OnCycle, when set, is invoked after each completed cycle with
 	// the cycle number; used by the tracer.
@@ -45,18 +98,54 @@ type Simulator struct {
 
 // New creates a simulator with zero-initialized state (the FPGA-like
 // power-on state of the two-state model), with combinational logic
-// settled.
+// settled, using the process default engine.
 func New(d *rtl.Design) (*Simulator, error) {
+	return NewEngine(d, DefaultEngine())
+}
+
+// NewEngine creates a simulator with an explicit engine choice.
+func NewEngine(d *rtl.Design, kind EngineKind) (*Simulator, error) {
 	s := &Simulator{
 		design:    d,
 		state:     rtl.NewState(d),
+		kind:      EngineInterp,
 		dirtySigs: make(map[int]struct{}),
 		dirtyMems: make(map[int]struct{}),
+	}
+	switch kind {
+	case EngineAuto:
+		if prog, err := bc.Compile(d); err == nil {
+			s.eng = bc.NewEngine(prog, s.state, true)
+			s.kind = EngineCompiled
+		}
+	case EngineCompiled, EngineCompiledFull:
+		prog, err := bc.Compile(d)
+		if err != nil {
+			return nil, fmt.Errorf("sim: %w", err)
+		}
+		s.eng = bc.NewEngine(prog, s.state, kind == EngineCompiled)
+		s.kind = kind
+	case EngineInterp:
+	default:
+		return nil, fmt.Errorf("sim: unknown engine kind %d", kind)
 	}
 	if err := s.EvalComb(); err != nil {
 		return nil, err
 	}
 	return s, nil
+}
+
+// Engine reports which engine this simulator actually runs
+// (EngineAuto resolves to EngineCompiled or EngineInterp).
+func (s *Simulator) Engine() EngineKind { return s.kind }
+
+// EngineStats returns the compiled engine's work counters; ok is
+// false when interpreting.
+func (s *Simulator) EngineStats() (bc.Stats, bool) {
+	if s.eng == nil {
+		return bc.Stats{}, false
+	}
+	return s.eng.Stats(), true
 }
 
 // Gen returns the mutation generation: a counter that advances only
@@ -113,16 +202,24 @@ func (s *Simulator) Design() *rtl.Design { return s.design }
 // Cycles returns the number of clock cycles executed.
 func (s *Simulator) Cycles() uint64 { return s.cycles }
 
-// SetInput drives a top-level input.
+// SetInput drives a top-level input. The value is truncated to the
+// input's width — the same truncation rtl.Write.Apply performs — so
+// over-wide drives cannot leave junk above the width in State.Vals
+// (which Snapshot captures, making semantically identical states hash
+// differently).
 func (s *Simulator) SetInput(name string, v uint64) error {
 	sig, ok := s.design.SignalByName(name)
 	if !ok || !sig.IsInput {
 		return fmt.Errorf("sim: no input named %q", name)
 	}
+	v &= widthMask(sig.Width)
 	if s.state.Vals[sig.ID] != v {
 		s.markSig(sig.ID)
+		s.state.Vals[sig.ID] = v
+		if s.eng != nil {
+			s.eng.MarkSignal(sig.ID)
+		}
 	}
-	s.state.Vals[sig.ID] = v
 	return nil
 }
 
@@ -137,16 +234,22 @@ func (s *Simulator) Peek(name string) (uint64, error) {
 
 // Poke writes any signal by hierarchical name (full controllability).
 // Poking a non-register is transient: the next comb settle overwrites
-// it.
+// it. The value is truncated to the signal's width (see SetInput).
 func (s *Simulator) Poke(name string, v uint64) error {
 	sig, ok := s.design.SignalByName(name)
 	if !ok {
 		return fmt.Errorf("sim: no signal named %q", name)
 	}
-	if (sig.IsReg || sig.IsInput) && s.state.Vals[sig.ID] != v {
-		s.markSig(sig.ID)
+	v &= widthMask(sig.Width)
+	if s.state.Vals[sig.ID] != v {
+		if sig.IsReg || sig.IsInput {
+			s.markSig(sig.ID)
+		}
+		s.state.Vals[sig.ID] = v
+		if s.eng != nil {
+			s.eng.MarkSignal(sig.ID)
+		}
 	}
-	s.state.Vals[sig.ID] = v
 	return nil
 }
 
@@ -171,10 +274,14 @@ func (s *Simulator) PokeMem(name string, idx uint, v uint64) error {
 	if idx >= m.Depth {
 		return fmt.Errorf("sim: index %d out of range of %s", idx, name)
 	}
+	v &= widthMask(m.Width)
 	if s.state.Mems[m.ID][idx] != v {
 		s.markMem(m.ID)
+		s.state.Mems[m.ID][idx] = v
+		if s.eng != nil {
+			s.eng.MarkMemory(m.ID)
+		}
 	}
-	s.state.Mems[m.ID][idx] = v
 	return nil
 }
 
@@ -189,8 +296,13 @@ func (s *Simulator) EvalAssertion(e verilog.Expr, scope *rtl.Scope) (bool, error
 }
 
 // EvalComb settles combinational logic (nodes run in topological
-// order, once).
+// order, once). The compiled engine runs only nodes whose inputs
+// changed since their last run; the interpreter runs all of them.
 func (s *Simulator) EvalComb() error {
+	if s.eng != nil {
+		s.eng.Settle()
+		return nil
+	}
 	for _, c := range s.design.Combs {
 		if err := c.ExecComb(s.state); err != nil {
 			return err
@@ -205,25 +317,16 @@ func (s *Simulator) StepCycle() error {
 		return err
 	}
 	s.writeBuf = s.writeBuf[:0]
-	for _, b := range s.design.Seqs {
-		if err := b.ExecSeq(s.state, &s.writeBuf); err != nil {
-			return err
-		}
-	}
-	for i := range s.writeBuf {
-		w := &s.writeBuf[i]
-		if w.Mem != nil {
-			if w.Idx < uint64(w.Mem.Depth) && s.state.Mems[w.Mem.ID][w.Idx] != w.Val&widthMask(w.Mem.Width) {
-				s.markMem(w.Mem.ID)
-			}
-		} else {
-			old := s.state.Vals[w.Sig.ID]
-			if (old&^w.Mask)|(w.Val&w.Mask) != old {
-				s.markSig(w.Sig.ID)
+	if s.eng != nil {
+		s.eng.RunSeq(&s.writeBuf)
+	} else {
+		for _, b := range s.design.Seqs {
+			if err := b.ExecSeq(s.state, &s.writeBuf); err != nil {
+				return err
 			}
 		}
-		w.Apply(s.state)
 	}
+	s.commitWrites()
 	if err := s.EvalComb(); err != nil {
 		return err
 	}
@@ -232,6 +335,33 @@ func (s *Simulator) StepCycle() error {
 		s.OnCycle(s.cycles)
 	}
 	return nil
+}
+
+// commitWrites applies buffered nonblocking writes with change
+// detection: a write that alters a register or memory element bumps
+// the mutation generation, dirties the element for delta restores,
+// and (under the compiled engine) wakes every node sensitive to it.
+func (s *Simulator) commitWrites() {
+	for i := range s.writeBuf {
+		w := &s.writeBuf[i]
+		if w.Mem != nil {
+			if w.Idx < uint64(w.Mem.Depth) && s.state.Mems[w.Mem.ID][w.Idx] != w.Val&widthMask(w.Mem.Width) {
+				s.markMem(w.Mem.ID)
+				if s.eng != nil {
+					s.eng.MarkMemory(w.Mem.ID)
+				}
+			}
+		} else {
+			old := s.state.Vals[w.Sig.ID]
+			if (old&^w.Mask)|(w.Val&w.Mask) != old {
+				s.markSig(w.Sig.ID)
+				if s.eng != nil {
+					s.eng.MarkSignal(w.Sig.ID)
+				}
+			}
+		}
+		w.Apply(s.state)
+	}
 }
 
 // Run executes n cycles.
@@ -284,9 +414,12 @@ func (s *Simulator) Snapshot() *HWState {
 func (s *Simulator) Restore(hw *HWState) error {
 	for _, sig := range s.design.Signals {
 		if sig.IsReg {
-			if v := hw.Regs[sig.Name]; s.state.Vals[sig.ID] != v {
+			if v := hw.Regs[sig.Name] & widthMask(sig.Width); s.state.Vals[sig.ID] != v {
 				s.markSig(sig.ID)
 				s.state.Vals[sig.ID] = v
+				if s.eng != nil {
+					s.eng.MarkSignal(sig.ID)
+				}
 			}
 		}
 	}
@@ -301,11 +434,14 @@ func (s *Simulator) Restore(hw *HWState) error {
 		for i := range dst {
 			v := uint64(0)
 			if i < len(src) {
-				v = src[i]
+				v = src[i] & widthMask(m.Width)
 			}
 			if dst[i] != v {
 				s.markMem(m.ID)
 				dst[i] = v
+				if s.eng != nil {
+					s.eng.MarkMemory(m.ID)
+				}
 			}
 		}
 	}
@@ -316,9 +452,13 @@ func (s *Simulator) Restore(hw *HWState) error {
 	}
 	for _, in := range s.design.Inputs {
 		if v, ok := hw.Inputs[in.Name]; ok {
+			v &= widthMask(in.Width)
 			if s.state.Vals[in.ID] != v {
 				s.markSig(in.ID)
 				s.state.Vals[in.ID] = v
+				if s.eng != nil {
+					s.eng.MarkSignal(in.ID)
+				}
 			}
 		}
 	}
@@ -341,12 +481,17 @@ func (s *Simulator) RestoreDirty(hw *HWState) (uint, error) {
 		case sig.IsReg:
 			// Same missing-entry semantics as Restore: absent
 			// registers reset to 0.
-			s.state.Vals[id] = hw.Regs[sig.Name]
+			s.state.Vals[id] = hw.Regs[sig.Name] & widthMask(sig.Width)
 		case sig.IsInput:
 			// Absent inputs keep their current value, as in Restore.
 			if v, ok := hw.Inputs[sig.Name]; ok {
-				s.state.Vals[id] = v
+				s.state.Vals[id] = v & widthMask(sig.Width)
 			}
+		}
+		// Written blind (no old-value compare), so conservatively
+		// wake everything sensitive to the signal.
+		if s.eng != nil {
+			s.eng.MarkSignal(id)
 		}
 		bits += sig.Width
 	}
@@ -356,10 +501,13 @@ func (s *Simulator) RestoreDirty(hw *HWState) (uint, error) {
 		dst := s.state.Mems[id]
 		for i := range dst {
 			if i < len(src) {
-				dst[i] = src[i]
+				dst[i] = src[i] & widthMask(m.Width)
 			} else {
 				dst[i] = 0
 			}
+		}
+		if s.eng != nil {
+			s.eng.MarkMemory(id)
 		}
 		bits += m.Depth * m.Width
 	}

@@ -55,6 +55,9 @@ type PeriphConfig struct {
 	Top string
 	// Params overrides module parameters.
 	Params map[string]uint64
+	// Interp forces the interpreter RTL engine instead of the
+	// compiled-bytecode default (debugging / differential runs).
+	Interp bool
 }
 
 // Stats are cumulative target-side counters.
@@ -272,7 +275,11 @@ func buildPeriph(cfg PeriphConfig, instrument bool) (*periphInst, error) {
 	if err != nil {
 		return nil, err
 	}
-	s, err := sim.New(d)
+	engine := sim.EngineAuto
+	if cfg.Interp {
+		engine = sim.EngineInterp
+	}
+	s, err := sim.NewEngine(d, engine)
 	if err != nil {
 		return nil, err
 	}
