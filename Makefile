@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race chaos bench-smoke bench-json bench-scale bench-remote bench-solver bench-sim
+.PHONY: check fmt vet build test race chaos bench-smoke bench-json bench-scale bench-remote bench-solver bench-sim bench-dist
 
 # Full gate: formatting, static checks, build, tests, race detector on
 # the concurrency-sensitive packages, chaos/recovery identity matrix.
@@ -26,7 +26,7 @@ test:
 # window, async flushes and server session live on different
 # goroutines in every test that uses v3Pipe/TCP).
 race:
-	$(GO) test -race ./internal/remote ./internal/target ./internal/core ./internal/snapshot ./internal/solver ./internal/expr ./internal/symexec ./internal/campaign ./internal/farm
+	$(GO) test -race ./internal/remote ./internal/target ./internal/core ./internal/snapshot ./internal/solver ./internal/expr ./internal/symexec ./internal/campaign ./internal/farm ./internal/dist
 
 # chaos runs the crash-safety identity matrix under the race detector:
 # deterministic failure injection (panic/kill/hang/sever), journal
@@ -71,6 +71,15 @@ bench-remote:
 # engine semantics or performance regression.
 bench-sim:
 	$(GO) run ./cmd/hsbench e16
+
+# bench-dist runs the distributed-exploration study (E17) over
+# loopback TCP with 500µs one-way injected latency per side. The
+# experiment gates itself: every leg's fingerprint byte-identical to
+# the standalone runner, >=2x paths/sec with 3 warm nodes vs 1, and
+# >=5x fewer snapshot bytes on the wire with the shared digest fabric
+# than with independent per-node caches.
+bench-dist:
+	$(GO) run ./cmd/hsbench e17
 
 # bench-solver A/B-tests the solver optimization stack (E13): the
 # experiment itself gates on identical paths/bugs/virtual times with

@@ -31,6 +31,7 @@ import (
 	"hardsnap/internal/buildinfo"
 	"hardsnap/internal/campaign"
 	"hardsnap/internal/core"
+	"hardsnap/internal/dist"
 	"hardsnap/internal/farm"
 	"hardsnap/internal/target"
 )
@@ -46,6 +47,7 @@ type runOpts struct {
 	Policy    string
 	MaxInstr  uint64
 	Workers   int
+	Fanout    int
 	SolverOpt string
 	Verbose   bool
 	ReportDir string
@@ -57,6 +59,9 @@ type runOpts struct {
 	// instead of running locally; Tenant names the submitter.
 	Farm   string
 	Tenant string
+	// Nodes fans the campaign's subtrees out to these dist workers
+	// (comma-separated host:port list).
+	Nodes string
 	// Args is the positional firmware path.
 	Args []string
 }
@@ -74,6 +79,7 @@ func main() {
 	flag.StringVar(&opts.Policy, "concretize", "one", "boundary concretization policy: one | all")
 	flag.Uint64Var(&opts.MaxInstr, "max-instructions", 2_000_000, "total instruction budget")
 	flag.IntVar(&opts.Workers, "workers", 1, "parallel exploration workers (0 = one per CPU)")
+	flag.IntVar(&opts.Fanout, "seed-fanout", 0, "seed-phase fan-out width (0 = workers x 4); deeper queues help -nodes runs hide link latency")
 	flag.StringVar(&opts.SolverOpt, "solver-opt", "on", "solver query-optimization stack (rewrite/slice/reuse/incremental): on | off")
 	flag.BoolVar(&opts.Verbose, "v", false, "print per-path detail")
 	flag.StringVar(&opts.ReportDir, "report", "", "write per-bug crash reports (test vector, model, hardware snapshot) to this directory")
@@ -81,6 +87,7 @@ func main() {
 	flag.StringVar(&opts.Resume, "resume", "", "resume the journaled campaign at this file (workers default to the journaled count)")
 	flag.StringVar(&opts.Farm, "farm", "", "submit the campaign to the hsfarm server at this address instead of running locally")
 	flag.StringVar(&opts.Tenant, "tenant", "default", "tenant name for -farm submissions")
+	flag.StringVar(&opts.Nodes, "nodes", "", "distribute subtrees to these dist workers (comma-separated host:port; start each with hsfarm -dist)")
 	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 	if *version {
@@ -161,6 +168,7 @@ func buildJob(opts runOpts) (campaign.Job, error) {
 		DisableSolverOpt: opts.SolverOpt == "off",
 		MaxInstructions:  opts.MaxInstr,
 		Workers:          workers,
+		SeedFanout:       opts.Fanout,
 		KeepBugSnapshots: opts.ReportDir != "",
 	}
 	if err := job.Validate(); err != nil {
@@ -178,7 +186,13 @@ func run(ctx context.Context, opts runOpts) (int, error) {
 		if opts.Journal != "" || opts.Resume != "" || opts.ReportDir != "" {
 			return 0, fmt.Errorf("-journal, -resume and -report are local-run flags; the farm journals jobs itself")
 		}
+		if opts.Nodes != "" {
+			return 0, fmt.Errorf("-farm and -nodes are mutually exclusive (the farm schedules its own capacity)")
+		}
 		return runFarm(ctx, opts, job)
+	}
+	if opts.Nodes != "" {
+		job.Nodes = strings.Split(opts.Nodes, ",")
 	}
 
 	var cam *core.Campaign
@@ -217,12 +231,26 @@ func run(ctx context.Context, opts runOpts) (int, error) {
 			}
 		}
 	}()
-	res, err := campaign.Runner{}.Run(ctx, job, campaign.RunOptions{
-		Journal:   opts.Journal,
-		Resume:    cam,
-		Events:    events,
-		ReportDir: opts.ReportDir,
-	})
+	var res *campaign.Result
+	if len(job.Nodes) > 0 {
+		// Distributed run: the dist driver fans subtrees out to the
+		// remote nodes over the snapshot + solver-cache fabric and
+		// merges to the same deterministic report a local run yields.
+		res, err = dist.Run(ctx, job, dist.Options{
+			Nodes:     job.Nodes,
+			Journal:   opts.Journal,
+			Resume:    cam,
+			Events:    events,
+			ReportDir: opts.ReportDir,
+		})
+	} else {
+		res, err = campaign.Runner{}.Run(ctx, job, campaign.RunOptions{
+			Journal:   opts.Journal,
+			Resume:    cam,
+			Events:    events,
+			ReportDir: opts.ReportDir,
+		})
+	}
 	close(events)
 	<-printed
 	if errors.Is(err, core.ErrInterrupted) {
@@ -259,6 +287,15 @@ func printResult(res *campaign.Result, opts runOpts, journalPath string) int {
 			fmt.Printf("  worker %d: %d subtree(s), %d path(s), %v, %d save(s), %d restore(s), %d B moved\n",
 				w.Worker, w.Subtrees, w.Paths, w.VirtualTime.Round(time.Microsecond),
 				w.HWSaves, w.HWRestores, w.BytesMoved)
+		}
+	}
+	if len(rep.Nodes) > 0 {
+		fmt.Printf("distributed: %d node(s)\n", len(rep.Nodes))
+		for _, n := range rep.Nodes {
+			fmt.Printf("  node %-21s %d subtree(s), %d path(s), %v, %d reconnect(s), solver cache %.0f%% hit, snapshots %d B on wire (%d B full)\n",
+				n.Node, n.Subtrees, n.Paths, n.VirtualTime.Round(time.Microsecond),
+				n.Reconnects, 100*n.SolverCache.HitRate(),
+				n.SnapBytesShipped, n.SnapBytesFull)
 		}
 	}
 	rec := rep.Recovery

@@ -1,5 +1,5 @@
 // Command hsbench regenerates the paper's evaluation tables and
-// figures (experiments E1-E16; see DESIGN.md for the experiment
+// figures (experiments E1-E17; see DESIGN.md for the experiment
 // index).
 //
 // Usage:

@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"hardsnap/internal/buildinfo"
+	"hardsnap/internal/dist"
 	"hardsnap/internal/farm"
 )
 
@@ -67,6 +68,7 @@ func main() {
 	state := flag.String("state", "", "directory for job state and campaign journals (empty = no restart recovery)")
 	slots := flag.Int("jobs", 2, "concurrently running jobs")
 	pool := flag.Int("pool", 2, "pre-warmed targets per rig kind (negative disables pooling)")
+	distMode := flag.Bool("dist", false, "serve the distributed-exploration worker protocol instead of the farm scheduler (pair with hardsnap -nodes)")
 	tenants := tenantFlag{}
 	flag.Var(tenants, "tenant", "declare a tenant NAME[:VIRTUAL-TIME[:SOLVER-QUERIES]] (repeatable; omitted budgets are unlimited)")
 	version := flag.Bool("version", false, "print version and exit")
@@ -81,6 +83,14 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *distMode {
+		if err := runDist(ctx, *listen); err != nil {
+			fmt.Fprintln(os.Stderr, "hsfarm:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if err := run(ctx, farm.Config{
 		StateDir: *state,
@@ -115,5 +125,21 @@ func run(ctx context.Context, cfg farm.Config, listen string) error {
 	fmt.Fprintln(os.Stderr, "hsfarm: shutting down; journaled jobs resume on restart")
 	srv.Close()
 	f.Close()
+	return nil
+}
+
+// runDist serves the distributed-exploration worker protocol: the
+// node re-runs each campaign's deterministic seed phase and executes
+// subtrees by index for a hardsnap -nodes driver.
+func runDist(ctx context.Context, listen string) error {
+	srv := dist.NewServer()
+	addr, err := srv.ListenAndServe(listen)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("hsfarm: serving dist worker protocol on %s\n", addr)
+	<-ctx.Done()
+	fmt.Fprintln(os.Stderr, "hsfarm: dist worker shutting down; in-flight subtrees are requeued by their drivers")
+	srv.Close()
 	return nil
 }

@@ -116,6 +116,7 @@ func All() []Experiment {
 		{"E14", "crash-safe exploration: journal overhead, chaos recovery, kill + resume", E14},
 		{"E15", "exploration as a service: farm identity and warm-pool admission", E15},
 		{"E16", "RTL engine: interpreter vs compiled bytecode vs event-driven activation", E16},
+		{"E17", "distributed exploration: N-node fan-out over the snapshot + solver fabric", E17},
 	}
 }
 

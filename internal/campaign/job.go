@@ -57,6 +57,10 @@ type Job struct {
 	// invalid — resolve "all CPUs" with core.AutoWorkers before
 	// building the job, so the spec stays machine-independent).
 	Workers int `json:"workers,omitempty"`
+	// SeedFanout overrides the seed-phase fan-out width (0 = Workers
+	// x 4; see core.Config.SeedFanout). Part of the job identity: the
+	// decomposition shapes the deterministic merge schedule.
+	SeedFanout int `json:"seed_fanout,omitempty"`
 	// MaxVirtualTime / MaxSolverQueries bound the run (0 =
 	// unlimited). The farm clamps these to the submitting tenant's
 	// remaining budget.
@@ -65,6 +69,11 @@ type Job struct {
 	// KeepBugSnapshots retains per-bug hardware snapshots for crash
 	// reports.
 	KeepBugSnapshots bool `json:"keep_bug_snapshots,omitempty"`
+	// Nodes lists remote dist workers (host:port) for distributed
+	// exploration. The dist driver clears it before shipping the job
+	// to a node (a node must not recursively fan out), so the job a
+	// node validates is the single-machine spec.
+	Nodes []string `json:"nodes,omitempty"`
 
 	// Chaos injects deterministic failures (tests only; deliberately
 	// not serialized, so a persisted job resumes undisturbed).
@@ -183,9 +192,11 @@ func (j Job) SetupConfig() (core.SetupConfig, error) {
 			Searcher:         searcher,
 			MaxInstructions:  j.MaxInstructions,
 			Workers:          j.Workers,
+			SeedFanout:       j.SeedFanout,
 			MaxVirtualTime:   j.MaxVirtualTime,
 			MaxSolverQueries: j.MaxSolverQueries,
 			KeepBugSnapshots: j.KeepBugSnapshots,
+			Nodes:            j.Nodes,
 			Chaos:            j.Chaos,
 		},
 	}, nil

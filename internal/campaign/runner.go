@@ -83,6 +83,12 @@ type Result struct {
 	// CrashReports is the number of per-bug reports written to
 	// RunOptions.ReportDir.
 	CrashReports int `json:"crash_reports,omitempty"`
+	// ExploreWall is the wall-clock time of the distributed
+	// exploration phase — node connection through last subtree
+	// result, excluding the driver's local setup, seed phase, and
+	// merge (zero for non-distributed runs). The throughput
+	// denominator for node-scaling comparisons.
+	ExploreWall time.Duration `json:"explore_wall,omitempty"`
 
 	// Report is the full in-process report (not serialized).
 	Report *core.Report `json:"-"`

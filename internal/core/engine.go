@@ -98,11 +98,26 @@ type Config struct {
 	// shared store (see parallel.go for the determinism contract).
 	// Use AutoWorkers() for a GOMAXPROCS-sized pool.
 	Workers int
+	// SeedFanout overrides the fan-out width of a parallel run's seed
+	// phase (0 = Workers x 4). More subtrees than workers lets work
+	// stealing balance uneven subtree sizes; a distributed driver may
+	// want a wider fan-out still, so slow links stay saturated. Part
+	// of the run's identity: a different decomposition packs the
+	// deterministic merge schedule differently.
+	SeedFanout int
 	// SolverCacheSize bounds the shared memoized solver cache in
 	// entries (0 = solver.DefaultCacheCapacity). The cache is always
 	// on: verdicts are deterministic, so memoization never changes
 	// results, only skips repeated identical queries.
 	SolverCacheSize int
+	// Nodes lists remote distributed-exploration workers
+	// (host:port). The engine itself ignores it — the CLI routes a
+	// run with Nodes set through the internal/dist driver, which fans
+	// subtrees out over these hosts. Deliberately excluded from the
+	// run fingerprint: an N-node run is byte-identical to a 1-node
+	// run by construction, so where subtrees execute is not part of
+	// the run's identity.
+	Nodes []string
 
 	// MaxVirtualTime bounds the virtual time a run may consume (0 =
 	// unlimited): the run stops at the next scheduling boundary once
@@ -308,6 +323,42 @@ type Report struct {
 	// Recovery summarizes supervision and crash-recovery activity
 	// (all zero for an undisturbed serial run).
 	Recovery RecoveryStats
+	// Nodes is the per-node breakdown of a distributed run (nil
+	// otherwise), filled in by the internal/dist driver after the
+	// deterministic merge. Like WorkerReport rows it is commentary on
+	// where work physically ran; the merged results above are
+	// node-count-invariant.
+	Nodes []NodeReport
+}
+
+// NodeReport is one distributed node's share of a run: what it
+// executed, what the fabrics moved on its behalf, and how its private
+// solver cache behaved. The driver's own fallback execution appears
+// as the node named "local".
+type NodeReport struct {
+	// Node is the worker address (host:port), or "local".
+	Node string
+	// Subtrees / Paths / VirtualTime tally the subtree results this
+	// node produced (virtual time is the sum over its subtrees, not
+	// the schedule makespan).
+	Subtrees    int
+	Paths       int
+	VirtualTime time.Duration
+	// Reconnects counts driver redials to this node that recovered a
+	// dropped connection (a node that stays dead is requeued work,
+	// counted in Recovery, not here).
+	Reconnects int
+	// SolverCache is the node-side cache at campaign end: Imported
+	// entries arrived over the solver fabric, Published entries were
+	// discovered locally and offered to it.
+	SolverCache solver.CacheStats
+	// SnapBytesShipped is the snapshot state bytes this node actually
+	// sent the driver (subtree-result bug snapshots; delta frames in
+	// shared-fabric mode). SnapBytesFull is what a fabric-less
+	// transfer of the same records would have cost — the difference
+	// is the digest-peering savings the E17 gate measures.
+	SnapBytesShipped uint64
+	SnapBytesFull    uint64
 }
 
 // Bugs returns the states that ended in an assertion failure or

@@ -1,0 +1,642 @@
+// Frontier decomposition: the exported seam between the parallel
+// engine and external subtree drivers — most importantly the
+// distributed driver in internal/dist, which fans the same fan-out
+// seeds this file produces out to remote nodes instead of local
+// goroutines.
+//
+// The seam exists because of one load-bearing property, established in
+// PR 3 and exploited by PR 6's resume: the serial seed phase is a
+// deterministic, cheap-to-re-run function of the job, and every
+// subtree result is a pure function of its seed index. A remote node
+// therefore never needs a serialized symbolic state (constraint-term
+// DAGs are deliberately not wire-portable): it re-runs the seed phase
+// itself, proves via FrontierID that it landed on byte-identical
+// seeds — including the sha256 digests of the seed hardware
+// snapshots, so the subtree handoff ships a digest, not state bytes —
+// and then accepts bare subtree indexes as work items.
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"hardsnap/internal/journal"
+	"hardsnap/internal/snapshot"
+	"hardsnap/internal/solver"
+	"hardsnap/internal/symexec"
+	"hardsnap/internal/target"
+)
+
+// Frontier is the outcome of the deterministic seed phase: the
+// fan-out seeds plus the per-subtree budget remainders, ready to run
+// subtrees on demand. The zero value is not usable; build one with
+// Engine.Frontier. A Frontier is safe for concurrent RunSubtree calls
+// (each acquires a private rig from an internal pool).
+type Frontier struct {
+	e            *Engine
+	seeds        []*symexec.State
+	seedMaxID    uint64
+	budget       uint64
+	vtBudget     time.Duration
+	solverBudget uint64
+	liveHW       target.State
+	liveEdges    []bool
+	start        time.Duration
+	seedVT       time.Duration
+	hdr          campaignHeader
+	done         *Report
+
+	// spawnMu serializes rig building: worker spawns go through the
+	// primary target, which (remote clients especially) is not safe
+	// for concurrent use.
+	spawnMu sync.Mutex
+
+	mu     sync.Mutex
+	free   []*workerRig
+	rigSeq int
+	closed bool
+}
+
+// Frontier runs the serial seed phase (phase 1 of a parallel run) and
+// returns the resulting frontier decomposition. When the tree drains
+// or a budget dies before the fan-out width is reached, the serial
+// result IS the run's result: Done returns it and there are no seeds.
+//
+// The engine must be freshly set up (no prior Run); Config.Workers
+// sets the fan-out width and the virtual-time merge schedule, exactly
+// as in a local parallel run — a distributed driver keeps Workers at
+// the job's value so an N-node run merges to the same report as a
+// 1-node run.
+func (e *Engine) Frontier(ctx context.Context) (*Frontier, error) {
+	e.ctx = ctx
+	if err := ctx.Err(); err != nil {
+		return nil, ErrInterrupted
+	}
+	start := e.clock.Now()
+	e.vtStart = start
+	e.initActive()
+
+	fanout := seedFanout(e.cfg.SeedFanout, e.cfg.Workers, e.cfg.MaxStates)
+	if err := e.loop(func() bool { return len(e.active) >= fanout }); err != nil {
+		return nil, err
+	}
+	f := &Frontier{e: e, start: start}
+	if len(e.active) == 0 || e.stats.Instructions >= e.cfg.MaxInstructions || e.budgetExhausted() {
+		f.done = e.finalize(start)
+		return f, nil
+	}
+
+	// Make every seed self-contained. The live hardware still belongs
+	// to the last-scheduled state; in snapshotting modes its slot must
+	// be synced before anyone else restores over the hardware.
+	if e.tgt != nil && e.previous != nil &&
+		(e.cfg.Mode == ModeHardSnap || e.cfg.Mode == ModeNaiveReboot) {
+		if err := e.saveCurrent(e.previous); err != nil {
+			return nil, fmt.Errorf("core: fan-out sync: %w", err)
+		}
+	}
+	// Naive-shared has no per-state snapshots: capture the live state
+	// once (an honest one-time transfer charge) and seed every worker
+	// clone with it.
+	if e.tgt != nil && e.cfg.Mode == ModeNaiveShared {
+		var err error
+		f.liveHW, err = e.tgt.Save()
+		if err != nil {
+			return nil, fmt.Errorf("core: fan-out save: %w", err)
+		}
+		f.liveEdges = e.router.IRQEdgeState()
+	}
+
+	f.seeds = e.active
+	e.active = nil
+	e.previous = nil
+	f.budget = e.cfg.MaxInstructions - e.stats.Instructions
+	f.seedMaxID = e.exec.NextID()
+	f.seedVT = e.clock.Now() - start
+	// Like the instruction budget, each subtree independently gets
+	// what is left of the virtual-time and solver-query budgets after
+	// the seed phase (budgetExhausted above guarantees both are
+	// positive when capped).
+	if e.cfg.MaxVirtualTime > 0 {
+		f.vtBudget = e.cfg.MaxVirtualTime - f.seedVT
+	}
+	if e.cfg.MaxSolverQueries > 0 {
+		f.solverBudget = e.cfg.MaxSolverQueries - uint64(e.exec.Solver.Stats.Queries)
+	}
+	f.hdr = campaignHeader{
+		Fingerprint:      e.cfg.runFingerprint(),
+		Workers:          e.cfg.Workers,
+		Seeds:            len(f.seeds),
+		SeedsHash:        seedsHash(f.seeds),
+		SeedMaxID:        f.seedMaxID,
+		SeedFinished:     len(e.finished),
+		SeedInstructions: e.stats.Instructions,
+	}
+	return f, nil
+}
+
+// Done returns the completed report when the run finished inside the
+// seed phase (nil otherwise: the frontier has seeds to run).
+func (f *Frontier) Done() *Report { return f.done }
+
+// NumSeeds is the fan-out width (0 when Done is non-nil).
+func (f *Frontier) NumSeeds() int { return len(f.seeds) }
+
+// SeedVirtualTime is the virtual time the serial seed phase consumed.
+func (f *Frontier) SeedVirtualTime() time.Duration { return f.seedVT }
+
+// SolverCache exposes the run's shared memoized solver cache — the
+// unit the distributed solver fabric replicates across nodes (see
+// solver.Cache.DeltaSince / Import).
+func (f *Frontier) SolverCache() *solver.Cache { return f.e.exec.Solver.Cache }
+
+// Store exposes the run's content-addressed snapshot store. The
+// distributed snapshot fabric resolves delta-frame chunk digests
+// against it and adopts fetched bug records into it.
+func (f *Frontier) Store() *snapshot.Store { return f.e.snaps }
+
+// FrontierID identifies a frontier across processes: the run
+// configuration fingerprint plus the full outcome of the
+// deterministic seed phase, including the content digests of every
+// seed's hardware snapshot. Two engines (say, a distributed driver
+// and a remote node) that compute equal FrontierIDs from the same job
+// hold byte-identical frontiers — seed states AND seed hardware — so
+// subtree work can be handed off as a bare index with zero state
+// bytes on the wire.
+type FrontierID struct {
+	Fingerprint      string   `json:"fingerprint"`
+	Workers          int      `json:"workers"`
+	Seeds            int      `json:"seeds"`
+	SeedsHash        string   `json:"seedsHash"`
+	SeedMaxID        uint64   `json:"seedMaxID"`
+	SeedFinished     int      `json:"seedFinished"`
+	SeedInstructions uint64   `json:"seedInstructions"`
+	SeedSnapshots    []string `json:"seedSnapshots,omitempty"`
+}
+
+// ID returns the frontier's identity.
+func (f *Frontier) ID() FrontierID {
+	id := FrontierID{
+		Fingerprint:      f.hdr.Fingerprint,
+		Workers:          f.hdr.Workers,
+		Seeds:            f.hdr.Seeds,
+		SeedsHash:        f.hdr.SeedsHash,
+		SeedMaxID:        f.hdr.SeedMaxID,
+		SeedFinished:     f.hdr.SeedFinished,
+		SeedInstructions: f.hdr.SeedInstructions,
+	}
+	if len(f.seeds) > 0 {
+		id.SeedSnapshots = make([]string, len(f.seeds))
+		for i, st := range f.seeds {
+			if sid := snapshot.ID(st.HWSnapshot); sid != 0 {
+				if d, ok := f.e.snaps.DigestOf(sid); ok {
+					id.SeedSnapshots[i] = fmt.Sprintf("%x", d)
+				}
+			}
+		}
+	}
+	return id
+}
+
+// Equal reports whether two frontier identities match exactly.
+func (a FrontierID) Equal(b FrontierID) bool {
+	if a.Fingerprint != b.Fingerprint || a.Workers != b.Workers ||
+		a.Seeds != b.Seeds || a.SeedsHash != b.SeedsHash ||
+		a.SeedMaxID != b.SeedMaxID || a.SeedFinished != b.SeedFinished ||
+		a.SeedInstructions != b.SeedInstructions ||
+		len(a.SeedSnapshots) != len(b.SeedSnapshots) {
+		return false
+	}
+	for i := range a.SeedSnapshots {
+		if a.SeedSnapshots[i] != b.SeedSnapshots[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Close releases the seeds' snapshot references. Call it once no more
+// RunSubtree calls will start; results already produced stay valid.
+func (f *Frontier) Close() {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return
+	}
+	f.closed = true
+	f.mu.Unlock()
+	for _, st := range f.seeds {
+		f.e.snaps.Release(snapshot.ID(st.HWSnapshot))
+	}
+}
+
+// acquireRig pops a pooled rig or builds a fresh one. Rigs are
+// returned by releaseRig only after a successful subtree; a rig whose
+// subtree failed is discarded (its hardware state cannot be trusted).
+func (f *Frontier) acquireRig() (*workerRig, error) {
+	f.mu.Lock()
+	if n := len(f.free); n > 0 {
+		rig := f.free[n-1]
+		f.free = f.free[:n-1]
+		f.mu.Unlock()
+		return rig, nil
+	}
+	f.rigSeq++
+	seq := f.rigSeq
+	f.mu.Unlock()
+
+	name := ""
+	if f.e.tgt != nil {
+		name = fmt.Sprintf("%s-n%d", f.e.tgt.Name(), seq)
+	}
+	f.spawnMu.Lock()
+	rig, err := f.e.buildRig(name, seq)
+	f.spawnMu.Unlock()
+	return rig, err
+}
+
+func (f *Frontier) releaseRig(rig *workerRig) {
+	f.mu.Lock()
+	f.free = append(f.free, rig)
+	f.mu.Unlock()
+}
+
+// RunSubtree explores fan-out seed idx to completion on a pooled rig
+// and returns its portable result. Safe for concurrent use; the
+// result is a pure function of idx (see runSubtreeOn), so retries
+// after failures are byte-identical.
+func (f *Frontier) RunSubtree(ctx context.Context, idx int) (*SubtreeResult, error) {
+	if idx < 0 || idx >= len(f.seeds) {
+		return nil, fmt.Errorf("core: subtree index %d out of range [0,%d)", idx, len(f.seeds))
+	}
+	rig, err := f.acquireRig()
+	if err != nil {
+		return nil, err
+	}
+	res, err := f.runSubtreeOn(ctx, idx, rig, nil)
+	if err != nil {
+		return nil, err
+	}
+	f.releaseRig(rig)
+	return &SubtreeResult{idx: idx, res: res}, nil
+}
+
+// runSubtreeOn explores one fan-out seed to completion on the given
+// rig's private hardware and returns its contribution as deltas.
+// Everything that shapes the outcome is derived from the subtree
+// index — forked searcher stream, state-ID stripe, fault PRNG
+// stream — never from the physical worker, claim order, attempt
+// number or host, so a subtree's result is a pure function of the
+// seed and recovery replays (local or on another node) are
+// byte-identical.
+func (f *Frontier) runSubtreeOn(wctx context.Context, idx int, rig *workerRig, hook func() error) (*subtreeResult, error) {
+	e := f.e
+	// The attempt runs a verbatim clone of the seed bound to its own
+	// snapshot reference: a failed attempt mutates and releases only
+	// its copy, leaving the original pristine for the next attempt (or
+	// for a concurrent attempt by a deposed zombie's replacement).
+	src := f.seeds[idx]
+	seed := src.Clone()
+	if orig := snapshot.ID(src.HWSnapshot); orig != 0 {
+		d, ok := e.snaps.DigestOf(orig)
+		if !ok {
+			return nil, fmt.Errorf("core: subtree %d: seed snapshot %d missing from store", idx, orig)
+		}
+		id, ok := e.snaps.Adopt(d)
+		if !ok {
+			return nil, fmt.Errorf("core: subtree %d: seed snapshot %d no longer live", idx, orig)
+		}
+		seed.HWSnapshot = symexec.SnapshotID(id)
+	}
+	wcfg := e.cfg
+	wcfg.Workers = 1
+	wcfg.MaxInstructions = f.budget
+	wcfg.MaxVirtualTime = f.vtBudget
+	wcfg.MaxSolverQueries = f.solverBudget
+	wcfg.Searcher = symexec.ForkSearcher(e.cfg.Searcher, int64(idx))
+	// The nested engine is a plain serial run: no journaling, no
+	// resume, no chaos of its own (chaos arrives via the step hook).
+	wcfg.JournalPath = ""
+	wcfg.Resume = nil
+	wcfg.Chaos = nil
+	wexec := e.exec.Spawn(f.seedMaxID + uint64(idx+1)*subtreeIDStride)
+
+	if rig.tgt != nil {
+		// Re-arm fault injection with a per-subtree stream so fault
+		// sequences do not depend on which worker claimed the subtree.
+		if sched, ok := e.tgt.FaultSchedule(); ok {
+			rig.tgt.InjectFaults(sched.Derive(idx))
+		}
+	}
+	if rig.snaps != nil {
+		// Subtree boundary: drop the rig's generation/anchor knowledge
+		// so this subtree's first restore is a full one regardless of
+		// what ran on the rig before — its snapshot traffic, and hence
+		// its virtual time, stays a pure function of the subtree.
+		rig.snaps.Forget()
+	}
+
+	weng, err := newEngine(wcfg, wexec, rig.tgt, rig.router, e.snaps, rig.snaps)
+	if err != nil {
+		return nil, err
+	}
+	if e.cfg.Mode == ModeRecordReplay && e.tgt != nil {
+		weng.seedIOLog(seed.ID, e.ioLogs[seed.ID])
+	}
+	if e.cfg.Mode == ModeNaiveShared && rig.tgt != nil {
+		// Every subtree starts from the fan-out live state, mimicking
+		// "everyone shares the hardware as of the fork".
+		if err := rig.tgt.AdoptState(f.liveHW); err != nil {
+			return nil, err
+		}
+		rig.router.ResetIRQEdges(f.liveEdges)
+	}
+	weng.SetInitialState(seed)
+	weng.stepHook = hook
+
+	var beforeTgt target.Stats
+	var beforeMan SnapManagerStats
+	if rig.tgt != nil {
+		beforeTgt = rig.tgt.Stats()
+		beforeMan = rig.snaps.Stats()
+	}
+	rep, err := weng.RunContext(wctx)
+	if err != nil {
+		return nil, err
+	}
+	res := &subtreeResult{rep: rep, vt: rep.VirtualTime, bugSnaps: weng.bugSnaps}
+	if rig.tgt != nil {
+		res.tgt = subTargetStats(rig.tgt.Stats(), beforeTgt)
+		res.man = subManStats(rig.snaps.Stats(), beforeMan)
+	}
+	return res, nil
+}
+
+// Merge combines the seed-phase prefix with the given subtree results
+// in seed order and prices the run with the deterministic greedy
+// virtual-worker schedule (width Config.Workers — NOT the number of
+// hosts that physically ran the subtrees, which is why an N-node
+// distributed run reports byte-identical virtual time to a 1-node
+// run). Missing results are skipped; call it once with every subtree
+// completed for a full report.
+func (f *Frontier) Merge(results []*SubtreeResult) *Report {
+	rs := make([]*subtreeResult, len(f.seeds))
+	for _, r := range results {
+		if r == nil || r.idx < 0 || r.idx >= len(rs) {
+			continue
+		}
+		rs[r.idx] = r.res
+	}
+	return f.e.merge(f.start, f.seedVT, f.e.cfg.Workers, rs)
+}
+
+// SubtreeResult is one completed subtree's portable contribution to
+// the merge: finished paths (report-relevant projection only), timing
+// and traffic deltas, and — under Config.KeepBugSnapshots — the
+// retained hardware snapshots of buggy states. It round-trips through
+// Encode/DecodeSubtreeResult (the same gob record the campaign
+// journal uses), which is how it crosses the distributed wire.
+type SubtreeResult struct {
+	idx int
+	res *subtreeResult
+}
+
+// Index is the subtree's seed index.
+func (r *SubtreeResult) Index() int { return r.idx }
+
+// VirtualTime is the subtree's virtual-time contribution.
+func (r *SubtreeResult) VirtualTime() time.Duration { return r.res.vt }
+
+// PathCount is the number of finished paths the subtree produced.
+func (r *SubtreeResult) PathCount() int { return len(r.res.rep.Finished) }
+
+// Encode serializes the result (gob, the campaign-journal record
+// format). Bug snapshots, when present, are encoded inline.
+func (r *SubtreeResult) Encode() ([]byte, error) {
+	rec, err := newSubtreeRec(r.idx, r.res)
+	if err != nil {
+		return nil, err
+	}
+	return gobEncode(rec)
+}
+
+// DecodeSubtreeResult parses an Encode'd subtree result.
+func DecodeSubtreeResult(data []byte) (*SubtreeResult, error) {
+	var rec subtreeRec
+	if err := gobDecode(data, &rec); err != nil {
+		return nil, fmt.Errorf("core: subtree result: %w", err)
+	}
+	res, err := rec.result()
+	if err != nil {
+		return nil, err
+	}
+	return &SubtreeResult{idx: rec.Idx, res: res}, nil
+}
+
+// TakeBugSnapshots detaches and returns the retained bug snapshots
+// keyed by state ID (nil when none). The distributed fabric uses this
+// on the node side: the snapshots stay in the node's content-addressed
+// cache, the wire carries their digests, and the driver re-attaches
+// fetched records with PutBugSnapshot.
+func (r *SubtreeResult) TakeBugSnapshots() map[uint64]*snapshot.Record {
+	m := r.res.bugSnaps
+	r.res.bugSnaps = nil
+	return m
+}
+
+// PutBugSnapshot re-attaches a bug snapshot (fetched from the fabric)
+// to the result before merging.
+func (r *SubtreeResult) PutBugSnapshot(stateID uint64, rec *snapshot.Record) {
+	if r.res.bugSnaps == nil {
+		r.res.bugSnaps = make(map[uint64]*snapshot.Record)
+	}
+	r.res.bugSnaps[stateID] = rec
+}
+
+// CampaignLog is PR 6's crash-safe campaign journal exposed to
+// external frontier drivers: the distributed driver appends every
+// completed subtree so a killed driver process resumes instead of
+// restarting. Same record kinds, group-commit and compaction policy
+// as the in-process supervisor's journal — LoadCampaign reads both.
+type CampaignLog struct {
+	f *Frontier
+
+	mu           sync.Mutex
+	jw           *journal.Writer
+	completed    []bool
+	sinceSync    int
+	sinceCompact int
+}
+
+// NewCampaignLog creates a campaign journal at path and writes the
+// frontier's header. With an empty path it returns a no-op log (every
+// method is safe to call), so callers need no journaling branches.
+func (f *Frontier) NewCampaignLog(path string) (*CampaignLog, error) {
+	l := &CampaignLog{f: f, completed: make([]bool, len(f.seeds))}
+	if path == "" {
+		return l, nil
+	}
+	jw, err := journal.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	hdr, err := gobEncode(f.hdr)
+	if err == nil {
+		err = jw.Append(recCampaign, hdr)
+	}
+	if err == nil {
+		err = jw.Append(recFrontier, mustFrontierRec(nil, len(f.seeds)))
+	}
+	if err == nil {
+		err = jw.Sync()
+	}
+	if err != nil {
+		jw.Close()
+		return nil, err
+	}
+	l.jw = jw
+	return l, nil
+}
+
+// ResumeCampaignLog validates a loaded campaign against this frontier
+// (same configuration fingerprint, same deterministic seed phase) and
+// continues appending to its journal. It returns the journaled
+// subtree results, already completed, so the driver only runs what is
+// left.
+func (f *Frontier) ResumeCampaignLog(cam *Campaign) (*CampaignLog, []*SubtreeResult, error) {
+	if err := cam.validate(f.hdr); err != nil {
+		return nil, nil, err
+	}
+	l := &CampaignLog{f: f, completed: make([]bool, len(f.seeds))}
+	var done []*SubtreeResult
+	for idx, res := range cam.Results {
+		if idx < 0 || idx >= len(f.seeds) || l.completed[idx] {
+			continue
+		}
+		l.completed[idx] = true
+		done = append(done, &SubtreeResult{idx: idx, res: res})
+	}
+	jw, _, err := journal.AppendTo(cam.Path)
+	if err != nil {
+		return nil, nil, err
+	}
+	l.jw = jw
+	return l, done, nil
+}
+
+func mustFrontierRec(completed []bool, seeds int) []byte {
+	var pending []int
+	for idx := 0; idx < seeds; idx++ {
+		if completed == nil || !completed[idx] {
+			pending = append(pending, idx)
+		}
+	}
+	payload, err := gobEncode(frontierRec{Pending: pending})
+	if err != nil {
+		// frontierRec is a []int; gob encoding it cannot fail.
+		panic(err)
+	}
+	return payload
+}
+
+// Append journals one completed subtree plus a fresh frontier record,
+// with the supervisor's group-commit and compaction policy.
+func (l *CampaignLog) Append(r *SubtreeResult) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if r.idx >= 0 && r.idx < len(l.completed) {
+		if l.completed[r.idx] {
+			return nil // first-wins: a replayed subtree is identical
+		}
+		l.completed[r.idx] = true
+	}
+	if l.jw == nil {
+		return nil
+	}
+	rec, err := newSubtreeRec(r.idx, r.res)
+	if err != nil {
+		return err
+	}
+	payload, err := gobEncode(rec)
+	if err != nil {
+		return err
+	}
+	if err := l.jw.Append(recSubtree, payload); err != nil {
+		return err
+	}
+	if err := l.jw.Append(recFrontier, mustFrontierRec(l.completed, len(l.completed))); err != nil {
+		return err
+	}
+	remaining := 0
+	for _, c := range l.completed {
+		if !c {
+			remaining++
+		}
+	}
+	if l.sinceSync++; l.sinceSync >= l.f.e.cfg.journalSyncEvery() || remaining == 0 {
+		l.sinceSync = 0
+		if err := l.jw.Sync(); err != nil {
+			return err
+		}
+	}
+	if l.sinceCompact++; l.sinceCompact >= l.f.e.cfg.journalCompactEvery() {
+		l.sinceCompact = 0
+		return l.jw.Compact(func(rs []journal.Record) []journal.Record {
+			kept := rs[:0]
+			for _, rec := range rs {
+				if rec.Kind != recFrontier {
+					kept = append(kept, rec)
+				}
+			}
+			return append(kept, journal.Record{Kind: recFrontier, Payload: mustFrontierRec(l.completed, len(l.completed))})
+		})
+	}
+	return nil
+}
+
+// Finish marks the campaign complete (resuming it becomes an error)
+// and syncs.
+func (l *CampaignLog) Finish() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.jw == nil {
+		return nil
+	}
+	if err := l.jw.Append(recComplete, nil); err != nil {
+		return err
+	}
+	return l.jw.Sync()
+}
+
+// Sync flushes the journal (used before an interrupted driver exits,
+// so the campaign is resumable).
+func (l *CampaignLog) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.jw == nil {
+		return nil
+	}
+	return l.jw.Sync()
+}
+
+// Stats reports journal record/byte counts (zero for a no-op log).
+func (l *CampaignLog) Stats() (records, bytes uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.jw == nil {
+		return 0, 0
+	}
+	st := l.jw.Stats()
+	return st.Records, st.Bytes
+}
+
+// Close closes the journal file.
+func (l *CampaignLog) Close() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.jw != nil {
+		l.jw.Close()
+	}
+}

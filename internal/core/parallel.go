@@ -79,8 +79,11 @@ const subtreeIDStride = uint64(1) << 32
 // workers so work stealing can balance uneven subtree sizes.
 const seedsPerWorker = 4
 
-func seedFanout(workers, maxStates int) int {
+func seedFanout(override, workers, maxStates int) int {
 	f := workers * seedsPerWorker
+	if override > 0 {
+		f = override
+	}
 	if f > maxStates {
 		f = maxStates
 	}
@@ -148,75 +151,32 @@ func addStats(dst *Stats, s Stats) {
 }
 
 // runParallel is the Workers > 1 entry point (dispatched from Run).
+// The seed phase and per-subtree execution live in frontier.go — the
+// same seams the distributed driver (internal/dist) uses — and this
+// function is the local composition: frontier + supervisor + merge.
 func (e *Engine) runParallel(ctx context.Context) (*Report, error) {
-	workers := e.cfg.Workers
-	start := e.clock.Now()
-	e.vtStart = start
-	e.initActive()
-
-	fanout := seedFanout(workers, e.cfg.MaxStates)
-	if err := e.loop(func() bool { return len(e.active) >= fanout }); err != nil {
+	f, err := e.Frontier(ctx)
+	if err != nil {
 		return nil, err
 	}
-	if len(e.active) == 0 || e.stats.Instructions >= e.cfg.MaxInstructions || e.budgetExhausted() {
+	defer f.Close()
+	if f.done != nil {
 		// The tree drained (or the budget died) before the fan-out
 		// width was reached: the serial result is the result.
 		if err := e.journalSerialDrain(); err != nil {
 			return nil, err
 		}
-		return e.finalize(start), nil
+		return f.done, nil
 	}
 
-	// Make every seed self-contained. The live hardware still belongs
-	// to the last-scheduled state; in snapshotting modes its slot must
-	// be synced before anyone else restores over the hardware.
-	if e.tgt != nil && e.previous != nil &&
-		(e.cfg.Mode == ModeHardSnap || e.cfg.Mode == ModeNaiveReboot) {
-		if err := e.saveCurrent(e.previous); err != nil {
-			return nil, fmt.Errorf("core: fan-out sync: %w", err)
-		}
-	}
-	// Naive-shared has no per-state snapshots: capture the live state
-	// once (an honest one-time transfer charge) and seed every worker
-	// clone with it.
-	var liveHW target.State
-	var liveEdges []bool
-	if e.tgt != nil && e.cfg.Mode == ModeNaiveShared {
-		var err error
-		liveHW, err = e.tgt.Save()
-		if err != nil {
-			return nil, fmt.Errorf("core: fan-out save: %w", err)
-		}
-		liveEdges = e.router.IRQEdgeState()
-	}
-
-	seeds := e.active
-	e.active = nil
-	e.previous = nil
-	remaining := e.cfg.MaxInstructions - e.stats.Instructions
-	seedMaxID := e.exec.NextID()
-	seedVT := e.clock.Now() - start
-	// Like the instruction budget, each subtree independently gets
-	// what is left of the virtual-time and solver-query budgets after
-	// the seed phase (budgetExhausted above guarantees both are
-	// positive when capped).
-	var vtBudget time.Duration
-	if e.cfg.MaxVirtualTime > 0 {
-		vtBudget = e.cfg.MaxVirtualTime - seedVT
-	}
-	var solverBudget uint64
-	if e.cfg.MaxSolverQueries > 0 {
-		solverBudget = e.cfg.MaxSolverQueries - uint64(e.exec.Solver.Stats.Queries)
-	}
-
-	sup, err := e.newSupervisor(ctx, seeds, seedMaxID, remaining, vtBudget, solverBudget, liveHW, liveEdges)
+	sup, err := e.newSupervisor(ctx, f)
 	if err != nil {
 		return nil, err
 	}
 	if err := sup.run(); err != nil {
 		return nil, err
 	}
-	rep := e.merge(start, seedVT, workers, sup.results)
+	rep := e.merge(f.start, f.seedVT, e.cfg.Workers, sup.results)
 	rep.Recovery = sup.recovery()
 	return rep, nil
 }
@@ -305,18 +265,11 @@ type workerSlot struct {
 // the campaign journal. All mutable campaign state is guarded by mu;
 // heartbeats are lock-free atomics (they fire every engine step).
 type supervisor struct {
-	e         *Engine
-	ctx       context.Context
-	cancel    context.CancelFunc
-	seeds     []*symexec.State
-	seedMaxID uint64
-	budget    uint64
-	// vtBudget / solverBudget are the per-subtree remainders of
-	// Config.MaxVirtualTime / MaxSolverQueries (0 = unlimited).
-	vtBudget     time.Duration
-	solverBudget uint64
-	liveHW       target.State
-	liveEdges    []bool
+	e      *Engine
+	f      *Frontier
+	ctx    context.Context
+	cancel context.CancelFunc
+	seeds  []*symexec.State
 
 	work     chan int      // pending subtree indexes (cap = len(seeds))
 	workDone chan struct{} // closed when every subtree has completed
@@ -338,24 +291,16 @@ type supervisor struct {
 	sinceSync      int
 	slots          []*workerSlot
 
-	// spawnMu serializes rig building: worker spawns go through the
-	// primary target, which (remote clients especially) is not safe
-	// for concurrent use.
-	spawnMu sync.Mutex
-
 	wg    sync.WaitGroup
 	monWG sync.WaitGroup
 }
 
-func (e *Engine) newSupervisor(ctx context.Context, seeds []*symexec.State,
-	seedMaxID, budget uint64, vtBudget time.Duration, solverBudget uint64,
-	liveHW target.State, liveEdges []bool) (*supervisor, error) {
+func (e *Engine) newSupervisor(ctx context.Context, f *Frontier) (*supervisor, error) {
+	seeds := f.seeds
 	sctx, cancel := context.WithCancel(ctx)
 	s := &supervisor{
-		e: e, ctx: sctx, cancel: cancel,
-		seeds: seeds, seedMaxID: seedMaxID, budget: budget,
-		vtBudget: vtBudget, solverBudget: solverBudget,
-		liveHW: liveHW, liveEdges: liveEdges,
+		e: e, f: f, ctx: sctx, cancel: cancel,
+		seeds:     seeds,
 		work:      make(chan int, len(seeds)),
 		workDone:  make(chan struct{}),
 		monStop:   make(chan struct{}),
@@ -369,15 +314,7 @@ func (e *Engine) newSupervisor(ctx context.Context, seeds []*symexec.State,
 		s.slots[i] = &workerSlot{}
 	}
 
-	header := campaignHeader{
-		Fingerprint:      e.cfg.runFingerprint(),
-		Workers:          e.cfg.Workers,
-		Seeds:            len(seeds),
-		SeedsHash:        seedsHash(seeds),
-		SeedMaxID:        seedMaxID,
-		SeedFinished:     len(e.finished),
-		SeedInstructions: e.stats.Instructions,
-	}
+	header := f.hdr
 	switch {
 	case e.cfg.Resume != nil:
 		cam := e.cfg.Resume
@@ -435,13 +372,8 @@ func (s *supervisor) run() error {
 	defer s.cancel()
 	defer s.closeJournal()
 	// Attempts run on adopted snapshot references; the seeds' original
-	// references are dropped once no attempt can start anymore (LIFO:
-	// this runs before the deferred cancel/close above).
-	defer func() {
-		for _, st := range s.seeds {
-			s.e.snaps.Release(snapshot.ID(st.HWSnapshot))
-		}
-	}()
+	// references are dropped by Frontier.Close once no attempt can
+	// start anymore (runParallel defers it past this return).
 	if s.remaining == 0 {
 		close(s.workDone)
 		return s.finishJournal()
@@ -541,9 +473,9 @@ func (s *supervisor) workerLoop(slot, gen int, wctx context.Context, beat *atomi
 			name = fmt.Sprintf("%s-r%d", name, gen)
 		}
 	}
-	s.spawnMu.Lock()
+	s.f.spawnMu.Lock()
 	rig, err := s.e.buildRig(name, slot)
-	s.spawnMu.Unlock()
+	s.f.spawnMu.Unlock()
 	if err != nil {
 		return err
 	}
@@ -859,93 +791,10 @@ func (s *supervisor) monitor() {
 }
 
 // runSubtree explores one fan-out seed to completion on the rig's
-// private hardware and returns its contribution as deltas. Everything
-// that shapes the outcome is derived from the subtree index — forked
-// searcher stream, state-ID stripe, fault PRNG stream — never from
-// the physical worker, claim order or attempt number, so a subtree's
-// result is a pure function of the seed and recovery replays are
-// byte-identical.
+// private hardware (see Frontier.runSubtreeOn for the purity
+// contract), wiring in this attempt's heartbeat/chaos step hook.
 func (s *supervisor) runSubtree(wctx context.Context, idx, attempt int, rig *workerRig, beat *atomic.Uint64) (*subtreeResult, error) {
-	e := s.e
-	// The attempt runs a verbatim clone of the seed bound to its own
-	// snapshot reference: a failed attempt mutates and releases only
-	// its copy, leaving the original pristine for the next attempt (or
-	// for a concurrent attempt by a deposed zombie's replacement).
-	src := s.seeds[idx]
-	seed := src.Clone()
-	if orig := snapshot.ID(src.HWSnapshot); orig != 0 {
-		d, ok := e.snaps.DigestOf(orig)
-		if !ok {
-			return nil, fmt.Errorf("core: subtree %d: seed snapshot %d missing from store", idx, orig)
-		}
-		id, ok := e.snaps.Adopt(d)
-		if !ok {
-			return nil, fmt.Errorf("core: subtree %d: seed snapshot %d no longer live", idx, orig)
-		}
-		seed.HWSnapshot = symexec.SnapshotID(id)
-	}
-	wcfg := e.cfg
-	wcfg.Workers = 1
-	wcfg.MaxInstructions = s.budget
-	wcfg.MaxVirtualTime = s.vtBudget
-	wcfg.MaxSolverQueries = s.solverBudget
-	wcfg.Searcher = symexec.ForkSearcher(e.cfg.Searcher, int64(idx))
-	// The nested engine is a plain serial run: no journaling, no
-	// resume, no chaos of its own (chaos arrives via the step hook).
-	wcfg.JournalPath = ""
-	wcfg.Resume = nil
-	wcfg.Chaos = nil
-	wexec := e.exec.Spawn(s.seedMaxID + uint64(idx+1)*subtreeIDStride)
-
-	if rig.tgt != nil {
-		// Re-arm fault injection with a per-subtree stream so fault
-		// sequences do not depend on which worker claimed the subtree.
-		if sched, ok := e.tgt.FaultSchedule(); ok {
-			rig.tgt.InjectFaults(sched.Derive(idx))
-		}
-	}
-	if rig.snaps != nil {
-		// Subtree boundary: drop the rig's generation/anchor knowledge
-		// so this subtree's first restore is a full one regardless of
-		// what ran on the rig before — its snapshot traffic, and hence
-		// its virtual time, stays a pure function of the subtree.
-		rig.snaps.Forget()
-	}
-
-	weng, err := newEngine(wcfg, wexec, rig.tgt, rig.router, e.snaps, rig.snaps)
-	if err != nil {
-		return nil, err
-	}
-	if e.cfg.Mode == ModeRecordReplay && e.tgt != nil {
-		weng.seedIOLog(seed.ID, e.ioLogs[seed.ID])
-	}
-	if e.cfg.Mode == ModeNaiveShared && rig.tgt != nil {
-		// Every subtree starts from the fan-out live state, mimicking
-		// "everyone shares the hardware as of the fork".
-		if err := rig.tgt.AdoptState(s.liveHW); err != nil {
-			return nil, err
-		}
-		rig.router.ResetIRQEdges(s.liveEdges)
-	}
-	weng.SetInitialState(seed)
-	weng.stepHook = s.stepHookFor(wctx, idx, attempt, rig, beat)
-
-	var beforeTgt target.Stats
-	var beforeMan SnapManagerStats
-	if rig.tgt != nil {
-		beforeTgt = rig.tgt.Stats()
-		beforeMan = rig.snaps.Stats()
-	}
-	rep, err := weng.RunContext(wctx)
-	if err != nil {
-		return nil, err
-	}
-	res := &subtreeResult{rep: rep, vt: rep.VirtualTime, bugSnaps: weng.bugSnaps}
-	if rig.tgt != nil {
-		res.tgt = subTargetStats(rig.tgt.Stats(), beforeTgt)
-		res.man = subManStats(rig.snaps.Stats(), beforeMan)
-	}
-	return res, nil
+	return s.f.runSubtreeOn(wctx, idx, rig, s.stepHookFor(wctx, idx, attempt, rig, beat))
 }
 
 // stepHookFor builds the per-step seam for one subtree attempt:

@@ -7,6 +7,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -247,7 +248,12 @@ func TestFarmFairShare(t *testing.T) {
 	// against b1's real wall-clock duration is a coin flip.
 	release := make(chan struct{})
 	var first atomic.Bool
-	f.beforeSettle = func(string) {
+	var omu sync.Mutex
+	var settleOrder []string
+	f.beforeSettle = func(id string) {
+		omu.Lock()
+		settleOrder = append(settleOrder, id)
+		omu.Unlock()
 		if first.CompareAndSwap(false, true) {
 			<-release
 		}
@@ -262,12 +268,26 @@ func TestFarmFairShare(t *testing.T) {
 
 	// When b1 settles, heavy has charged a full run and light nothing,
 	// so the scheduler must hand the slot to light despite heavy's job
-	// being queued first.
+	// being queued first. Completion order is judged from the settle
+	// hook, not polled status — with one slot and millisecond jobs,
+	// h2 can legitimately finish between l1's completion and a status
+	// read, so polling races the very ordering under test.
 	mustWait(t, f, l1)
-	if info, _ := f.Job(h2); info.Status == StatusDone {
+	mustWait(t, f, h2)
+	omu.Lock()
+	defer omu.Unlock()
+	pos := func(id string) int {
+		for i, got := range settleOrder {
+			if got == id {
+				return i
+			}
+		}
+		t.Fatalf("job %s never settled (order: %v)", id, settleOrder)
+		return -1
+	}
+	if pos(l1) > pos(h2) {
 		t.Error("fair share violated: heavy's backlog job finished before light's first job")
 	}
-	mustWait(t, f, h2)
 }
 
 // TestFarmRestartResume is the SIGKILL gate: a farm process dies

@@ -27,6 +27,9 @@ type PoolStats struct {
 	Discarded  uint64 `json:"discarded"`
 	WarmNS     int64  `json:"warm_ns"`
 	ColdNS     int64  `json:"cold_ns"`
+	// Store reports the content-addressed boot-image store backing
+	// the pool, including the retention tier's eviction counters.
+	Store snapshot.Stats `json:"store"`
 }
 
 // pooledTarget is one idle warm rig plus the content address of its
@@ -241,9 +244,16 @@ func (p *Pool) discard(l *Lease) {
 // Stats returns a snapshot of the pool counters.
 func (p *Pool) Stats() PoolStats {
 	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.stats
+	st := p.stats
+	p.mu.Unlock()
+	st.Store = p.store.Stats()
+	return st
 }
+
+// SetRetention bounds the boot-image store's retention tier (see
+// snapshot.Store.SetRetention): released boot images stay resident up
+// to maxBytes so a re-acquired rig key can re-seed without a rebuild.
+func (p *Pool) SetRetention(maxBytes uint64) { p.store.SetRetention(maxBytes) }
 
 // Close stops refilling and waits for in-flight background builds.
 func (p *Pool) Close() {

@@ -163,8 +163,12 @@ func (s *Server) handle(req Request) Response {
 			return Response{Error: fmt.Sprintf("unknown job %q", req.ID)}
 		}
 		if req.Op == "status" {
-			// status is the lightweight poll: strip the result body.
+			// status is the lightweight poll: strip the result body
+			// but piggyback the pool/store counters so a monitoring
+			// loop sees retention pressure without a second op.
 			info.Result = nil
+			st := s.farm.PoolStats()
+			return Response{OK: true, ID: info.ID, Job: &info, Pool: &st}
 		}
 		return Response{OK: true, ID: info.ID, Job: &info}
 	case "cancel":

@@ -2,6 +2,7 @@ package remote
 
 import (
 	"bytes"
+	"container/list"
 	"encoding/gob"
 	"errors"
 	"fmt"
@@ -55,16 +56,71 @@ type Server struct {
 	sessions map[uint32]*session
 	nextTok  uint32
 
-	cmu    sync.RWMutex
-	chunks map[snapshot.Digest]*sim.HWState
+	cmu       sync.Mutex
+	chunks    map[snapshot.Digest]*chunkEnt
+	chunkLRU  *list.List // front = most recently used
+	chunkCap  int        // max resident chunks; <=0 means unbounded
+	evictions uint64
+
+	// testBeforePush, when set (tests only), runs in the kPush
+	// dispatch path — the window where a concurrent eviction races an
+	// in-flight digest negotiation.
+	testBeforePush func()
 }
+
+// chunkEnt is one resident peripheral chunk plus its LRU handle.
+type chunkEnt struct {
+	hw   *sim.HWState
+	elem *list.Element // value: snapshot.Digest
+}
+
+// DefaultChunkCap bounds the server's shared peripheral-chunk cache.
+// A chunk is a few hundred bytes gob-encoded, so the default costs a
+// few MiB at worst while still covering any realistic working set.
+const DefaultChunkCap = 1 << 14
 
 // NewServer hosts a target behind protocol v3.
 func NewServer(root *target.Target) *Server {
 	return &Server{
 		root:     root,
 		sessions: make(map[uint32]*session),
-		chunks:   make(map[snapshot.Digest]*sim.HWState),
+		chunks:   make(map[snapshot.Digest]*chunkEnt),
+		chunkLRU: list.New(),
+		chunkCap: DefaultChunkCap,
+	}
+}
+
+// SetChunkCap bounds the shared chunk cache to n resident chunks
+// (<=0 removes the bound). Shrinking evicts least-recently-used
+// chunks immediately. Eviction is safe mid-negotiation: a client
+// whose offered digest was evicted between kRestore and kPush sees it
+// re-listed in Missing and re-uploads it as a delta (see applyRemote).
+func (s *Server) SetChunkCap(n int) {
+	s.cmu.Lock()
+	s.chunkCap = n
+	s.evictChunksLocked()
+	s.cmu.Unlock()
+}
+
+// ChunkStats reports the chunk cache's residency and eviction count.
+func (s *Server) ChunkStats() (entries int, evictions uint64) {
+	s.cmu.Lock()
+	defer s.cmu.Unlock()
+	return len(s.chunks), s.evictions
+}
+
+func (s *Server) evictChunksLocked() {
+	if s.chunkCap <= 0 {
+		return
+	}
+	for len(s.chunks) > s.chunkCap {
+		back := s.chunkLRU.Back()
+		if back == nil {
+			return
+		}
+		s.chunkLRU.Remove(back)
+		delete(s.chunks, back.Value.(snapshot.Digest))
+		s.evictions++
 	}
 }
 
@@ -96,17 +152,26 @@ func (s *Server) newSession(tgt *target.Target) (uint32, *session) {
 
 func (s *Server) cacheChunk(d snapshot.Digest, hw *sim.HWState) {
 	s.cmu.Lock()
-	if _, ok := s.chunks[d]; !ok {
-		s.chunks[d] = hw
+	if ent, ok := s.chunks[d]; ok {
+		s.chunkLRU.MoveToFront(ent.elem)
+	} else {
+		s.chunks[d] = &chunkEnt{hw: hw, elem: s.chunkLRU.PushFront(d)}
+		s.evictChunksLocked()
 	}
 	s.cmu.Unlock()
 }
 
 func (s *Server) chunk(d snapshot.Digest) (*sim.HWState, bool) {
-	s.cmu.RLock()
-	hw, ok := s.chunks[d]
-	s.cmu.RUnlock()
-	return hw, ok
+	s.cmu.Lock()
+	ent, ok := s.chunks[d]
+	if ok {
+		s.chunkLRU.MoveToFront(ent.elem)
+	}
+	s.cmu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	return ent.hw, true
 }
 
 // gobEncode serializes a control-frame body.
@@ -211,6 +276,9 @@ func (s *Server) apply(sess *session, kind byte, payload []byte) []byte {
 		var req pushReq
 		if err := gobDecode(payload, &req); err != nil {
 			return sess.errPayload(fatalErr(err))
+		}
+		if s.testBeforePush != nil {
+			s.testBeforePush()
 		}
 		return s.applyRestore(sess, req.Mode, req.Entries, req.Chunks)
 	case kSpawn:
@@ -343,6 +411,13 @@ func (s *Server) applyFetch(sess *session, payload []byte) []byte {
 // applies it in the requested mode. A push without Entries only
 // populates the cache (the stop-and-wait v2-emulation path).
 func (s *Server) applyRestore(sess *session, mode byte, entries []chunkRef, chunks []wireChunk) []byte {
+	// pinned holds this frame's uploads for the assembly below, so a
+	// concurrent eviction (another session pushing past the cap)
+	// cannot unbank a chunk between its arrival and its use. Chunks
+	// the server merely *claimed* to hold at kRestore time can still
+	// be evicted mid-negotiation; those come back in Missing and the
+	// client re-uploads them next round.
+	pinned := make(map[snapshot.Digest]*sim.HWState, len(chunks))
 	for _, c := range chunks {
 		hw := &sim.HWState{}
 		if err := gobDecode(c.Data, hw); err != nil {
@@ -353,6 +428,7 @@ func (s *Server) applyRestore(sess *session, mode byte, entries []chunkRef, chun
 			return sess.errPayload(&target.Error{Class: target.Integrity, Op: "remote",
 				Err: fmt.Errorf("pushed chunk digest mismatch (%x != %x)", got[:8], c.Digest[:8])})
 		}
+		pinned[c.Digest] = hw
 		s.cacheChunk(c.Digest, hw)
 	}
 	if entries == nil {
@@ -366,7 +442,10 @@ func (s *Server) applyRestore(sess *session, mode byte, entries []chunkRef, chun
 	st := make(target.State, len(entries))
 	var missing [][32]byte
 	for _, e := range entries {
-		hw, ok := s.chunk(e.Digest)
+		hw, ok := pinned[snapshot.Digest(e.Digest)]
+		if !ok {
+			hw, ok = s.chunk(e.Digest)
+		}
 		if !ok {
 			missing = append(missing, e.Digest)
 			continue

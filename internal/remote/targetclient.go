@@ -1116,39 +1116,68 @@ func (c *TargetClient) applyRemote(s target.State, mode byte) (restoreResp, erro
 		return restoreResp{}, &target.Error{Class: target.Transient, Op: "remote", Err: err}
 	}
 	c.wire.chunksSkipped.Add(uint64(len(entries) - len(resp.Missing)))
-	if len(resp.Missing) == 0 {
-		return resp, nil
-	}
-	push := pushReq{Mode: mode, Entries: entries}
-	var sent uint64
-	for _, d := range resp.Missing {
-		hw, ok := byDigest[d]
-		if !ok {
+	// Delta-upload loop: push what the server reported missing, then
+	// re-check. One round suffices in the steady state, but a chunk
+	// the server *claimed* to hold at kRestore time may be evicted
+	// from its capped, session-shared cache before the push applies;
+	// the next response re-lists it and we re-upload. The pushed set
+	// is cumulative across rounds: chunks uploaded in one frame are
+	// pinned server-side only for that frame, so under eviction
+	// pressure the restore lands once a single frame carries every
+	// chunk the cache cannot be trusted to keep — the cumulative set
+	// grows monotonically toward that, bounded by the state itself.
+	need := make(map[[32]byte]bool)
+	for round := 0; len(resp.Missing) > 0; round++ {
+		if round == maxPushRounds {
 			return restoreResp{}, &target.Error{Class: target.Integrity, Op: "remote",
-				Err: fmt.Errorf("server asked for unknown chunk %x", d[:8])}
+				Err: fmt.Errorf("restore did not converge after %d push rounds (%d chunks still missing)",
+					maxPushRounds, len(resp.Missing))}
 		}
-		data, err := gobEncode(hw)
+		for _, d := range resp.Missing {
+			need[d] = true
+		}
+		push := pushReq{Mode: mode, Entries: entries}
+		var sent uint64
+		added := make(map[[32]byte]bool, len(need))
+		for _, e := range entries {
+			if !need[e.Digest] || added[e.Digest] {
+				continue
+			}
+			added[e.Digest] = true
+			d := e.Digest
+			hw, ok := byDigest[d]
+			if !ok {
+				return restoreResp{}, &target.Error{Class: target.Integrity, Op: "remote",
+					Err: fmt.Errorf("server asked for unknown chunk %x", d[:8])}
+			}
+			data, err := gobEncode(hw)
+			if err != nil {
+				return restoreResp{}, err
+			}
+			sent += uint64(len(data))
+			push.Chunks = append(push.Chunks, wireChunk{Digest: d, Data: data})
+		}
+		payload, err = gobEncode(push)
 		if err != nil {
 			return restoreResp{}, err
 		}
-		sent += uint64(len(data))
-		push.Chunks = append(push.Chunks, wireChunk{Digest: d, Data: data})
-	}
-	payload, err = gobEncode(push)
-	if err != nil {
-		return restoreResp{}, err
-	}
-	body, err = c.roundTrip(kPush, payload)
-	if err != nil {
-		return restoreResp{}, err
-	}
-	c.wire.bytesSent.Add(sent)
-	resp = restoreResp{}
-	if err := gobDecode(body, &resp); err != nil {
-		return restoreResp{}, &target.Error{Class: target.Transient, Op: "remote", Err: err}
+		body, err = c.roundTrip(kPush, payload)
+		if err != nil {
+			return restoreResp{}, err
+		}
+		c.wire.bytesSent.Add(sent)
+		resp = restoreResp{}
+		if err := gobDecode(body, &resp); err != nil {
+			return restoreResp{}, &target.Error{Class: target.Transient, Op: "remote", Err: err}
+		}
 	}
 	return resp, nil
 }
+
+// maxPushRounds bounds applyRemote's delta-upload loop against a
+// pathological cache so small that uploads are evicted faster than
+// the client can re-send them.
+const maxPushRounds = 4
 
 // applyLegacy pushes every chunk in its own frame, then applies — the
 // v2-era full-transfer cost.

@@ -1,0 +1,137 @@
+// Delta wire form: a Record serialization for the farm-wide snapshot
+// fabric where peripheral chunks the receiver already holds are
+// referenced by content digest instead of carried inline. A fetch of
+// a bug snapshot whose UART/timer/AES states are already interned on
+// the receiving side ships only the digests — the chunk-level
+// generalization of the v3 remote protocol's digest negotiation.
+package snapshot
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"hash/crc32"
+	"sort"
+
+	"hardsnap/internal/sim"
+	"hardsnap/internal/target"
+)
+
+const deltaVersion = 2
+
+// deltaWire is the gob payload of a delta frame. Periphs[i] is
+// meaningful only when Inline[i]; omitted chunks are resolved on the
+// receiving side through Digests[i]. (An explicit presence bitmap
+// rather than nil pointers: gob refuses nil elements in a slice.)
+type deltaWire struct {
+	IRQEdges []bool
+	Names    []string
+	Digests  []Digest
+	Inline   []bool
+	Periphs  []sim.HWState
+}
+
+// EncodeDelta serializes rec, omitting peripheral chunks for which
+// have returns true (nil have omits nothing — the result is then a
+// self-contained delta frame). Framing matches Encode (magic, length,
+// CRC) with a distinct version byte. It returns the frame plus the
+// number of chunks inlined and omitted.
+func EncodeDelta(rec *Record, have func(Digest) bool) (data []byte, inlined, omitted int, err error) {
+	names := make([]string, 0, len(rec.HW))
+	for name := range rec.HW {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	w := deltaWire{
+		IRQEdges: rec.IRQEdges,
+		Names:    names,
+		Digests:  make([]Digest, len(names)),
+		Inline:   make([]bool, len(names)),
+		Periphs:  make([]sim.HWState, len(names)),
+	}
+	for i, name := range names {
+		d := digestHW(rec.HW[name])
+		w.Digests[i] = d
+		if have != nil && have(d) {
+			omitted++
+			continue
+		}
+		w.Inline[i] = true
+		w.Periphs[i] = *rec.HW[name]
+		inlined++
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&w); err != nil {
+		return nil, 0, 0, fmt.Errorf("snapshot: encode delta: %w", err)
+	}
+	p := buf.Bytes()
+	out := make([]byte, recHdrLen+len(p))
+	binary.LittleEndian.PutUint32(out[0:4], recMagic)
+	out[4] = deltaVersion
+	binary.LittleEndian.PutUint32(out[5:9], uint32(len(p)))
+	binary.LittleEndian.PutUint32(out[9:13], crc32.ChecksumIEEE(p))
+	copy(out[recHdrLen:], p)
+	return out, inlined, omitted, nil
+}
+
+// DecodeDelta validates and deserializes a delta frame, resolving
+// omitted chunks through resolve (typically Store.PeriphByDigest).
+// Chunks that fail to resolve — the sender believed the receiver held
+// them, but an eviction raced the negotiation — are returned in
+// missing with a nil record, and the caller falls back to a full
+// (nil-have) fetch. Inlined chunks are digest-verified before use.
+func DecodeDelta(data []byte, resolve func(Digest) (*sim.HWState, bool)) (rec *Record, missing []Digest, err error) {
+	if len(data) < recHdrLen {
+		return nil, nil, integrityErr("truncated delta header: %d bytes", len(data))
+	}
+	if binary.LittleEndian.Uint32(data[0:4]) != recMagic {
+		return nil, nil, integrityErr("bad magic %#x", binary.LittleEndian.Uint32(data[0:4]))
+	}
+	if data[4] != deltaVersion {
+		return nil, nil, integrityErr("unsupported delta version %d", data[4])
+	}
+	n := binary.LittleEndian.Uint32(data[5:9])
+	payload := data[recHdrLen:]
+	if uint32(len(payload)) != n {
+		return nil, nil, integrityErr("delta length mismatch: header says %d bytes, got %d", n, len(payload))
+	}
+	if sum := crc32.ChecksumIEEE(payload); sum != binary.LittleEndian.Uint32(data[9:13]) {
+		return nil, nil, integrityErr("delta checksum mismatch (%#x != %#x)",
+			sum, binary.LittleEndian.Uint32(data[9:13]))
+	}
+	var w deltaWire
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&w); err != nil {
+		return nil, nil, integrityErr("%v", err)
+	}
+	if len(w.Names) != len(w.Digests) || len(w.Names) != len(w.Periphs) ||
+		len(w.Names) != len(w.Inline) {
+		return nil, nil, integrityErr("delta frame shape mismatch")
+	}
+	hw := make(target.State, len(w.Names))
+	for i, name := range w.Names {
+		var chunk *sim.HWState
+		if !w.Inline[i] {
+			if resolve == nil {
+				missing = append(missing, w.Digests[i])
+				continue
+			}
+			got, ok := resolve(w.Digests[i])
+			if !ok {
+				missing = append(missing, w.Digests[i])
+				continue
+			}
+			chunk = got
+		} else {
+			chunk = &w.Periphs[i]
+			if digestHW(chunk) != w.Digests[i] {
+				return nil, nil, integrityErr("delta chunk %q fails digest verification", name)
+			}
+		}
+		hw[name] = chunk
+	}
+	if len(missing) > 0 {
+		return nil, missing, nil
+	}
+	return &Record{HW: hw, IRQEdges: w.IRQEdges}, nil, nil
+}

@@ -45,6 +45,12 @@ type Cache struct {
 	misses    atomic.Int64
 	evictions atomic.Int64
 	stores    atomic.Int64
+	imported  atomic.Int64
+
+	// logMu guards the fabric changelog of locally discovered entries
+	// (see wire.go).
+	logMu sync.Mutex
+	log   []WireEntry
 }
 
 type cacheShard struct {
@@ -64,6 +70,22 @@ type CacheStats struct {
 	Misses    int64
 	Evictions int64
 	Entries   int64
+	// Imported counts entries adopted from the distributed fabric
+	// (zero outside distributed runs); Published counts locally
+	// discovered entries available to the fabric changelog.
+	Imported  int64
+	Published int64
+}
+
+// Add accumulates s into the receiver (per-node aggregation in
+// distributed reports).
+func (s *CacheStats) Add(o CacheStats) {
+	s.Hits += o.Hits
+	s.Misses += o.Misses
+	s.Evictions += o.Evictions
+	s.Entries += o.Entries
+	s.Imported += o.Imported
+	s.Published += o.Published
 }
 
 // HitRate returns hits / (hits + misses), or 0 before any lookup.
@@ -97,11 +119,16 @@ func (c *Cache) Stats() CacheStats {
 		entries += int64(len(s.entries))
 		s.mu.Unlock()
 	}
+	c.logMu.Lock()
+	published := int64(len(c.log))
+	c.logMu.Unlock()
 	return CacheStats{
 		Hits:      c.hits.Load(),
 		Misses:    c.misses.Load(),
 		Evictions: c.evictions.Load(),
 		Entries:   entries,
+		Imported:  c.imported.Load(),
+		Published: published,
 	}
 }
 
@@ -188,10 +215,18 @@ func (c *Cache) Lookup(key CacheKey) (Result, expr.Assignment, bool) {
 
 // Store memoizes a definite verdict. Unknown (budget-exhausted)
 // results are never cached: a later query with a larger budget must be
-// allowed to try again. The model is copied on the way in.
+// allowed to try again. The model is copied on the way in. Locally
+// stored entries enter the fabric changelog (wire.go); use Import for
+// entries that arrived from the fabric.
 func (c *Cache) Store(key CacheKey, res Result, model expr.Assignment) {
+	c.store(key, res, model, true)
+}
+
+// store inserts an entry, returning whether it was newly inserted.
+// logIt routes locally discovered entries into the fabric changelog.
+func (c *Cache) store(key CacheKey, res Result, model expr.Assignment, logIt bool) bool {
 	if res != Sat && res != Unsat {
-		return
+		return false
 	}
 	var stored expr.Assignment
 	if model != nil {
@@ -206,9 +241,9 @@ func (c *Cache) Store(key CacheKey, res Result, model expr.Assignment) {
 		perShard = 1
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if _, ok := s.entries[key]; ok {
-		return
+		s.mu.Unlock()
+		return false
 	}
 	for len(s.entries) >= perShard && len(s.order) > 0 {
 		victim := s.order[0]
@@ -220,5 +255,10 @@ func (c *Cache) Store(key CacheKey, res Result, model expr.Assignment) {
 	}
 	s.entries[key] = cacheEntry{res: res, model: stored}
 	s.order = append(s.order, key)
+	s.mu.Unlock()
 	c.stores.Add(1)
+	if logIt {
+		c.logEntry(key, res, stored)
+	}
+	return true
 }

@@ -1,0 +1,68 @@
+// Solver-cache fabric: the wire-portable face of the memoized verdict
+// cache. A distributed exploration run shares one logical cache across
+// nodes — counterexample (Sat model) and unsat verdicts discovered on
+// any node are piggybacked on subtree results and imported everywhere
+// else, so no node re-pays a query some other node already solved.
+//
+// Sharing is sound because verdicts are a pure function of the
+// canonical key: the solver is deterministic, so the Sat model (or
+// Unsat verdict) computed for a key on one node is byte-identical to
+// what any other node would compute. Importing fabric entries can
+// therefore change only *when* a verdict is known, never *what* it is
+// — results, paths and virtual time are untouched (the same argument
+// that lets PR 3 share the cache across in-process workers).
+package solver
+
+import "hardsnap/internal/expr"
+
+// WireEntry is one memoized verdict in fabric-portable form.
+type WireEntry struct {
+	Key   CacheKey        `json:"key"`
+	Res   Result          `json:"res"`
+	Model expr.Assignment `json:"model,omitempty"`
+}
+
+// DeltaSince returns the locally discovered entries appended after
+// cursor (a value previously returned by DeltaSince; 0 for the
+// beginning), plus the new cursor. Imported entries are not replayed:
+// each node propagates only what it discovered itself, and the driver
+// relays across nodes, so entries never echo in cycles.
+func (c *Cache) DeltaSince(cursor int) ([]WireEntry, int) {
+	c.logMu.Lock()
+	defer c.logMu.Unlock()
+	if cursor < 0 {
+		cursor = 0
+	}
+	if cursor > len(c.log) {
+		cursor = len(c.log)
+	}
+	delta := make([]WireEntry, len(c.log)-cursor)
+	copy(delta, c.log[cursor:])
+	return delta, len(c.log)
+}
+
+// Import memoizes fabric entries (skipping keys already present) and
+// returns how many were newly inserted. Imported entries are not
+// added to the local changelog.
+func (c *Cache) Import(entries []WireEntry) int {
+	n := 0
+	for _, e := range entries {
+		if c.store(e.Key, e.Res, e.Model, false) {
+			n++
+		}
+	}
+	c.imported.Add(int64(n))
+	return n
+}
+
+// logEntry appends a locally discovered verdict to the changelog. The
+// log is capped at the cache capacity: past that, new entries simply
+// stop propagating (a performance matter only — correctness never
+// depends on the fabric).
+func (c *Cache) logEntry(key CacheKey, res Result, model expr.Assignment) {
+	c.logMu.Lock()
+	if len(c.log) < c.capacity {
+		c.log = append(c.log, WireEntry{Key: key, Res: res, Model: model})
+	}
+	c.logMu.Unlock()
+}
