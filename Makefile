@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race chaos bench-smoke bench-json bench-scale bench-remote bench-solver bench-sim bench-dist
+.PHONY: check fmt vet build test race chaos bench-smoke bench-json bench-scale bench-remote bench-solver bench-sim bench-dist bench-fuzz
 
 # Full gate: formatting, static checks, build, tests, race detector on
 # the concurrency-sensitive packages, chaos/recovery identity matrix.
@@ -24,9 +24,11 @@ test:
 # The race gate covers every concurrency-sensitive package, including
 # the v3 batching/pipelining layer (internal/remote: client send
 # window, async flushes and server session live on different
-# goroutines in every test that uses v3Pipe/TCP).
+# goroutines in every test that uses v3Pipe/TCP) and the parallel
+# fuzzer (internal/fuzz: N workers over a lock-striped coverage map
+# and a shared corpus).
 race:
-	$(GO) test -race ./internal/remote ./internal/target ./internal/core ./internal/snapshot ./internal/solver ./internal/expr ./internal/symexec ./internal/campaign ./internal/farm ./internal/dist
+	$(GO) test -race ./internal/remote ./internal/target ./internal/core ./internal/snapshot ./internal/solver ./internal/expr ./internal/symexec ./internal/campaign ./internal/farm ./internal/dist ./internal/fuzz
 
 # chaos runs the crash-safety identity matrix under the race detector:
 # deterministic failure injection (panic/kill/hang/sever), journal
@@ -80,6 +82,16 @@ bench-sim:
 # than with independent per-node caches.
 bench-dist:
 	$(GO) run ./cmd/hsbench e17
+
+# bench-fuzz runs the hybrid-fuzzing study (E18). The experiment
+# gates itself: >=10x execs per virtual second with parallel workers
+# vs the frozen map-based reference fuzzer, identical deduplicated
+# crash buckets in single-worker fixed-seed mode, and the hybrid
+# concolic loop beating both fuzz-only and symexec-only to a
+# magic-guarded bug — so this target fails on any fuzzer throughput
+# or fidelity regression.
+bench-fuzz:
+	$(GO) run ./cmd/hsbench e18
 
 # bench-solver A/B-tests the solver optimization stack (E13): the
 # experiment itself gates on identical paths/bugs/virtual times with

@@ -15,10 +15,18 @@
 // it locally. The exit status is 2 when bugs are found, 3 when the
 // run was interrupted (SIGINT/SIGTERM) with its journal flushed for
 // resume.
+//
+// -fuzz switches from symbolic exploration to coverage-guided
+// fuzzing of the same firmware and SoC: -fuzz-workers parallel
+// workers over snapshot resets, -hybrid for the concolic feedback
+// loop, -corpus to persist the corpus and crash buckets across runs,
+// -json for a machine-readable result. Exit status 2 means crashes
+// were found.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -28,11 +36,13 @@ import (
 	"syscall"
 	"time"
 
+	"hardsnap/internal/asm"
 	"hardsnap/internal/buildinfo"
 	"hardsnap/internal/campaign"
 	"hardsnap/internal/core"
 	"hardsnap/internal/dist"
 	"hardsnap/internal/farm"
+	"hardsnap/internal/fuzz"
 	"hardsnap/internal/target"
 )
 
@@ -62,6 +72,16 @@ type runOpts struct {
 	// Nodes fans the campaign's subtrees out to these dist workers
 	// (comma-separated host:port list).
 	Nodes string
+	// Fuzz switches to coverage-guided fuzzing mode; the remaining
+	// fields parameterize the campaign (see internal/fuzz).
+	Fuzz         bool
+	FuzzExecs    int
+	FuzzWorkers  int
+	FuzzInputLen int
+	FuzzSeed     int64
+	Hybrid       bool
+	Corpus       string
+	JSON         bool
 	// Args is the positional firmware path.
 	Args []string
 }
@@ -88,6 +108,14 @@ func main() {
 	flag.StringVar(&opts.Farm, "farm", "", "submit the campaign to the hsfarm server at this address instead of running locally")
 	flag.StringVar(&opts.Tenant, "tenant", "default", "tenant name for -farm submissions")
 	flag.StringVar(&opts.Nodes, "nodes", "", "distribute subtrees to these dist workers (comma-separated host:port; start each with hsfarm -dist)")
+	flag.BoolVar(&opts.Fuzz, "fuzz", false, "coverage-guided fuzzing instead of symbolic exploration")
+	flag.IntVar(&opts.FuzzExecs, "fuzz-execs", 1000, "test-case budget for -fuzz, split across workers")
+	flag.IntVar(&opts.FuzzWorkers, "fuzz-workers", 1, "parallel fuzz workers for -fuzz")
+	flag.IntVar(&opts.FuzzInputLen, "fuzz-input-len", 8, "test-case size in bytes for -fuzz")
+	flag.Int64Var(&opts.FuzzSeed, "fuzz-seed", 1, "campaign rng seed for -fuzz (single-worker runs are byte-for-byte reproducible)")
+	flag.BoolVar(&opts.Hybrid, "hybrid", false, "with -fuzz: solve frontier branches concolically and inject the models as seeds")
+	flag.StringVar(&opts.Corpus, "corpus", "", "with -fuzz: persist corpus + crash buckets in this directory (suppressions.txt mutes known buckets)")
+	flag.BoolVar(&opts.JSON, "json", false, "with -fuzz: emit the campaign result as JSON on stdout")
 	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 	if *version {
@@ -178,6 +206,9 @@ func buildJob(opts runOpts) (campaign.Job, error) {
 }
 
 func run(ctx context.Context, opts runOpts) (int, error) {
+	if opts.Fuzz {
+		return runFuzz(opts)
+	}
 	job, err := buildJob(opts)
 	if err != nil {
 		return 0, err
@@ -266,6 +297,71 @@ func run(ctx context.Context, opts runOpts) (int, error) {
 		return 0, err
 	}
 	return printResult(res, opts, journalPath), nil
+}
+
+// runFuzz runs the coverage-guided fuzzing mode: a local campaign
+// over the same firmware and SoC layout the exploration modes use.
+func runFuzz(opts runOpts) (int, error) {
+	if opts.Farm != "" || opts.Nodes != "" || opts.Journal != "" || opts.Resume != "" {
+		return 0, fmt.Errorf("-fuzz is a local single-process mode; -farm, -nodes, -journal and -resume do not apply")
+	}
+	if len(opts.Args) != 1 {
+		return 0, fmt.Errorf("usage: hardsnap -fuzz [flags] firmware.s")
+	}
+	src, err := os.ReadFile(opts.Args[0])
+	if err != nil {
+		return 0, err
+	}
+	prog, err := asm.Assemble(string(src), 0)
+	if err != nil {
+		return 0, err
+	}
+	cfg := fuzz.Config{
+		Program:     prog,
+		Peripherals: opts.Periphs,
+		FPGA:        opts.FPGA,
+		Reset:       fuzz.ResetSnapshot,
+		MaxExecs:    opts.FuzzExecs,
+		InputLen:    opts.FuzzInputLen,
+		Seed:        opts.FuzzSeed,
+		Workers:     opts.FuzzWorkers,
+		Hybrid:      opts.Hybrid,
+		CorpusDir:   opts.Corpus,
+	}
+	if opts.Verbose {
+		cfg.Stats = os.Stderr
+	}
+	res, err := fuzz.Run(cfg)
+	if err != nil {
+		return 0, err
+	}
+	if opts.JSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			return 0, err
+		}
+	} else {
+		fmt.Printf("fuzz: %d execs, %d workers, %d edges, corpus %d, virtual time %v (%.0f execs/vsec)\n",
+			res.Execs, res.Workers, res.Edges, res.Corpus,
+			res.VirtTime.Round(time.Microsecond), res.ExecsPerVirtSecond)
+		if opts.Hybrid {
+			fmt.Printf("hybrid: %d concolic replay(s), %d solved seed(s)\n",
+				res.ConcolicRuns, res.SolvedSeeds)
+		}
+		if res.Suppressed > 0 {
+			fmt.Printf("suppressed: %d crash occurrence(s) muted by %s\n",
+				res.Suppressed, opts.Corpus)
+		}
+		for _, c := range res.Crashes {
+			fmt.Printf("CRASH: %v at pc=%#x  input=%x  (hit %d time(s), first at exec %d)\n",
+				c.Stop, c.PC, c.Input, c.Count, c.Exec)
+		}
+	}
+	if len(res.Crashes) > 0 {
+		return 2, nil
+	}
+	return 0, nil
 }
 
 // printResult renders the local-run report and returns the exit code.

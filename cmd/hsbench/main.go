@@ -1,5 +1,5 @@
 // Command hsbench regenerates the paper's evaluation tables and
-// figures (experiments E1-E17; see DESIGN.md for the experiment
+// figures (experiments E1-E18; see DESIGN.md for the experiment
 // index).
 //
 // Usage:
@@ -31,14 +31,15 @@ import (
 
 // runOpts carries the CLI configuration into run.
 type runOpts struct {
-	list       bool
-	jsonOut    bool
-	interp     bool
-	workers    int
-	latency    time.Duration
-	cpuProfile string
-	memProfile string
-	args       []string
+	list        bool
+	jsonOut     bool
+	interp      bool
+	workers     int
+	fuzzWorkers int
+	latency     time.Duration
+	cpuProfile  string
+	memProfile  string
+	args        []string
 }
 
 func main() {
@@ -50,6 +51,8 @@ func main() {
 		"run every experiment on the interpreter RTL engine instead of compiled bytecode")
 	flag.IntVar(&opts.workers, "workers", 0,
 		"cap the worker counts swept by the scaling experiment (E11); 0 keeps the default sweep")
+	flag.IntVar(&opts.fuzzWorkers, "fuzz-workers", 0,
+		"parallel fuzz workers for the hybrid-fuzzing experiment (E18); 0 keeps the default")
 	flag.DurationVar(&opts.latency, "latency", -1,
 		"injected one-way link latency of the remote-protocol experiment (E12), e.g. 500us; negative keeps the default")
 	flag.StringVar(&opts.cpuProfile, "cpuprofile", "",
@@ -74,6 +77,7 @@ func run(opts runOpts) error {
 		sim.SetDefaultEngine(sim.EngineInterp)
 	}
 	bench.SetMaxWorkers(opts.workers)
+	bench.SetFuzzWorkers(opts.fuzzWorkers)
 	bench.SetRemoteLatency(opts.latency)
 	if opts.list {
 		for _, e := range bench.All() {

@@ -117,6 +117,7 @@ func All() []Experiment {
 		{"E15", "exploration as a service: farm identity and warm-pool admission", E15},
 		{"E16", "RTL engine: interpreter vs compiled bytecode vs event-driven activation", E16},
 		{"E17", "distributed exploration: N-node fan-out over the snapshot + solver fabric", E17},
+		{"E18", "hybrid fuzzing: parallel-worker throughput, crash identity, time-to-bug", E18},
 	}
 }
 

@@ -1,0 +1,325 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"hardsnap/internal/core"
+	"hardsnap/internal/fuzz"
+	"hardsnap/internal/symexec"
+	"hardsnap/internal/target"
+)
+
+// fuzzWorkers is the parallel-worker count the E18 throughput row
+// uses; cmd/hsbench lowers it via SetFuzzWorkers (-fuzz-workers flag)
+// for constrained machines. Workers advance private virtual clocks,
+// so the default is set by the makespan arithmetic the experiment
+// wants to show, not by host core count.
+var fuzzWorkers = 24
+
+// SetFuzzWorkers caps the worker count E18 fuzzes with.
+func SetFuzzWorkers(n int) {
+	if n > 0 {
+		fuzzWorkers = n
+	}
+}
+
+// e18CrashFirmware is the identity workload: reachable bug (abort on
+// first input byte 0xA5) behind the CRC engine, the configuration
+// both the reference and the rebuilt fuzzer can exhaust within
+// budget.
+const e18CrashFirmware = `
+_start:
+		addi r10, r0, 400
+init:
+		addi r10, r10, -1
+		bne r10, r0, init
+		li r8, 0x40000000
+		addi r4, r0, 1
+		sw r4, 8(r8)
+		ecall 6
+		li r1, 0x800
+		addi r2, r0, 2
+		addi r3, r0, 1
+		ecall 1
+		lbu r4, 0(r1)
+		sw r4, 0(r8)
+poll:
+		lw r5, 12(r8)
+		bne r5, r0, poll
+		lbu r4, 0(r1)
+		addi r5, r0, 0xA5
+		bne r4, r5, ok
+		abort
+ok:
+		halt
+`
+
+// e18MagicFirmware is the hybrid workload: the bug hides behind a
+// 32-bit magic compare, after device bring-up has checksummed a
+// status byte through the CRC engine. Mutation alone faces a 2^32
+// guard; symbolic execution finds the abort but pays for the whole
+// init symbolically plus a hardware context switch per MMIO access;
+// the hybrid loop snapshots past init, notices the one-sided branch,
+// and solves the flip from a single concolic replay.
+const e18MagicFirmware = `
+_start:
+		addi r10, r0, 400
+init:
+		addi r10, r10, -1
+		bne r10, r0, init
+		li r8, 0x40000000
+		addi r4, r0, 1
+		sw r4, 8(r8)
+		addi r4, r0, 0x5A
+		sw r4, 0(r8)
+poll:
+		lw r5, 12(r8)
+		bne r5, r0, poll
+		ecall 6
+		li r1, 0x800
+		addi r2, r0, 4
+		addi r3, r0, 1
+		ecall 1
+		lw r4, 0(r1)
+		li r5, 0x44414548
+		bne r4, r5, ok
+		abort
+ok:
+		halt
+`
+
+var e18Periphs = []target.PeriphConfig{{Name: "crc0", Periph: "crc32"}}
+
+// E18 regenerates the hardware-speed hybrid fuzzing evaluation: the
+// rebuilt fuzzer's throughput against the original map-based
+// single-worker implementation, the crash-set identity gate, and the
+// time-to-bug race between fuzz-only, symexec-only and hybrid on a
+// magic-guarded bug.
+func E18() (*Table, error) {
+	t := &Table{
+		ID:    "E18",
+		Title: "hybrid fuzzing: throughput, crash identity, time-to-bug",
+		Columns: []string{"configuration", "execs", "virt time", "execs/vsec",
+			"crashes", "solved", "verdict"},
+		Notes: []string{
+			"reference = the original map[uint64]bool single-worker fuzzer, frozen in fuzz.RunReference",
+			"workers advance private virtual clocks; campaign virtual time is the makespan, so N workers scale execs/vsec ~N times",
+			"time-to-bug race: same magic-guarded firmware, 'not found' scores +inf",
+			"the reference reports every crashing exec; the identity gate compares (pc, stop) buckets after dedup",
+		},
+	}
+
+	prog, err := core.Setup(core.SetupConfig{Firmware: e18MagicFirmware})
+	if err != nil {
+		return nil, err
+	}
+
+	// --- Throughput: reference vs rebuilt, same per-campaign budget.
+	base := fuzz.Config{
+		Program:     prog.Program,
+		Peripherals: e18Periphs,
+		Reset:       fuzz.ResetSnapshot,
+		InputLen:    4,
+		Seed:        11,
+	}
+	refCfg := base
+	refCfg.MaxExecs = 200
+	ref, err := fuzz.RunReference(refCfg)
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("reference (map, 1 worker)", fmt.Sprintf("%d", ref.Execs),
+		dur(ref.VirtTime), fmt.Sprintf("%.0f", ref.ExecsPerVirtSecond),
+		fmt.Sprintf("%d", len(ref.Crashes)), "-", "baseline")
+	t.AddMetric("reference.execs_per_vsec", ref.ExecsPerVirtSecond, "execs/s")
+
+	oneCfg := base
+	oneCfg.MaxExecs = 200
+	one, err := fuzz.Run(oneCfg)
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("bitmap, 1 worker", fmt.Sprintf("%d", one.Execs),
+		dur(one.VirtTime), fmt.Sprintf("%.0f", one.ExecsPerVirtSecond),
+		fmt.Sprintf("%d", len(one.Crashes)), "-",
+		fmt.Sprintf("%.2fx", one.ExecsPerVirtSecond/ref.ExecsPerVirtSecond))
+	t.AddMetric("bitmap1.execs_per_vsec", one.ExecsPerVirtSecond, "execs/s")
+
+	parCfg := base
+	parCfg.Workers = fuzzWorkers
+	parCfg.MaxExecs = 50 * fuzzWorkers
+	par, err := fuzz.Run(parCfg)
+	if err != nil {
+		return nil, err
+	}
+	speedup := par.ExecsPerVirtSecond / ref.ExecsPerVirtSecond
+	if speedup < 10 {
+		return nil, fmt.Errorf("E18 gate: parallel throughput %.1fx < 10x reference", speedup)
+	}
+	verdict := "PASS (>= 10x)"
+	t.AddRow(fmt.Sprintf("bitmap, %d workers", fuzzWorkers),
+		fmt.Sprintf("%d", par.Execs), dur(par.VirtTime),
+		fmt.Sprintf("%.0f", par.ExecsPerVirtSecond),
+		fmt.Sprintf("%d", len(par.Crashes)), "-",
+		fmt.Sprintf("%.1fx — %s", speedup, verdict))
+	t.AddMetric("parallel.workers", float64(par.Workers), "workers")
+	t.AddMetric("parallel.execs_per_vsec", par.ExecsPerVirtSecond, "execs/s")
+	t.AddMetric("parallel.speedup_vs_reference", speedup, "x")
+
+	// --- Identity: single worker, fixed seed, reachable bug — the
+	// rebuilt fuzzer must report exactly the reference's deduplicated
+	// crash buckets.
+	crashProg, err := core.Setup(core.SetupConfig{Firmware: e18CrashFirmware})
+	if err != nil {
+		return nil, err
+	}
+	idCfg := fuzz.Config{
+		Program:     crashProg.Program,
+		Peripherals: e18Periphs,
+		Reset:       fuzz.ResetSnapshot,
+		MaxExecs:    2000,
+		InputLen:    2,
+		Seeds:       [][]byte{{0xA4, 0x00}},
+		Seed:        3,
+	}
+	idRef, err := fuzz.RunReference(idCfg)
+	if err != nil {
+		return nil, err
+	}
+	idNew, err := fuzz.Run(idCfg)
+	if err != nil {
+		return nil, err
+	}
+	if len(idRef.Crashes) == 0 {
+		return nil, fmt.Errorf("E18 gate: identity reference found no crashes; gate is vacuous")
+	}
+	if !sameCrashBuckets(idRef.Crashes, idNew.Crashes) {
+		return nil, fmt.Errorf("E18 gate: crash buckets differ (reference %d raw, rebuilt %d buckets)",
+			len(idRef.Crashes), len(idNew.Crashes))
+	}
+	idVerdict := "PASS (identical buckets)"
+	t.AddRow("identity: reference", fmt.Sprintf("%d", idRef.Execs), dur(idRef.VirtTime),
+		fmt.Sprintf("%.0f", idRef.ExecsPerVirtSecond),
+		fmt.Sprintf("%d", len(idRef.Crashes)), "-", "")
+	t.AddRow("identity: bitmap, 1 worker", fmt.Sprintf("%d", idNew.Execs), dur(idNew.VirtTime),
+		fmt.Sprintf("%.0f", idNew.ExecsPerVirtSecond),
+		fmt.Sprintf("%d", len(idNew.Crashes)), "-", idVerdict)
+	t.AddMetric("identity.match", 1, "bool")
+
+	// --- Time-to-bug race on the magic guard.
+	raceBase := fuzz.Config{
+		Program:          prog.Program,
+		Peripherals:      e18Periphs,
+		Reset:            fuzz.ResetSnapshot,
+		MaxExecs:         600,
+		InputLen:         4,
+		Seed:             11,
+		StopAtFirstCrash: true,
+	}
+	fuzzOnly, err := fuzz.Run(raceBase)
+	if err != nil {
+		return nil, err
+	}
+	fuzzTime, fuzzCell := raceTime(fuzzOnly.TimeToFirstCrash, len(fuzzOnly.Crashes) > 0)
+	t.AddRow("race: fuzz-only", fmt.Sprintf("%d", fuzzOnly.Execs), fuzzCell, "-",
+		fmt.Sprintf("%d", len(fuzzOnly.Crashes)), "-", "")
+	if len(fuzzOnly.Crashes) > 0 {
+		t.AddMetric("race.fuzzonly_ns", float64(fuzzOnly.TimeToFirstCrash.Nanoseconds()), "ns")
+	}
+
+	symTime, symStates, err := e18SymexecOnly(prog.Program.Base)
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("race: symexec-only", fmt.Sprintf("%d paths", symStates), dur(symTime), "-",
+		"1", "-", "")
+	t.AddMetric("race.symexec_ns", float64(symTime.Nanoseconds()), "ns")
+
+	hybridCfg := raceBase
+	hybridCfg.Hybrid = true
+	hybridCfg.FrontierK = 4
+	hybrid, err := fuzz.Run(hybridCfg)
+	if err != nil {
+		return nil, err
+	}
+	hybridTime, hybridCell := raceTime(hybrid.TimeToFirstCrash, len(hybrid.Crashes) > 0)
+	if hybridTime == 0 {
+		return nil, fmt.Errorf("E18 gate: hybrid mode missed the magic-guarded bug")
+	}
+	if (fuzzTime != 0 && hybridTime >= fuzzTime) || hybridTime >= symTime {
+		return nil, fmt.Errorf("E18 gate: hybrid time-to-bug %v not below fuzz-only %v / symexec-only %v",
+			hybridTime, fuzzCell, symTime)
+	}
+	raceVerdict := "PASS (hybrid wins)"
+	t.AddRow("race: hybrid", fmt.Sprintf("%d", hybrid.Execs), hybridCell, "-",
+		fmt.Sprintf("%d", len(hybrid.Crashes)),
+		fmt.Sprintf("%d", hybrid.SolvedSeeds), raceVerdict)
+	if hybridTime != 0 {
+		t.AddMetric("race.hybrid_ns", float64(hybridTime.Nanoseconds()), "ns")
+		t.AddMetric("race.hybrid_vs_symexec_speedup", symTime.Seconds()/hybridTime.Seconds(), "x")
+	}
+	t.AddMetric("race.hybrid_concolic_runs", float64(hybrid.ConcolicRuns), "ops")
+	t.AddMetric("race.hybrid_solved_seeds", float64(hybrid.SolvedSeeds), "seeds")
+	return t, nil
+}
+
+// raceTime formats a time-to-bug cell, scoring "not found" as +inf.
+func raceTime(d time.Duration, found bool) (time.Duration, string) {
+	if !found {
+		return 0, "not found (+inf)"
+	}
+	return d, dur(d)
+}
+
+func sameCrashBuckets(a, b []fuzz.Crash) bool {
+	ak := make(map[fuzz.CrashKey]bool, len(a))
+	for i := range a {
+		ak[a[i].Key()] = true
+	}
+	bk := make(map[fuzz.CrashKey]bool, len(b))
+	for i := range b {
+		bk[b[i].Key()] = true
+	}
+	if len(ak) != len(bk) {
+		return false
+	}
+	for k := range ak {
+		if !bk[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// e18SymexecOnly runs the full symbolic engine on the magic firmware
+// (HardSnap mode, hardware in the loop) and returns the virtual time
+// the exploration took to terminate with the abort path found.
+func e18SymexecOnly(base uint32) (time.Duration, int, error) {
+	a, err := core.Setup(core.SetupConfig{
+		Firmware:     e18MagicFirmware,
+		FirmwareBase: base,
+		Peripherals:  e18Periphs,
+		Engine: core.Config{
+			Mode:            core.ModeHardSnap,
+			MaxInstructions: 5_000_000,
+		},
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	rep, err := a.Engine.Run()
+	if err != nil {
+		return 0, 0, err
+	}
+	aborted := 0
+	for _, st := range rep.Finished {
+		if st.Status == symexec.StatusAborted {
+			aborted++
+		}
+	}
+	if aborted == 0 {
+		return 0, 0, fmt.Errorf("E18: symbolic exploration missed the magic abort")
+	}
+	return rep.VirtualTime, len(rep.Finished), nil
+}

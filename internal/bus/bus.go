@@ -163,7 +163,14 @@ func (r *Router) Flush() error {
 // RisingIRQs samples every region's interrupt line and returns the CPU
 // IRQ numbers that transitioned low -> high since the previous call.
 func (r *Router) RisingIRQs() ([]int, error) {
-	var fired []int
+	return r.RisingIRQsInto(nil)
+}
+
+// RisingIRQsInto is RisingIRQs appending into a caller-provided buffer
+// (usually buf[:0] over a fixed array), so per-instruction IRQ
+// sampling in a fuzzing hot loop allocates nothing.
+func (r *Router) RisingIRQsInto(buf []int) ([]int, error) {
+	fired := buf
 	for i := range r.regions {
 		reg := &r.regions[i]
 		if reg.IRQ < 0 {

@@ -1,30 +1,38 @@
-// Package fuzz implements a coverage-guided mutational fuzzer for HS32
-// firmware with hardware peripherals in the loop. Its purpose in the
-// reproduction is experiment E8: quantifying how much snapshot-based
-// state reset (HardSnap) accelerates fuzzing compared to the full
-// reboot that embedded fuzzing otherwise requires between test cases
-// (Muench et al., cited in the paper's motivation).
+// Package fuzz implements a coverage-guided mutational fuzzer for
+// HS32 firmware with hardware peripherals in the loop, rebuilt around
+// the throughput the paper's snapshot-based reset makes possible:
+//
+//   - The hot loop is allocation-free in the steady state: edge
+//     coverage lands in a fixed 64 KiB AFL-style bitmap (prevPC-hash
+//     XOR PC, bucketed hit counts), inputs mutate in preallocated
+//     scratch buffers, and the per-instruction path does no interface
+//     calls and no allocations (BenchmarkFuzzExec proves 0 allocs/exec).
+//   - N parallel workers fuzz privately spawned targets sharing a
+//     lock-striped global coverage map, a deduplicated corpus, and a
+//     content-addressed snapshot store.
+//   - A hybrid concolic mode closes the fuzz<->symexec loop: frontier
+//     branches whose far side stays uncovered after K executions are
+//     replayed concolically (internal/symexec), the uncovered side is
+//     solved for (internal/solver), and the model is injected back as
+//     a corpus seed.
 //
 // The firmware under test requests input via `ecall 1`
 // (make-symbolic): the fuzzer intercepts the call and copies the
-// current test case into the requested buffer. Coverage is AFL-style
-// edge coverage over (prevPC, PC) pairs.
+// current test case into the requested buffer.
 package fuzz
 
 import (
 	"errors"
 	"fmt"
-	"math/rand"
+	"io"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"hardsnap/internal/asm"
-	"hardsnap/internal/bus"
-	"hardsnap/internal/core"
-	"hardsnap/internal/isa"
 	"hardsnap/internal/snapshot"
 	"hardsnap/internal/target"
 	"hardsnap/internal/vm"
-	"hardsnap/internal/vtime"
 )
 
 // ResetStrategy selects how state is reset between executions.
@@ -65,7 +73,8 @@ type Config struct {
 	FPGA bool
 	// Reset selects the inter-execution reset strategy.
 	Reset ResetStrategy
-	// MaxExecs bounds the number of test cases (default 256).
+	// MaxExecs bounds the number of test cases (default 256), split
+	// across workers.
 	MaxExecs int
 	// MaxStepsPerExec bounds each execution (default 50k).
 	MaxStepsPerExec uint64
@@ -73,30 +82,122 @@ type Config struct {
 	InputLen int
 	// Seeds optionally prime the corpus.
 	Seeds [][]byte
-	// Seed makes the campaign deterministic.
+	// Seed makes the campaign deterministic (per worker; runs with
+	// Workers <= 1 are byte-for-byte reproducible).
 	Seed int64
 	// StopAtFirstCrash ends the campaign at the first crash.
 	StopAtFirstCrash bool
+
+	// Workers is the number of parallel fuzz workers, each with a
+	// privately spawned target sharing the global coverage map,
+	// corpus, and snapshot store (default 1).
+	Workers int
+
+	// Hybrid enables the concolic feedback loop: frontier branches
+	// whose far side stays uncovered after FrontierK executions are
+	// replayed concolically and the uncovered side is solved for.
+	Hybrid bool
+	// FrontierK is the per-branch execution count before a one-sided
+	// branch is escalated to the solver (default 8).
+	FrontierK int
+	// ConcolicMaxSteps bounds each concolic replay (default
+	// MaxStepsPerExec).
+	ConcolicMaxSteps int
+	// SolverConflicts bounds each flip query (0 = unlimited).
+	SolverConflicts int64
+
+	// CorpusDir, when set, persists the corpus across campaigns:
+	// queue inputs are loaded as seeds at startup and the
+	// deduplicated queue plus crash buckets are written back at the
+	// end. A suppressions.txt file in the directory mutes known crash
+	// buckets.
+	CorpusDir string
+
+	// Stats, when set, receives a live one-line status every
+	// StatsEvery executions (default 100).
+	Stats io.Writer
+	// StatsEvery is the stats-line period in executions.
+	StatsEvery int
 }
 
-// Crash describes one crashing input.
+func (cfg *Config) withDefaults() Config {
+	c := *cfg
+	if c.MaxExecs <= 0 {
+		c.MaxExecs = 256
+	}
+	if c.MaxStepsPerExec == 0 {
+		c.MaxStepsPerExec = 50_000
+	}
+	if c.InputLen <= 0 {
+		c.InputLen = 8
+	}
+	if c.Reset == 0 {
+		c.Reset = ResetSnapshot
+	}
+	if c.Workers <= 0 {
+		c.Workers = 1
+	}
+	if c.FrontierK <= 0 {
+		c.FrontierK = 8
+	}
+	if c.ConcolicMaxSteps <= 0 {
+		c.ConcolicMaxSteps = int(c.MaxStepsPerExec)
+	}
+	if c.StatsEvery <= 0 {
+		c.StatsEvery = 100
+	}
+	return c
+}
+
+// Crash describes one crash bucket: the first input observed to crash
+// at (PC, Stop) plus how often the bucket was hit.
 type Crash struct {
 	Input []byte
 	Stop  vm.StopReason
 	PC    uint32
 	Exec  int
+	// Count is the number of executions that landed in this bucket
+	// (zero when produced by RunReference, which predates bucketing).
+	Count int
 }
+
+// Key returns the crash's dedup bucket.
+func (c *Crash) Key() CrashKey { return CrashKey{PC: c.PC, Stop: c.Stop} }
 
 // Result summarizes a campaign.
 type Result struct {
-	Execs     int
-	Crashes   []Crash
-	Edges     int
-	Corpus    int
-	VirtTime  time.Duration
+	Execs int
+	// Crashes holds one entry per (PC, StopReason) bucket, ordered by
+	// first sighting.
+	Crashes []Crash
+	Edges   int
+	Corpus  int
+	// VirtTime is the campaign makespan: the largest per-worker
+	// virtual-time elapsed (workers run concurrently, so wall-clock
+	// analogies apply).
+	VirtTime time.Duration
+	// ResetTime is the total virtual time spent in inter-execution
+	// resets, summed across workers.
 	ResetTime time.Duration
-	// ExecsPerVirtSecond is the headline fuzzing throughput.
+	// ExecsPerVirtSecond is the headline fuzzing throughput
+	// (Execs / VirtTime, so N workers scale it ~N times).
 	ExecsPerVirtSecond float64
+
+	// Workers is the worker count the campaign ran with.
+	Workers int
+	// TimeToFirstCrash is the earliest per-worker virtual time at
+	// which any crash bucket was first hit (0 if none).
+	TimeToFirstCrash time.Duration
+	// Suppressed counts crash occurrences muted by the suppression
+	// list.
+	Suppressed int
+
+	// Hybrid-mode counters.
+	//
+	// ConcolicRuns counts concolic replays; SolvedSeeds counts solver
+	// models injected back into the corpus.
+	ConcolicRuns int
+	SolvedSeeds  int
 
 	// Snapshot-traffic breakdown (hardware targets only).
 	//
@@ -112,315 +213,153 @@ type Result struct {
 	SavesSkipped    uint64
 }
 
+// campaign is the cross-worker shared state.
+type campaign struct {
+	cfg     Config
+	store   *snapshot.Store
+	global  *Global
+	corpus  *Corpus
+	crashes *crashBook
+
+	stopFlag     atomic.Bool
+	execs        atomic.Int64
+	firstCrashNS atomic.Int64 // earliest worker vtime of first crash; 0 = none
+
+	concolicRuns atomic.Int64
+	solvedSeeds  atomic.Int64
+
+	statsMu sync.Mutex
+}
+
+func (c *campaign) stopped() bool { return c.stopFlag.Load() }
+
+// noteFirstCrash records the finding worker's virtual time, keeping
+// the minimum across workers.
+func (c *campaign) noteFirstCrash(elapsed time.Duration) {
+	ns := int64(elapsed)
+	if ns == 0 {
+		ns = 1 // distinguish "crash at t=0" from "no crash"
+	}
+	for {
+		cur := c.firstCrashNS.Load()
+		if cur != 0 && cur <= ns {
+			return
+		}
+		if c.firstCrashNS.CompareAndSwap(cur, ns) {
+			return
+		}
+	}
+}
+
 // Run executes a fuzzing campaign.
 func Run(cfg Config) (*Result, error) {
 	if cfg.Program == nil {
 		return nil, errors.New("fuzz: no program")
 	}
-	if cfg.MaxExecs <= 0 {
-		cfg.MaxExecs = 256
-	}
-	if cfg.MaxStepsPerExec == 0 {
-		cfg.MaxStepsPerExec = 50_000
-	}
-	if cfg.InputLen <= 0 {
-		cfg.InputLen = 8
-	}
-	if cfg.Reset == 0 {
-		cfg.Reset = ResetSnapshot
-	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	cfg = cfg.withDefaults()
 
-	clock := &vtime.Clock{}
-	var tgt *target.Target
-	var router *bus.Router
-	var err error
-	if len(cfg.Peripherals) > 0 {
-		if cfg.FPGA {
-			tgt, err = target.NewFPGA("fpga0", clock, cfg.Peripherals, false)
-		} else {
-			tgt, err = target.NewSimulator("sim0", clock, cfg.Peripherals)
+	var suppress map[CrashKey]bool
+	if cfg.CorpusDir != "" {
+		seeds, sup, err := LoadCorpusDir(cfg.CorpusDir)
+		if err != nil {
+			return nil, err
 		}
+		cfg.Seeds = append(append([][]byte(nil), cfg.Seeds...), seeds...)
+		suppress = sup
+	}
+
+	c := &campaign{
+		cfg:     cfg,
+		store:   snapshot.NewStore(),
+		global:  &Global{},
+		corpus:  NewCorpus(),
+		crashes: newCrashBook(suppress),
+	}
+
+	// Workers pull exec quotas statically (round-robin remainder) so
+	// single-worker runs consume exactly MaxExecs and multi-worker
+	// runs stay balanced.
+	workers := make([]*worker, cfg.Workers)
+	for i := range workers {
+		w, err := newWorker(i, c)
+		if err != nil {
+			return nil, err
+		}
+		workers[i] = w
+	}
+
+	quota := cfg.MaxExecs / cfg.Workers
+	extra := cfg.MaxExecs % cfg.Workers
+	var wg sync.WaitGroup
+	errs := make([]error, cfg.Workers)
+	for i, w := range workers {
+		q := quota
+		if i < extra {
+			q++
+		}
+		wg.Add(1)
+		go func(i int, w *worker, q int) {
+			defer wg.Done()
+			errs[i] = w.run(q)
+		}(i, w, q)
+	}
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
 	}
 
-	cpu := vm.New(vm.Config{}, nil)
-	if tgt != nil {
-		regions := make([]bus.Region, 0, len(cfg.Peripherals))
-		for i, pc := range cfg.Peripherals {
-			p, err := tgt.Port(pc.Name)
-			if err != nil {
-				return nil, err
-			}
-			regions = append(regions, bus.Region{
-				Name: pc.Name,
-				Base: cpu.Config().MMIOBase + uint32(i)*0x100,
-				Size: 0x100,
-				IRQ:  i,
-				Port: p,
-			})
-		}
-		router, err = bus.NewRouter(regions)
-		if err != nil {
-			return nil, err
-		}
-		cpu = vm.New(vm.Config{}, router)
+	res := &Result{
+		Execs:        int(c.execs.Load()),
+		Crashes:      c.crashes.crashes(),
+		Edges:        c.global.Edges(),
+		Corpus:       c.corpus.Len(),
+		Workers:      cfg.Workers,
+		Suppressed:   c.crashes.suppressedCount(),
+		ConcolicRuns: int(c.concolicRuns.Load()),
+		SolvedSeeds:  int(c.solvedSeeds.Load()),
 	}
-	if err := cpu.Load(cfg.Program); err != nil {
-		return nil, err
+	if ns := c.firstCrashNS.Load(); ns > 0 {
+		res.TimeToFirstCrash = time.Duration(ns)
 	}
-
-	f := &fuzzer{
-		cfg:    cfg,
-		rng:    rng,
-		cpu:    cpu,
-		tgt:    tgt,
-		router: router,
-		clock:  clock,
-		edges:  make(map[uint64]bool),
-	}
-	if tgt != nil {
-		f.snapman = core.NewSnapshotManager(snapshot.NewStore(), tgt, router)
-	}
-	return f.run()
-}
-
-type fuzzer struct {
-	cfg    Config
-	rng    *rand.Rand
-	cpu    *vm.CPU
-	tgt    *target.Target
-	router *bus.Router
-	clock  *vtime.Clock
-
-	input []byte
-
-	// snapman is the copy-on-write snapshot pipeline shared with the
-	// engine: resets skip hardware traffic the generation proves
-	// redundant and use delta restores on the simulator target.
-	snapman *core.SnapshotManager
-
-	// Snapshot-based reset state.
-	cpuSnap *vm.Snapshot
-	hwSnap  snapshot.ID
-
-	// Power-on hardware snapshot for reboots.
-	powerOn snapshot.ID
-
-	edges     map[uint64]bool
-	corpus    [][]byte
-	resetTime time.Duration
-}
-
-func (f *fuzzer) run() (*Result, error) {
-	cfg := f.cfg
-	// The ecall hook feeds inputs and captures the snapshot point.
-	f.cpu.OnEcall = func(c *vm.CPU, service int32) bool {
-		switch service {
-		case isa.EcallMakeSymbolic:
-			addr, length := c.Regs[1], c.Regs[2]
-			for i := uint32(0); i < length; i++ {
-				var b byte
-				if int(i) < len(f.input) {
-					b = f.input[i]
-				}
-				if err := c.WriteMem(addr+i, 1, uint32(b)); err != nil {
-					c.Stop = vm.StopFault
-					c.Fault = err
-					return true
-				}
-			}
-			return true
-		case isa.EcallSnapshotHint:
-			if cfg.Reset == ResetSnapshot && f.cpuSnap == nil {
-				f.captureSnapshot()
-			}
-			return true
+	for _, w := range workers {
+		if w.elapsed > res.VirtTime {
+			res.VirtTime = w.elapsed
 		}
-		return false
-	}
-
-	if f.tgt != nil {
-		var err error
-		f.powerOn, err = f.snapman.Capture()
-		if err != nil {
-			return nil, err
+		res.ResetTime += w.resetTime
+		if w.tgt != nil {
+			ts := w.tgt.Stats()
+			res.HWSnapshotBytes += ts.SnapshotBytes
+			res.HWRestores += ts.Restores
+			res.DeltaRestores += ts.DeltaRestores
+			ms := w.snapman.Stats()
+			res.RestoresSkipped += ms.RestoresSkipped
+			res.SavesSkipped += ms.SavesSkipped
 		}
-	}
-
-	// Seed corpus.
-	f.corpus = append(f.corpus, make([]byte, cfg.InputLen))
-	for _, s := range cfg.Seeds {
-		f.corpus = append(f.corpus, append([]byte(nil), s...))
-	}
-
-	res := &Result{}
-	start := f.clock.Now()
-	for exec := 0; exec < cfg.MaxExecs; exec++ {
-		if err := f.reset(); err != nil {
-			return nil, err
-		}
-		f.input = f.mutate(f.corpus[f.rng.Intn(len(f.corpus))])
-		newCov, stop, pc, err := f.execOne()
-		if err != nil {
-			return nil, err
-		}
-		res.Execs++
-		switch stop {
-		case vm.StopAbort, vm.StopAssertFail, vm.StopFault:
-			res.Crashes = append(res.Crashes, Crash{
-				Input: append([]byte(nil), f.input...),
-				Stop:  stop,
-				PC:    pc,
-				Exec:  exec,
-			})
-			if cfg.StopAtFirstCrash {
-				exec = cfg.MaxExecs
-			}
-		}
-		if newCov {
-			f.corpus = append(f.corpus, append([]byte(nil), f.input...))
-		}
-		if cfg.StopAtFirstCrash && len(res.Crashes) > 0 {
-			break
-		}
-	}
-	res.Edges = len(f.edges)
-	res.Corpus = len(f.corpus)
-	res.VirtTime = f.clock.Now() - start
-	res.ResetTime = f.resetTime
-	if f.tgt != nil {
-		ts := f.tgt.Stats()
-		ms := f.snapman.Stats()
-		res.HWSnapshotBytes = ts.SnapshotBytes
-		res.HWRestores = ts.Restores
-		res.DeltaRestores = ts.DeltaRestores
-		res.RestoresSkipped = ms.RestoresSkipped
-		res.SavesSkipped = ms.SavesSkipped
 	}
 	if secs := res.VirtTime.Seconds(); secs > 0 {
 		res.ExecsPerVirtSecond = float64(res.Execs) / secs
 	}
+
+	if cfg.CorpusDir != "" {
+		if err := SaveCorpusDir(cfg.CorpusDir, c.corpus.Entries(), res.Crashes); err != nil {
+			return nil, err
+		}
+	}
 	return res, nil
 }
 
-func (f *fuzzer) captureSnapshot() {
-	f.cpuSnap = f.cpu.Snapshot()
-	if f.tgt != nil {
-		if id, err := f.snapman.Capture(); err == nil {
-			f.hwSnap = id
-		}
+// emitStats writes the live status line (rate-limited by StatsEvery
+// at the call sites).
+func (c *campaign) emitStats(w *worker) {
+	c.statsMu.Lock()
+	defer c.statsMu.Unlock()
+	execs := c.execs.Load()
+	var eps float64
+	if secs := (w.clock.Now() - w.start).Seconds(); secs > 0 {
+		eps = float64(execs) / secs
 	}
-}
-
-func (f *fuzzer) reset() error {
-	before := f.clock.Now()
-	defer func() { f.resetTime += f.clock.Now() - before }()
-
-	switch f.cfg.Reset {
-	case ResetNone:
-		// Even "no reset" must get the CPU running again; memory and
-		// hardware keep their polluted state.
-		f.cpu.Stop = vm.StopNone
-		f.cpu.Fault = nil
-		f.cpu.PC = f.cfg.Program.Entry
-		return nil
-
-	case ResetReboot:
-		f.cpu.Reset()
-		if err := f.cpu.Load(f.cfg.Program); err != nil {
-			return err
-		}
-		if f.tgt != nil {
-			if err := f.snapman.Restore(f.powerOn); err != nil {
-				return err
-			}
-		}
-		f.clock.Advance(vtime.RebootTime)
-		return nil
-
-	case ResetSnapshot:
-		if f.cpuSnap == nil {
-			// First execution: run until the snapshot hint (or entry).
-			f.cpu.Reset()
-			if err := f.cpu.Load(f.cfg.Program); err != nil {
-				return err
-			}
-			return nil
-		}
-		f.cpu.RestoreSnapshot(f.cpuSnap)
-		if f.tgt != nil && f.hwSnap != 0 {
-			if err := f.snapman.Restore(f.hwSnap); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-	return fmt.Errorf("fuzz: unknown reset strategy %d", f.cfg.Reset)
-}
-
-// execOne runs one test case to completion, collecting edge coverage.
-func (f *fuzzer) execOne() (newCov bool, stop vm.StopReason, crashPC uint32, err error) {
-	var steps uint64
-	for f.cpu.Stop == vm.StopNone && steps < f.cfg.MaxStepsPerExec {
-		pcBefore := f.cpu.PC
-		if !f.cpu.Step() {
-			break
-		}
-		steps++
-		f.clock.Advance(vtime.VMInstruction)
-		edge := uint64(pcBefore)<<32 | uint64(f.cpu.PC)
-		if !f.edges[edge] {
-			f.edges[edge] = true
-			newCov = true
-		}
-		if f.tgt != nil {
-			if err := f.tgt.Advance(1); err != nil {
-				return false, 0, 0, err
-			}
-			irqs, err := f.router.RisingIRQs()
-			if err != nil {
-				return false, 0, 0, err
-			}
-			for _, n := range irqs {
-				f.cpu.RaiseIRQ(n)
-			}
-		}
-	}
-	if steps >= f.cfg.MaxStepsPerExec && f.cpu.Stop == vm.StopNone {
-		f.cpu.Stop = vm.StopBudget
-	}
-	return newCov, f.cpu.Stop, f.cpu.PC, nil
-}
-
-// mutate produces a variant of a corpus entry.
-func (f *fuzzer) mutate(base []byte) []byte {
-	out := make([]byte, f.cfg.InputLen)
-	copy(out, base)
-	n := 1 + f.rng.Intn(3)
-	for i := 0; i < n; i++ {
-		switch f.rng.Intn(4) {
-		case 0: // bit flip
-			if len(out) > 0 {
-				idx := f.rng.Intn(len(out))
-				out[idx] ^= 1 << uint(f.rng.Intn(8))
-			}
-		case 1: // random byte
-			if len(out) > 0 {
-				out[f.rng.Intn(len(out))] = byte(f.rng.Intn(256))
-			}
-		case 2: // interesting values
-			if len(out) > 0 {
-				vals := []byte{0x00, 0xFF, 0x7F, 0x80, 0x41, 0x0A}
-				out[f.rng.Intn(len(out))] = vals[f.rng.Intn(len(vals))]
-			}
-		case 3: // byte copy within input
-			if len(out) > 1 {
-				out[f.rng.Intn(len(out))] = out[f.rng.Intn(len(out))]
-			}
-		}
-	}
-	return out
+	fmt.Fprintf(c.cfg.Stats, "fuzz: execs=%d edges=%d corpus=%d crashes=%d solved=%d execs/vsec=%.0f\n",
+		execs, c.global.Edges(), c.corpus.Len(), c.crashes.bucketCount(), c.solvedSeeds.Load(), eps)
 }

@@ -1,0 +1,513 @@
+package fuzz
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"hardsnap/internal/bus"
+	"hardsnap/internal/core"
+	"hardsnap/internal/isa"
+	"hardsnap/internal/snapshot"
+	"hardsnap/internal/symexec"
+	"hardsnap/internal/target"
+	"hardsnap/internal/vm"
+	"hardsnap/internal/vtime"
+)
+
+// interestingBytes are the classic boundary-ish mutation values
+// (package-level so the mutator allocates nothing per exec).
+var interestingBytes = [...]byte{0x00, 0xFF, 0x7F, 0x80, 0x41, 0x0A}
+
+// branchSite is one statically-decoded conditional branch, tracked
+// per worker for frontier detection: a site whose far side stays
+// uncovered after FrontierK executions that reach it becomes a
+// concolic candidate.
+type branchSite struct {
+	pc      uint32
+	takenPC uint32
+	fallPC  uint32
+
+	seenTaken bool
+	seenFall  bool
+	// hits counts executions that reached the site while it was
+	// one-sided; lastHit dedups multiple hits within one execution.
+	hits    int
+	lastHit int
+	// repr is a preallocated copy of an input that reached the site.
+	repr    []byte
+	hasRepr bool
+	// attempted marks sites the concolic loop already escalated (one
+	// shot per side combination; reset when a new side is covered).
+	attempted bool
+}
+
+// hitListCap bounds the per-exec distinct-branch-site list; execs
+// touching more sites simply don't frontier-track the excess that
+// exec (a heuristic, not a correctness surface).
+const hitListCap = 256
+
+// worker is one parallel fuzzing loop over a private target and CPU.
+// All fields reachable from the per-instruction path are plain data:
+// the hot loop performs no allocations and no dynamic dispatch beyond
+// the unavoidable peripheral port calls at the hardware boundary.
+type worker struct {
+	id  int
+	c   *campaign
+	cfg *Config
+	rng *rand.Rand
+
+	cpu    *vm.CPU
+	tgt    *target.Target
+	router *bus.Router
+	clock  *vtime.Clock
+
+	snapman *core.SnapshotManager
+
+	// cov is the per-exec coverage bitmap (64 KiB, allocated once
+	// with the worker).
+	cov Bitmap
+
+	// input is the current test case; scratch is reused by corpus
+	// picks. Both are preallocated at InputLen.
+	input   []byte
+	scratch []byte
+	// irqBuf backs per-instruction IRQ sampling.
+	irqBuf [8]int
+	// sampleIRQs is false when no peripheral can drive its line, so
+	// the loop skips sampling entirely.
+	sampleIRQs bool
+
+	// execSeq numbers this worker's executions (for lastHit dedup).
+	execSeq int
+	// irqsThisExec counts interrupts delivered in the current exec
+	// (concolic replay can't model async IRQs, so recordings with
+	// interrupts are skipped).
+	irqsThisExec int
+
+	// Snapshot-based reset state.
+	cpuSnap *vm.Snapshot
+	hwSnap  snapshot.ID
+	powerOn snapshot.ID
+
+	// Frontier tracking (hybrid mode only; nil otherwise).
+	sites     []branchSite
+	branchIdx []int32
+	hitList   [hitListCap]int32
+	nHit      int
+
+	// pendingSeeds holds solver-produced inputs awaiting execution.
+	pendingSeeds [][]byte
+	curSolved    bool // current input came from the solver
+	symex        *symexec.Executor
+
+	start     time.Duration
+	elapsed   time.Duration
+	resetTime time.Duration
+}
+
+func newWorker(id int, c *campaign) (*worker, error) {
+	cfg := &c.cfg
+	clock := &vtime.Clock{}
+	var tgt *target.Target
+	var router *bus.Router
+	var err error
+	if len(cfg.Peripherals) > 0 {
+		name := fmt.Sprintf("fuzz%d", id)
+		if cfg.FPGA {
+			tgt, err = target.NewFPGA(name, clock, cfg.Peripherals, false)
+		} else {
+			tgt, err = target.NewSimulator(name, clock, cfg.Peripherals)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	cpu := vm.New(vm.Config{}, nil)
+	sampleIRQs := false
+	if tgt != nil {
+		regions := make([]bus.Region, 0, len(cfg.Peripherals))
+		for i, pc := range cfg.Peripherals {
+			p, err := tgt.Port(pc.Name)
+			if err != nil {
+				return nil, err
+			}
+			regions = append(regions, bus.Region{
+				Name: pc.Name,
+				Base: cpu.Config().MMIOBase + uint32(i)*0x100,
+				Size: 0x100,
+				IRQ:  i,
+				Port: p,
+			})
+			if tgt.IRQWired(pc.Name) {
+				sampleIRQs = true
+			}
+		}
+		router, err = bus.NewRouter(regions)
+		if err != nil {
+			return nil, err
+		}
+		cpu = vm.New(vm.Config{}, router)
+	}
+	if err := cpu.Load(cfg.Program); err != nil {
+		return nil, err
+	}
+
+	w := &worker{
+		id:         id,
+		c:          c,
+		cfg:        cfg,
+		rng:        rand.New(rand.NewSource(cfg.Seed + int64(id)*0x9E3779B9)),
+		cpu:        cpu,
+		tgt:        tgt,
+		router:     router,
+		clock:      clock,
+		input:      make([]byte, cfg.InputLen),
+		scratch:    make([]byte, cfg.InputLen),
+		sampleIRQs: sampleIRQs,
+	}
+	if tgt != nil {
+		w.snapman = core.NewSnapshotManager(c.store, tgt, router)
+	}
+	if cfg.Hybrid {
+		w.decodeBranchSites()
+	}
+
+	// The ecall hook feeds inputs and captures the snapshot point.
+	cpu.OnEcall = func(cp *vm.CPU, service int32) bool {
+		switch service {
+		case isa.EcallMakeSymbolic:
+			addr, length := cp.Regs[1], cp.Regs[2]
+			for i := uint32(0); i < length; i++ {
+				var b byte
+				if int(i) < len(w.input) {
+					b = w.input[i]
+				}
+				if err := cp.WriteMem(addr+i, 1, uint32(b)); err != nil {
+					cp.Stop = vm.StopFault
+					cp.Fault = err
+					return true
+				}
+			}
+			return true
+		case isa.EcallSnapshotHint:
+			if cfg.Reset == ResetSnapshot && w.cpuSnap == nil {
+				w.captureSnapshot()
+			}
+			return true
+		}
+		return false
+	}
+	return w, nil
+}
+
+// decodeBranchSites statically scans the program image for
+// conditional branches, building the pc-indexed side table the hot
+// loop consults without hashing or allocation.
+func (w *worker) decodeBranchSites() {
+	code := w.cfg.Program.Code
+	base := w.cfg.Program.Base
+	w.branchIdx = make([]int32, len(code)/4)
+	for i := range w.branchIdx {
+		w.branchIdx[i] = -1
+	}
+	for off := 0; off+4 <= len(code); off += 4 {
+		word := uint32(code[off]) | uint32(code[off+1])<<8 |
+			uint32(code[off+2])<<16 | uint32(code[off+3])<<24
+		in, err := isa.Decode(word)
+		if err != nil {
+			continue // data word
+		}
+		switch in.Op {
+		case isa.OpBEQ, isa.OpBNE, isa.OpBLT, isa.OpBGE, isa.OpBLTU, isa.OpBGEU:
+			pc := base + uint32(off)
+			w.branchIdx[off/4] = int32(len(w.sites))
+			w.sites = append(w.sites, branchSite{
+				pc:      pc,
+				takenPC: pc + uint32(in.Imm),
+				fallPC:  pc + 4,
+				lastHit: -1,
+				repr:    make([]byte, w.cfg.InputLen),
+			})
+		}
+	}
+}
+
+// run executes this worker's share of the campaign.
+func (w *worker) run(quota int) error {
+	if w.tgt != nil {
+		var err error
+		w.powerOn, err = w.snapman.Capture()
+		if err != nil {
+			return err
+		}
+	}
+
+	// Seed corpus (workers race to admit the same seeds; signature
+	// dedup keeps exactly one copy of each behavior).
+	if err := w.runSeeds(); err != nil {
+		return err
+	}
+
+	w.start = w.clock.Now()
+	for i := 0; i < quota && !w.c.stopped(); i++ {
+		if err := w.fuzzOne(); err != nil {
+			return err
+		}
+	}
+	w.elapsed = w.clock.Now() - w.start
+	return nil
+}
+
+// runSeeds executes the zero input plus configured seeds so their
+// coverage primes the corpus (the reference fuzzer admits seeds
+// blindly; executing them keeps admission uniform and records their
+// coverage pairs for minimization).
+func (w *worker) runSeeds() error {
+	seeds := make([][]byte, 0, 1+len(w.cfg.Seeds))
+	seeds = append(seeds, make([]byte, w.cfg.InputLen))
+	seeds = append(seeds, w.cfg.Seeds...)
+	for _, s := range seeds {
+		if err := w.reset(); err != nil {
+			return err
+		}
+		w.setInput(s)
+		stop, pc, err := w.execOne()
+		if err != nil {
+			return err
+		}
+		w.afterExec(stop, pc, true)
+	}
+	return nil
+}
+
+func (w *worker) setInput(src []byte) {
+	n := copy(w.input, src)
+	for i := n; i < len(w.input); i++ {
+		w.input[i] = 0
+	}
+}
+
+// fuzzOne runs one fuzzing iteration: reset, pick+mutate (or take a
+// solver seed), execute, process coverage/crash/frontier.
+func (w *worker) fuzzOne() error {
+	if err := w.reset(); err != nil {
+		return err
+	}
+
+	w.curSolved = false
+	if n := len(w.pendingSeeds); n > 0 {
+		w.setInput(w.pendingSeeds[n-1])
+		w.pendingSeeds = w.pendingSeeds[:n-1]
+		w.curSolved = true
+	} else {
+		for i := range w.scratch {
+			w.scratch[i] = 0
+		}
+		w.c.corpus.PickInto(w.rng, w.scratch)
+		w.setInput(w.scratch)
+		w.mutate()
+	}
+
+	stop, pc, err := w.execOne()
+	if err != nil {
+		return err
+	}
+	execIdx := int(w.c.execs.Add(1)) - 1
+	w.afterExec(stop, pc, false)
+
+	if w.cfg.Stats != nil && (execIdx+1)%w.cfg.StatsEvery == 0 {
+		w.c.emitStats(w)
+	}
+	return nil
+}
+
+// afterExec merges coverage, admits the input, records crashes, and
+// (in hybrid mode) updates frontier state. seeding suppresses exec
+// accounting for the corpus-priming pass.
+func (w *worker) afterExec(stop vm.StopReason, pc uint32, seeding bool) {
+	switch stop {
+	case vm.StopAbort, vm.StopAssertFail, vm.StopFault:
+		exec := int(w.c.execs.Load())
+		if w.c.crashes.record(w.input, stop, pc, exec) {
+			w.c.noteFirstCrash(w.clock.Now() - w.start)
+			if w.cfg.StopAtFirstCrash {
+				w.c.stopFlag.Store(true)
+			}
+		}
+	}
+
+	sig := w.cov.Signature()
+	_, newBits := w.c.global.Merge(&w.cov)
+	if newBits || seeding {
+		// Admission is rare; allocating the coverage pairs and the
+		// corpus copy here is off the hot path by construction.
+		w.c.corpus.Add(w.input, sig, w.cov.Pairs(nil), w.curSolved)
+	}
+
+	if w.cfg.Hybrid && !seeding {
+		w.updateFrontier()
+	}
+	w.cov.Reset()
+	w.nHit = 0
+}
+
+// reset restores the inter-execution state per the strategy.
+func (w *worker) reset() error {
+	before := w.clock.Now()
+	defer func() { w.resetTime += w.clock.Now() - before }()
+
+	switch w.cfg.Reset {
+	case ResetNone:
+		// Even "no reset" must get the CPU running again; memory and
+		// hardware keep their polluted state.
+		w.cpu.Stop = vm.StopNone
+		w.cpu.Fault = nil
+		w.cpu.PC = w.cfg.Program.Entry
+		return nil
+
+	case ResetReboot:
+		w.cpu.Reset()
+		if err := w.cpu.Load(w.cfg.Program); err != nil {
+			return err
+		}
+		if w.tgt != nil {
+			if err := w.snapman.Restore(w.powerOn); err != nil {
+				return err
+			}
+		}
+		w.clock.Advance(vtime.RebootTime)
+		return nil
+
+	case ResetSnapshot:
+		if w.cpuSnap == nil {
+			// First execution: run until the snapshot hint (or entry).
+			w.cpu.Reset()
+			if err := w.cpu.Load(w.cfg.Program); err != nil {
+				return err
+			}
+			return nil
+		}
+		w.cpu.RestoreSnapshot(w.cpuSnap)
+		if w.tgt != nil && w.hwSnap != 0 {
+			if err := w.snapman.Restore(w.hwSnap); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return fmt.Errorf("fuzz: unknown reset strategy %d", w.cfg.Reset)
+}
+
+func (w *worker) captureSnapshot() {
+	w.cpuSnap = w.cpu.Snapshot()
+	if w.tgt != nil {
+		if id, err := w.snapman.Capture(); err == nil {
+			w.hwSnap = id
+		}
+	}
+}
+
+// execOne runs one test case to completion. This is the hot loop: no
+// allocations, no interface calls except the hardware-boundary port
+// operations, per-exec bookkeeping deferred to afterExec.
+func (w *worker) execOne() (stop vm.StopReason, crashPC uint32, err error) {
+	w.execSeq++
+	w.irqsThisExec = 0
+	cpu := w.cpu
+	trackBranches := w.branchIdx != nil
+	base := w.cfg.Program.Base
+	progWords := uint32(len(w.branchIdx))
+	var steps uint64
+	for cpu.Stop == vm.StopNone && steps < w.cfg.MaxStepsPerExec {
+		pcBefore := cpu.PC
+		if !cpu.Step() {
+			break
+		}
+		steps++
+		w.clock.Advance(vtime.VMInstruction)
+		w.cov.Edge(cpu.PC)
+		if trackBranches {
+			if off := (pcBefore - base) >> 2; off < progWords {
+				if si := w.branchIdx[off]; si >= 0 {
+					w.noteBranch(si)
+				}
+			}
+		}
+		if w.tgt != nil {
+			if err := w.tgt.Advance(1); err != nil {
+				return 0, 0, err
+			}
+			if w.sampleIRQs {
+				irqs, err := w.router.RisingIRQsInto(w.irqBuf[:0])
+				if err != nil {
+					return 0, 0, err
+				}
+				for _, n := range irqs {
+					cpu.RaiseIRQ(n)
+					w.irqsThisExec++
+				}
+			}
+		}
+	}
+	if steps >= w.cfg.MaxStepsPerExec && cpu.Stop == vm.StopNone {
+		cpu.Stop = vm.StopBudget
+	}
+	return cpu.Stop, cpu.PC, nil
+}
+
+// noteBranch updates a branch site after the instruction at its PC
+// executed; cpu.PC now holds the successor.
+func (w *worker) noteBranch(si int32) {
+	s := &w.sites[si]
+	switch w.cpu.PC {
+	case s.takenPC:
+		if !s.seenTaken {
+			s.seenTaken = true
+			s.hits = 0
+			s.attempted = false
+		}
+	case s.fallPC:
+		if !s.seenFall {
+			s.seenFall = true
+			s.hits = 0
+			s.attempted = false
+		}
+	default:
+		return // interrupted mid-branch; attribute nothing
+	}
+	if s.lastHit != w.execSeq && w.nHit < hitListCap {
+		s.lastHit = w.execSeq
+		w.hitList[w.nHit] = si
+		w.nHit++
+	}
+}
+
+// mutate applies 1-3 of the classic mutation arms to w.input in
+// place, allocation-free.
+func (w *worker) mutate() {
+	out := w.input
+	n := 1 + w.rng.Intn(3)
+	for i := 0; i < n; i++ {
+		switch w.rng.Intn(4) {
+		case 0: // bit flip
+			if len(out) > 0 {
+				idx := w.rng.Intn(len(out))
+				out[idx] ^= 1 << uint(w.rng.Intn(8))
+			}
+		case 1: // random byte
+			if len(out) > 0 {
+				out[w.rng.Intn(len(out))] = byte(w.rng.Intn(256))
+			}
+		case 2: // interesting values
+			if len(out) > 0 {
+				out[w.rng.Intn(len(out))] = interestingBytes[w.rng.Intn(len(interestingBytes))]
+			}
+		case 3: // byte copy within input
+			if len(out) > 1 {
+				out[w.rng.Intn(len(out))] = out[w.rng.Intn(len(out))]
+			}
+		}
+	}
+}

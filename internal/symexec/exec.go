@@ -82,6 +82,13 @@ type Executor struct {
 	nextID uint64
 	symSeq int
 
+	// concolic, when non-nil, switches the executor into concolic
+	// replay: every decision that would normally ask the solver is
+	// instead resolved by evaluating terms under the concrete input
+	// assignment (see concolic.go). No forks and no solver calls
+	// happen in this mode.
+	concolic *concolicCtx
+
 	Stats Stats
 }
 
@@ -290,6 +297,17 @@ func (e *Executor) concretize(st *State, t *expr.Term, forks *[]*State) (uint32,
 	if v, ok := t.Const(); ok {
 		return uint32(v), nil
 	}
+	if c := e.concolic; c != nil {
+		// Concolic replay: the concrete input decides the value. No
+		// pinning constraint is added — deliberately. A hardware-bound
+		// value (say the input bytes streamed into a CRC peripheral)
+		// must not freeze the very bytes a later branch flip wants to
+		// change; the solved seed is validated by concrete re-execution
+		// anyway, so an over-permissive path condition costs at most a
+		// wasted seed while an over-constrained one hides solutions.
+		e.Stats.Concretized++
+		return uint32(expr.Eval(t, c.assign)), nil
+	}
 	e.Stats.Concretized++
 	max := 1
 	if e.cfg.Policy == ConcretizeAll {
@@ -456,6 +474,24 @@ func (e *Executor) Step(st *State) ([]*State, error) {
 		if v, ok := taken.Const(); ok {
 			if v != 0 {
 				next = st.PC + uint32(in.Imm)
+			}
+			break
+		}
+		if c := e.concolic; c != nil {
+			// Concolic replay: follow the side the concrete input takes,
+			// record the branch so the far side can be solved for later.
+			tv := expr.Eval(taken, c.assign) != 0
+			c.trace = append(c.trace, ConcolicBranch{
+				PC:        st.PC,
+				Cond:      taken,
+				Taken:     tv,
+				PrefixLen: len(st.Constraints),
+			})
+			if tv {
+				st.AddConstraint(taken)
+				next = st.PC + uint32(in.Imm)
+			} else {
+				st.AddConstraint(b.NotBool(taken))
 			}
 			break
 		}
@@ -645,6 +681,10 @@ func (e *Executor) execEcall(st *State, service int32, forks *[]*State) (bool, e
 
 	case isa.EcallAbort:
 		st.Status = StatusAborted
+		if c := e.concolic; c != nil {
+			st.Model = c.assign
+			return true, nil
+		}
 		if ok, model := e.feasible(st); ok {
 			st.Model = model
 		}
@@ -652,6 +692,17 @@ func (e *Executor) execEcall(st *State, service int32, forks *[]*State) (bool, e
 
 	case isa.EcallAssert:
 		cond := b.Ne(st.Regs[1], b.Const(0, 32))
+		if c := e.concolic; c != nil {
+			if expr.Eval(cond, c.assign) == 0 {
+				st.Status = StatusAssertFail
+				st.Model = c.assign
+				return true, nil
+			}
+			if _, ok := cond.Const(); !ok {
+				st.AddConstraint(cond)
+			}
+			return false, nil
+		}
 		if v, ok := cond.Const(); ok {
 			if v == 0 {
 				st.Status = StatusAssertFail
@@ -684,6 +735,16 @@ func (e *Executor) execEcall(st *State, service int32, forks *[]*State) (bool, e
 
 	case isa.EcallAssume:
 		cond := b.Ne(st.Regs[1], b.Const(0, 32))
+		if c := e.concolic; c != nil {
+			if expr.Eval(cond, c.assign) == 0 {
+				st.Status = StatusInfeasible
+				return true, nil
+			}
+			if _, ok := cond.Const(); !ok {
+				st.AddConstraint(cond)
+			}
+			return false, nil
+		}
 		if v, ok := cond.Const(); ok {
 			if v == 0 {
 				st.Status = StatusInfeasible
@@ -726,6 +787,16 @@ func (e *Executor) execEcall(st *State, service int32, forks *[]*State) (bool, e
 				st.Status = StatusFault
 				st.Err = err
 				return true, nil
+			}
+			if c := e.concolic; c != nil {
+				// Bind the fresh symbol to the concrete input byte the
+				// fuzzer supplied (missing bytes default to zero, same as
+				// the solver's completion of partial models).
+				var bv uint64
+				if buf := c.inputs.bytesFor(tag); i < uint32(len(buf)) {
+					bv = uint64(buf[i])
+				}
+				c.assign[name] = bv
 			}
 		}
 		st.SymInputs = append(st.SymInputs, SymInput{Tag: tag, Addr: addr, Len: length})

@@ -506,8 +506,23 @@ func (t *Target) journalAppend(j journalOp) {
 	t.journal = append(t.journal, j)
 }
 
+// fastLink reports whether link operations may skip the retry/
+// failover machinery entirely: no fault injection armed, no standby
+// to journal for, and the link alive. On this path linkOp would run
+// the operation exactly once and journal nothing, so calling the
+// backend directly is behaviorally identical — and free of the
+// closure and journal-record allocations linkOp's bookkeeping costs
+// per call, which matters when a fuzzing hot loop advances the
+// hardware once per retired instruction.
+func (t *Target) fastLink() bool {
+	return !t.dead && t.faults == nil && t.standby == nil
+}
+
 // readReg forwards a register read over the link.
 func (t *Target) readReg(name string, offset uint32) (uint32, error) {
+	if t.fastLink() {
+		return t.execRead(name, offset)
+	}
 	var v uint32
 	err := t.linkOp("read "+name, &journalOp{op: jRead, periph: name, addr: offset}, func() error {
 		var err error
@@ -519,6 +534,9 @@ func (t *Target) readReg(name string, offset uint32) (uint32, error) {
 
 // writeReg forwards a register write over the link.
 func (t *Target) writeReg(name string, offset uint32, v uint32) error {
+	if t.fastLink() {
+		return t.execWrite(name, offset, v)
+	}
 	return t.linkOp("write "+name, &journalOp{op: jWrite, periph: name, addr: offset, val: v}, func() error {
 		return t.execWrite(name, offset, v)
 	})
@@ -528,20 +546,28 @@ func (t *Target) writeReg(name string, offset uint32, v uint32) error {
 // sideband wire: sampling is free of virtual time and never journaled
 // (it carries no state).
 func (t *Target) irqLevel(name string) (bool, error) {
+	if t.fastLink() {
+		return t.execIRQLevel(name)
+	}
 	var level bool
 	err := t.linkOp("irq "+name, nil, func() error {
-		inst, ok := t.periphs[name]
-		if !ok {
-			return fatalf("irq", "no peripheral %q", name)
-		}
-		v, err := inst.sim.Peek(bus.SigIRQ)
-		if err != nil {
-			return fatalf("irq "+name, "%v", err)
-		}
-		level = v != 0
-		return nil
+		var err error
+		level, err = t.execIRQLevel(name)
+		return err
 	})
 	return level, err
+}
+
+func (t *Target) execIRQLevel(name string) (bool, error) {
+	inst, ok := t.periphs[name]
+	if !ok {
+		return false, fatalf("irq", "no peripheral %q", name)
+	}
+	v, err := inst.sim.Peek(bus.SigIRQ)
+	if err != nil {
+		return false, fatalf("irq "+name, "%v", err)
+	}
+	return v != 0, nil
 }
 
 // HasAssertions reports whether any hardware assertion is registered.
@@ -613,7 +639,13 @@ func (t *Target) Restore(s State) error {
 	if err != nil {
 		return err
 	}
-	t.lastGood = s.Clone()
+	if t.standby != nil {
+		// lastGood is only ever read by failover, which needs an armed
+		// standby; arming one later re-snapshots (see Standby), so with
+		// no standby the deep clone is skipped — it would otherwise be
+		// the only allocation on a fuzzer's per-exec reset path.
+		t.lastGood = s.Clone()
+	}
 	t.journal = nil
 	t.journalFull = false
 	t.reanchor(true)
@@ -642,7 +674,10 @@ func (t *Target) RestoreDelta(s State) (bool, error) {
 	if err := t.linkOp("restore-delta", nil, func() error { return t.applyDelta(s) }); err != nil {
 		return true, err
 	}
-	t.lastGood = s.Clone()
+	// No lastGood update: the guard above already excludes targets
+	// with a standby armed, and only failover (which requires one)
+	// ever reads it. Cloning here would allocate on every delta
+	// restore — the fuzzer's per-exec reset.
 	t.journal = nil
 	t.journalFull = false
 	t.reanchor(true)

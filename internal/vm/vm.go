@@ -141,6 +141,16 @@ func New(cfg Config, mmio MMIO) *CPU {
 // Config returns the machine layout.
 func (c *CPU) Config() Config { return c.cfg }
 
+// MMIODevice returns the bus the CPU currently forwards device
+// accesses to (nil if none is attached).
+func (c *CPU) MMIODevice() MMIO { return c.mmio }
+
+// SetMMIO swaps the bus the CPU forwards device accesses to. The
+// hybrid fuzzer uses it to interpose a recording shim around the
+// router for one execution (MMIO trace capture for concolic replay)
+// and to put the router back afterwards.
+func (c *CPU) SetMMIO(m MMIO) { c.mmio = m }
+
 // Load copies an assembled program into RAM and points PC at its entry.
 func (c *CPU) Load(p *asm.Program) error {
 	off := int64(p.Base) - int64(c.cfg.RAMBase)
